@@ -1,0 +1,113 @@
+// Design-space exploration with the public API: sweep MALEC's structural
+// parameters (result buses, Input Buffer carry slots, merge window, way
+// determination scheme) on one benchmark and print a compact
+// performance/energy Pareto view.
+//
+//   ./design_space_explorer [benchmark] [instructions]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/presets.h"
+#include "trace/workloads.h"
+
+namespace {
+
+struct Point {
+  std::string name;
+  double time_pct;    // vs reference MALEC
+  double energy_pct;  // vs reference MALEC
+  double coverage;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace malec;
+  const std::string bench = argc > 1 ? argv[1] : "gcc";
+  const std::uint64_t n =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 80'000;
+  if (!trace::hasWorkload(bench)) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
+    return 1;
+  }
+  const auto wl = trace::workloadByName(bench);
+
+  // Reference point: the paper's evaluated MALEC configuration.
+  const auto ref = sim::runConfigs(wl, {sim::presetMalec()}, n)[0];
+
+  std::vector<core::InterfaceConfig> variants;
+  for (std::uint32_t buses : {1u, 2u, 4u}) {
+    auto c = sim::presetMalec();
+    c.result_buses = buses;
+    c.name = "buses=" + std::to_string(buses);
+    variants.push_back(c);
+  }
+  for (std::uint32_t carry : {0u, 1u, 4u}) {
+    auto c = sim::presetMalec();
+    c.ib_carry_slots = carry;
+    c.name = "carry=" + std::to_string(carry);
+    variants.push_back(c);
+  }
+  for (std::uint32_t window : {0u, 1u, 7u}) {
+    auto c = sim::presetMalec();
+    c.merge_window = window;
+    c.merge_loads = window > 0;
+    c.name = "window=" + std::to_string(window);
+    variants.push_back(c);
+  }
+  for (std::uint32_t wdu : {8u, 16u, 32u}) {
+    variants.push_back(sim::presetMalecWdu(wdu));
+  }
+  variants.push_back(sim::presetMalecNoWaydet());
+  variants.push_back(sim::presetMalecNoFeedback());
+  {
+    auto c = sim::presetMalec();
+    c.subblocked_pair_read = false;
+    c.name = "single-subblock";
+    variants.push_back(c);
+  }
+
+  std::printf("Design-space exploration on %s (%llu instructions)\n",
+              bench.c_str(), static_cast<unsigned long long>(n));
+  std::printf("reference: %s -> %llu cycles, %.2f uJ, coverage %.1f%%\n\n",
+              ref.config.c_str(),
+              static_cast<unsigned long long>(ref.cycles),
+              ref.total_pj * 1e-6, 100.0 * ref.way_coverage);
+  std::printf("%-18s %10s %10s %9s\n", "variant", "time[%]", "energy[%]",
+              "cover[%]");
+
+  std::vector<Point> points;
+  for (const auto& cfg : variants) {
+    const auto out = sim::runConfigs(wl, {cfg}, n)[0];
+    Point p;
+    p.name = cfg.name;
+    p.time_pct = 100.0 * static_cast<double>(out.cycles) /
+                 static_cast<double>(ref.cycles);
+    p.energy_pct = 100.0 * out.total_pj / ref.total_pj;
+    p.coverage = 100.0 * out.way_coverage;
+    points.push_back(p);
+    std::printf("%-18s %10.1f %10.1f %9.1f\n", p.name.c_str(), p.time_pct,
+                p.energy_pct, p.coverage);
+  }
+
+  // Simple Pareto filter: a variant is dominated if another is at least as
+  // good on both axes and strictly better on one.
+  std::printf("\nPareto-efficient variants (time, energy):\n");
+  for (const auto& a : points) {
+    bool dominated = false;
+    for (const auto& b : points) {
+      if (b.time_pct <= a.time_pct && b.energy_pct <= a.energy_pct &&
+          (b.time_pct < a.time_pct || b.energy_pct < a.energy_pct)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated)
+      std::printf("  %-18s time %.1f%%  energy %.1f%%\n", a.name.c_str(),
+                  a.time_pct, a.energy_pct);
+  }
+  return 0;
+}

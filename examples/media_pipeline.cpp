@@ -1,0 +1,54 @@
+// Media-kernel scenario: the workloads the paper's introduction motivates.
+//
+// MediaBench2-style kernels issue frequent, highly structured memory
+// accesses (wide SIMD-ish loads marching through frame buffers). This is
+// MALEC's best case: page groups are large, loads merge onto shared data
+// reads, and Page-Based Way Determination coverage is near its ceiling.
+// The example runs the MediaBench2 decoders/encoders on Base1ldst vs MALEC
+// and breaks down where the speedup and the energy saving come from.
+#include <cstdio>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/presets.h"
+#include "trace/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace malec;
+  const std::uint64_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 120'000;
+
+  std::printf("Media pipeline study — %llu instructions per kernel\n\n",
+              static_cast<unsigned long long>(n));
+  std::printf("%-12s %8s %8s %8s %8s %8s %8s\n", "kernel", "speedup%",
+              "E_save%", "merged%", "cover%", "grp_size", "missrate%");
+
+  double worst_speedup = 1e9, best_speedup = 0;
+  for (const auto& wl : trace::workloadsForSuite("MediaBench2")) {
+    const auto outs = sim::runConfigs(
+        wl, {sim::presetBase1ldst(), sim::presetMalec()}, n);
+    const auto& base = outs[0];
+    const auto& m = outs[1];
+    const double speedup = 100.0 * (static_cast<double>(base.cycles) /
+                                        static_cast<double>(m.cycles) -
+                                    1.0);
+    const double esave = 100.0 * (1.0 - m.total_pj / base.total_pj);
+    const double grp =
+        m.ifc.groups ? static_cast<double>(m.ifc.group_entries) /
+                           static_cast<double>(m.ifc.groups)
+                     : 0.0;
+    std::printf("%-12s %8.1f %8.1f %8.1f %8.1f %8.2f %9.2f\n",
+                wl.name.c_str(), speedup, esave,
+                100.0 * m.merged_load_fraction, 100.0 * m.way_coverage, grp,
+                100.0 * m.l1_load_miss_rate);
+    worst_speedup = std::min(worst_speedup, speedup);
+    best_speedup = std::max(best_speedup, speedup);
+  }
+
+  std::printf("\nSpeedup range %.1f%%..%.1f%% — the paper reports up to"
+              " ~30%% (djpeg, h263dec) and a 21%% suite mean.\n",
+              worst_speedup, best_speedup);
+  std::printf("Larger page groups => fewer uTLB lookups per load; high\n"
+              "coverage => most reads bypass the tag arrays entirely.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Streaming / pointer-chasing scenario: MALEC's worst case (paper VI-D).
+//
+// mcf-style workloads walk enormous working sets with little reuse: the
+// uTLB thrashes, Way Table entries are invalidated before they pay off,
+// and load latency — not port bandwidth — bounds performance. This example
+// contrasts a cache-friendly benchmark with the two streaming ones and
+// shows how way-determination coverage and the energy balance collapse,
+// plus what the run-time-bypass discussion in the paper is about.
+#include <cstdio>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/presets.h"
+#include "trace/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace malec;
+  const std::uint64_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 120'000;
+
+  std::printf("Streaming vs cache-friendly workloads — %llu instructions\n\n",
+              static_cast<unsigned long long>(n));
+  std::printf("%-8s %12s %9s %9s %9s %10s %10s\n", "bench", "config",
+              "IPC", "miss%", "cover%", "E_norm%", "time%");
+
+  for (const char* bench : {"eon", "mcf", "art"}) {
+    const auto outs = sim::runConfigs(
+        trace::workloadByName(bench),
+        {sim::presetBase1ldst(), sim::presetMalec(),
+         sim::presetMalecNoWaydet()},
+        n);
+    const double base_e = outs[0].total_pj;
+    const double base_c = static_cast<double>(outs[0].cycles);
+    for (const auto& o : outs) {
+      std::printf("%-8s %12s %9.2f %9.2f %9.1f %10.1f %10.1f\n", bench,
+                  o.config.c_str(), o.ipc, 100.0 * o.l1_load_miss_rate,
+                  100.0 * o.way_coverage, 100.0 * o.total_pj / base_e,
+                  100.0 * static_cast<double>(o.cycles) / base_c);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Observations (matching paper Sec. VI-D):\n"
+      " * streaming benchmarks gain almost nothing from MALEC's parallel\n"
+      "   banks — latency dominates, not port bandwidth;\n"
+      " * way-determination coverage collapses (uTLB/WT churn), so the\n"
+      "   MALEC_noWayDet variant shows how much the WT machinery costs\n"
+      "   when it cannot help — the run-time cache-bypass schemes the\n"
+      "   paper cites would disable it for exactly these phases.\n");
+  return 0;
+}

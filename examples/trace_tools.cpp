@@ -1,0 +1,126 @@
+// Trace tooling around the public trace API:
+//
+//   trace_tools gen <benchmark> <N> <file>   capture a synthetic stream
+//   trace_tools analyze <file>               Fig.1-style locality report
+//   trace_tools run <file> [config]          simulate a captured trace
+//
+// Captured traces are the bridge to real-simulator integration: any tool
+// that writes the (documented) record format in trace_io.h can drive the
+// full MALEC stack instead of the synthetic workload models.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "cpu/core_model.h"
+#include "energy/energy_account.h"
+#include "sim/presets.h"
+#include "sim/structures.h"
+#include "trace/locality_analyzer.h"
+#include "trace/synth_generator.h"
+#include "trace/trace_io.h"
+#include "trace/workloads.h"
+
+namespace {
+
+using namespace malec;
+
+int cmdGen(const std::string& bench, std::uint64_t n,
+           const std::string& path) {
+  if (!trace::hasWorkload(bench)) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
+    return 1;
+  }
+  trace::SyntheticTraceGenerator gen(trace::workloadByName(bench),
+                                     AddressLayout{}, n, /*seed=*/1);
+  trace::TraceWriter w(path);
+  if (!w.ok()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  trace::InstrRecord r;
+  while (gen.next(r)) w.write(r);
+  if (!w.close()) {
+    std::fprintf(stderr, "write failure on %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %llu records to %s\n",
+              static_cast<unsigned long long>(w.written()), path.c_str());
+  return 0;
+}
+
+int cmdAnalyze(const std::string& path) {
+  trace::TraceReader rd(path);
+  if (!rd.ok()) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  const AddressLayout layout;
+  trace::LocalityAnalyzer an(layout);
+  trace::InstrRecord r;
+  std::uint64_t mem = 0, total = 0;
+  while (rd.next(r)) {
+    an.observe(r);
+    ++total;
+    mem += r.isMem();
+  }
+  std::printf("%llu records, %.1f%% memory references\n",
+              static_cast<unsigned long long>(total),
+              100.0 * static_cast<double>(mem) / static_cast<double>(total));
+  std::printf("%-6s %10s %10s\n", "x", "followed%", "grp>8%");
+  for (const auto& g : an.pageGroups())
+    std::printf("%-6u %10.1f %10.1f\n", g.allowed_intermediates,
+                100 * g.frac_followed, 100 * g.frac_group_gt8);
+  std::printf("same-line follow rate: %.1f%%\n",
+              100 * an.sameLineFollowedFraction());
+  return 0;
+}
+
+int cmdRun(const std::string& path, const std::string& cfg_name) {
+  trace::TraceReader rd(path);
+  if (!rd.ok()) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  core::InterfaceConfig cfg;
+  if (cfg_name == "Base1ldst") cfg = sim::presetBase1ldst();
+  else if (cfg_name == "Base2ld1st") cfg = sim::presetBase2ld1st();
+  else cfg = sim::presetMalec();
+
+  const core::SystemConfig sys = sim::defaultSystem();
+  energy::EnergyAccount ea;
+  sim::defineEnergies(ea, cfg, sys);
+  auto ifc = sim::makeInterface(cfg, sys, ea);
+  cpu::CoreModel core(sys, cfg, rd, *ifc);
+  const auto st = core.run();
+
+  std::printf("%s on %s: %llu instr, %llu cycles, IPC %.2f\n",
+              cfg.name.c_str(), path.c_str(),
+              static_cast<unsigned long long>(st.instructions),
+              static_cast<unsigned long long>(st.cycles), st.ipc());
+  std::printf("dynamic %.3f uJ, leakage %.3f uJ, way coverage %.1f%%\n",
+              ea.dynamicPj() * 1e-6,
+              ea.leakagePj(st.cycles, sys.clock_ghz) * 1e-6,
+              100.0 * ifc->stats().wayCoverage());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 5 && std::strcmp(argv[1], "gen") == 0)
+    return cmdGen(argv[2], std::strtoull(argv[3], nullptr, 10), argv[4]);
+  if (argc >= 3 && std::strcmp(argv[1], "analyze") == 0)
+    return cmdAnalyze(argv[2]);
+  if (argc >= 3 && std::strcmp(argv[1], "run") == 0)
+    return cmdRun(argv[2], argc >= 4 ? argv[3] : "MALEC");
+
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s gen <benchmark> <N> <file>\n"
+               "  %s analyze <file>\n"
+               "  %s run <file> [Base1ldst|Base2ld1st|MALEC]\n",
+               argv[0], argv[0], argv[0]);
+  return 2;
+}

@@ -1,0 +1,41 @@
+#include "common/address.h"
+
+namespace malec {
+
+std::uint32_t log2Exact(std::uint64_t v) {
+  MALEC_CHECK_MSG(isPow2(v), "value must be a non-zero power of two");
+  std::uint32_t b = 0;
+  while ((v >> b) != 1) ++b;
+  return b;
+}
+
+AddressLayout::AddressLayout(const Params& p) : p_(p) {
+  MALEC_CHECK(isPow2(p.page_bytes));
+  MALEC_CHECK(isPow2(p.line_bytes));
+  MALEC_CHECK(isPow2(p.sub_block_bytes));
+  MALEC_CHECK(isPow2(p.l1_bytes));
+  MALEC_CHECK(isPow2(p.l1_assoc));
+  MALEC_CHECK(isPow2(p.l1_banks));
+  MALEC_CHECK(p.line_bytes < p.page_bytes);
+  MALEC_CHECK(p.sub_block_bytes <= p.line_bytes);
+  MALEC_CHECK(p.addr_bits >= 20 && p.addr_bits <= 48);
+
+  page_offset_bits_ = log2Exact(p.page_bytes);
+  line_offset_bits_ = log2Exact(p.line_bytes);
+  sub_block_bits_ = log2Exact(p.sub_block_bytes);
+  lines_per_page_ = p.page_bytes / p.line_bytes;
+  sub_blocks_per_line_ = p.line_bytes / p.sub_block_bytes;
+
+  const std::uint32_t total_lines = p.l1_bytes / p.line_bytes;
+  MALEC_CHECK_MSG(total_lines % p.l1_assoc == 0,
+                  "L1 capacity must divide evenly into ways");
+  l1_sets_ = total_lines / p.l1_assoc;
+  MALEC_CHECK(isPow2(l1_sets_));
+  MALEC_CHECK_MSG(l1_sets_ % p.l1_banks == 0,
+                  "sets must divide evenly across banks");
+  l1_sets_per_bank_ = l1_sets_ / p.l1_banks;
+  bank_bits_ = log2Exact(p.l1_banks);
+  set_bits_ = log2Exact(l1_sets_);
+}
+
+}  // namespace malec

@@ -1,0 +1,83 @@
+// Fixed-capacity FIFO used for hardware-like buffers (Input Buffer slots,
+// last-entry FIFO, MSHR lists). Capacity is a construction-time parameter so
+// the sensitivity benches can sweep structure sizes.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/check.h"
+
+namespace malec {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    MALEC_CHECK(capacity > 0);
+  }
+
+  [[nodiscard]] bool full() const { return q_.size() >= capacity_; }
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t freeSlots() const { return capacity_ - q_.size(); }
+
+  /// Push to the back; returns false (and drops nothing) when full.
+  bool tryPush(T v) {
+    if (full()) return false;
+    q_.push_back(std::move(v));
+    return true;
+  }
+
+  /// Push that asserts there is room (for callers that checked full()).
+  void push(T v) {
+    MALEC_CHECK_MSG(!full(), "BoundedQueue overflow");
+    q_.push_back(std::move(v));
+  }
+
+  [[nodiscard]] T& front() {
+    MALEC_CHECK(!empty());
+    return q_.front();
+  }
+  [[nodiscard]] const T& front() const {
+    MALEC_CHECK(!empty());
+    return q_.front();
+  }
+
+  T pop() {
+    MALEC_CHECK(!empty());
+    T v = std::move(q_.front());
+    q_.pop_front();
+    return v;
+  }
+
+  /// Indexed access front==0 (needed by priority scans over buffer slots).
+  [[nodiscard]] T& at(std::size_t i) {
+    MALEC_CHECK(i < q_.size());
+    return q_[i];
+  }
+  [[nodiscard]] const T& at(std::size_t i) const {
+    MALEC_CHECK(i < q_.size());
+    return q_[i];
+  }
+
+  /// Remove element at index i (front==0), preserving order.
+  void erase(std::size_t i) {
+    MALEC_CHECK(i < q_.size());
+    q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+
+  void clear() { q_.clear(); }
+
+  auto begin() { return q_.begin(); }
+  auto end() { return q_.end(); }
+  auto begin() const { return q_.begin(); }
+  auto end() const { return q_.end(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> q_;
+};
+
+}  // namespace malec

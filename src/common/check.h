@@ -1,0 +1,38 @@
+// Lightweight invariant checking used across the simulator.
+//
+// MALEC_CHECK is always on (simulator correctness beats raw speed for this
+// reproduction); MALEC_DCHECK compiles out in NDEBUG builds and is meant for
+// hot-path assertions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace malec::detail {
+
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "MALEC_CHECK failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace malec::detail
+
+#define MALEC_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) ::malec::detail::checkFailed(#expr, __FILE__, __LINE__,   \
+                                              nullptr);                    \
+  } while (false)
+
+#define MALEC_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) ::malec::detail::checkFailed(#expr, __FILE__, __LINE__,   \
+                                              (msg));                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define MALEC_DCHECK(expr) ((void)0)
+#else
+#define MALEC_DCHECK(expr) MALEC_CHECK(expr)
+#endif

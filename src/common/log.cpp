@@ -1,0 +1,37 @@
+#include "common/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace malec {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel logLevel() { return g_level; }
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] ", levelName(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace malec

@@ -1,0 +1,24 @@
+// Minimal leveled logging. Simulation-scale runs keep this at Warn; unit
+// tests and examples may raise verbosity for tracing individual accesses.
+#pragma once
+
+#include <string>
+
+namespace malec {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold (default Warn).
+void setLogLevel(LogLevel level);
+[[nodiscard]] LogLevel logLevel();
+
+/// printf-style logging gated on the global level.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace malec
+
+#define MALEC_LOG_DEBUG(...) ::malec::logf(::malec::LogLevel::Debug, __VA_ARGS__)
+#define MALEC_LOG_INFO(...) ::malec::logf(::malec::LogLevel::Info, __VA_ARGS__)
+#define MALEC_LOG_WARN(...) ::malec::logf(::malec::LogLevel::Warn, __VA_ARGS__)
+#define MALEC_LOG_ERROR(...) ::malec::logf(::malec::LogLevel::Error, __VA_ARGS__)

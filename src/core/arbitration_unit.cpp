@@ -1,0 +1,87 @@
+#include "core/arbitration_unit.h"
+
+#include "common/check.h"
+
+namespace malec::core {
+
+std::uint64_t ArbitrationUnit::mergeKey(Addr vaddr) const {
+  const std::uint64_t line = p_.layout.lineAddr(vaddr);
+  const std::uint64_t sub = p_.subblocked_pair_read
+                                ? p_.layout.subBlockPairOf(vaddr)
+                                : p_.layout.subBlockOf(vaddr);
+  return line * p_.layout.subBlocksPerLine() + sub;
+}
+
+ArbOutcome ArbitrationUnit::arbitrate(
+    const std::vector<ArbCandidate>& candidates) const {
+  ArbOutcome out;
+  out.action.assign(candidates.size(), ArbOutcome::Action::kHeld);
+  out.winner_of.assign(candidates.size(), 0);
+
+  const std::uint32_t banks = p_.layout.l1Banks();
+  std::vector<bool> bank_used(banks, false);
+
+  struct Winner {
+    std::size_t cand_index;
+    std::uint64_t key;
+  };
+  std::vector<Winner> winners;
+  std::uint32_t buses_used = 0;
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const ArbCandidate& c = candidates[i];
+    if (c.is_mbe) continue;  // handled after loads
+
+    if (buses_used >= p_.result_buses) {
+      ++out.bus_rejects;
+      continue;  // kHeld
+    }
+
+    const std::uint64_t key = mergeKey(c.vaddr);
+    // Try to merge with an existing winner: only the merge_window loads
+    // consecutive to the winner are compared (Sec. IV).
+    bool merged = false;
+    if (p_.merge_loads) {
+      for (const Winner& w : winners) {
+        if (i <= w.cand_index || i - w.cand_index > p_.merge_window) continue;
+        ++out.compares;
+        if (w.key == key) {
+          out.action[i] = ArbOutcome::Action::kMerged;
+          out.winner_of[i] = w.cand_index;
+          ++buses_used;
+          merged = true;
+          break;
+        }
+      }
+    }
+    if (merged) continue;
+
+    const BankIdx bank = p_.layout.bankOf(c.vaddr);
+    if (bank_used[bank]) {
+      ++out.bank_conflicts;
+      continue;  // kHeld — single-ported bank already claimed
+    }
+    bank_used[bank] = true;
+    out.action[i] = ArbOutcome::Action::kWinner;
+    winners.push_back(Winner{i, key});
+    ++buses_used;
+  }
+
+  // MBE: serviced when its bank port is free; needs no result bus.
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!candidates[i].is_mbe) continue;
+    const BankIdx bank = p_.layout.bankOf(candidates[i].vaddr);
+    if (!bank_used[bank]) {
+      bank_used[bank] = true;
+      out.action[i] = ArbOutcome::Action::kWinner;
+      out.mbe = i;
+    } else {
+      ++out.bank_conflicts;
+    }
+    break;  // at most one MBE per group
+  }
+
+  return out;
+}
+
+}  // namespace malec::core

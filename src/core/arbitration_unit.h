@@ -1,0 +1,78 @@
+// Arbitration Unit (paper Sec. IV, Fig. 2).
+//
+// Takes the cycle's page group (priority-ordered accesses all sharing one
+// page) and decides which are serviced: one access per single-ported cache
+// bank, same-line loads merged onto one data read (only the loads
+// consecutive to the winning entry within a small window are examined —
+// the paper uses 3, costing < 0.5 % performance), and at most
+// `result_buses` loads delivered per cycle. Because the whole group shares
+// a page ID, the merge comparators are only pageOffset-wide minus the line
+// offset (narrow, fast and cheap). The MBE (a cache write) is serviced when
+// its bank's port is not claimed by a load.
+//
+// With sub-blocked data arrays MALEC reads two adjacent 128-bit sub-blocks
+// per access, so loads merge when they fall in the same sub-block *pair*
+// (doubling merge probability relative to single-sub-block reads).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/address.h"
+#include "common/types.h"
+
+namespace malec::core {
+
+struct ArbCandidate {
+  std::size_t ib_index = 0;  ///< caller's reference (input-buffer index)
+  Addr vaddr = 0;
+  std::uint8_t size = 0;
+  bool is_mbe = false;
+};
+
+struct ArbOutcome {
+  enum class Action : std::uint8_t {
+    kWinner,  ///< performs the L1 access for its line
+    kMerged,  ///< shares a winner's data read
+    kHeld,    ///< stays in the Input Buffer for a later cycle
+  };
+  /// Per input candidate, aligned with the call's `candidates`.
+  std::vector<Action> action;
+  /// For kMerged candidates: index (into `candidates`) of their winner.
+  std::vector<std::size_t> winner_of;
+  /// Serviced MBE candidate index, if any.
+  std::optional<std::size_t> mbe;
+  std::uint32_t bank_conflicts = 0;
+  std::uint32_t bus_rejects = 0;
+  /// Narrow comparator activations performed (informational).
+  std::uint32_t compares = 0;
+};
+
+class ArbitrationUnit {
+ public:
+  struct Params {
+    AddressLayout layout{};
+    std::uint32_t result_buses = 3;
+    std::uint32_t merge_window = 3;
+    bool merge_loads = true;
+    bool subblocked_pair_read = true;
+  };
+
+  explicit ArbitrationUnit(const Params& p) : p_(p) {}
+
+  /// Arbitrate one page group. `candidates` must be in priority order
+  /// (loads oldest-first, MBE last — InputBuffer::group() order).
+  [[nodiscard]] ArbOutcome arbitrate(
+      const std::vector<ArbCandidate>& candidates) const;
+
+  [[nodiscard]] const Params& params() const { return p_; }
+
+ private:
+  /// Merge granularity key: sub-block pair (default) or single sub-block.
+  [[nodiscard]] std::uint64_t mergeKey(Addr vaddr) const;
+
+  Params p_;
+};
+
+}  // namespace malec::core

@@ -1,0 +1,84 @@
+// Baseline L1 data-memory interfaces (paper Table I):
+//
+//   * Base1ldst  — 1 load OR store address per cycle, single-ported uTLB/
+//                  TLB and cache (1 rd/wt port): the energy-oriented design.
+//   * Base2ld1st — 2 loads + 1 store per cycle through physical
+//                  multi-porting (uTLB/TLB: 1 rd/wt + 2 rd; cache:
+//                  1 rd/wt + 1 rd) on top of banking: the performance-
+//                  oriented design.
+//
+// Every load translates individually (multi-ported TLBs) and performs a
+// conventional cache access (no way determination). Stores drain through
+// the same Store Buffer / Merge Buffer path as MALEC; evicted MB entries
+// compete with loads for the cache's rd/wt port.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "core/interface_config.h"
+#include "core/mem_interface.h"
+#include "core/translation_engine.h"
+#include "energy/energy_account.h"
+#include "lsq/merge_buffer.h"
+#include "lsq/store_buffer.h"
+#include "mem/l1_cache.h"
+#include "mem/l2_cache.h"
+#include "mem/memory_hierarchy.h"
+
+namespace malec::core {
+
+class BaselineInterface final : public MemInterface {
+ public:
+  BaselineInterface(const InterfaceConfig& cfg, const SystemConfig& sys,
+                    energy::EnergyAccount& ea);
+
+  void beginCycle(Cycle now) override;
+  [[nodiscard]] bool canAcceptLoad() const override;
+  [[nodiscard]] bool canAcceptStore() const override;
+  bool submit(const MemOp& op) override;
+  void notifyStoreCommit(SeqNum seq) override;
+  void endCycle(Cycle now) override;
+  void drainCompletions(Cycle now, std::vector<SeqNum>& out) override;
+  [[nodiscard]] bool quiesced() const override;
+  [[nodiscard]] const InterfaceStats& stats() const override { return stats_; }
+
+  [[nodiscard]] const TranslationEngine& engine() const { return engine_; }
+  [[nodiscard]] const mem::L1Cache& l1() const { return l1_; }
+  [[nodiscard]] const mem::MemoryHierarchy& hierarchy() const { return hier_; }
+  [[nodiscard]] const lsq::StoreBuffer& storeBuffer() const { return sb_; }
+  [[nodiscard]] const lsq::MergeBuffer& mergeBuffer() const { return mb_; }
+
+ private:
+  void drainStoreBuffer();
+  void serviceLoads(Cycle now);
+  Cycle accessL1Load(const MemOp& op, Addr paddr, Cycle now);
+  void accessL1Write(Addr vaddr, Cycle now);
+
+  /// Loads serviceable this cycle given the port organisation.
+  [[nodiscard]] std::uint32_t loadPortsPerCycle() const;
+
+  InterfaceConfig cfg_;
+  SystemConfig sys_;
+  energy::EnergyAccount& ea_;
+
+  mem::L1Cache l1_;
+  mem::L2Cache l2_;
+  mem::MemoryHierarchy hier_;
+  TranslationEngine engine_;
+  lsq::StoreBuffer sb_;
+  lsq::MergeBuffer mb_;
+
+  /// Loads waiting for a cache port (small backlog from MBE-write cycles).
+  std::vector<MemOp> pending_loads_;
+  std::optional<lsq::MergeBuffer::Entry> pending_mbe_;
+
+  using Ready = std::pair<Cycle, SeqNum>;
+  std::priority_queue<Ready, std::vector<Ready>, std::greater<>> completions_;
+
+  InterfaceStats stats_;
+  Cycle now_ = 0;
+};
+
+}  // namespace malec::core

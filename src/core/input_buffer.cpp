@@ -1,0 +1,110 @@
+#include "core/input_buffer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace malec::core {
+
+InputBuffer::InputBuffer(std::uint32_t carry_slots, std::uint32_t agu_slots,
+                         std::uint32_t group_comparators,
+                         AddressLayout layout)
+    : carry_slots_(carry_slots),
+      agu_slots_(agu_slots),
+      group_comparators_(group_comparators),
+      layout_(layout) {
+  MALEC_CHECK(agu_slots >= 1);
+}
+
+std::size_t InputBuffer::loadCount() const {
+  std::size_t n = 0;
+  for (const Entry& e : entries_)
+    if (!e.is_mbe) ++n;
+  return n;
+}
+
+bool InputBuffer::hasLoadSpace() const {
+  return loadCount() < carry_slots_ + agu_slots_;
+}
+
+bool InputBuffer::hasMbeSpace() const {
+  return std::none_of(entries_.begin(), entries_.end(),
+                      [](const Entry& e) { return e.is_mbe; });
+}
+
+bool InputBuffer::overCommitted(Cycle now) const {
+  std::size_t carried = 0;
+  for (const Entry& e : entries_)
+    if (!e.is_mbe && e.arrival < now) ++carried;
+  return carried > carry_slots_;
+}
+
+void InputBuffer::addLoad(const MemOp& op, Cycle now) {
+  MALEC_CHECK_MSG(hasLoadSpace(), "InputBuffer load overflow");
+  MALEC_CHECK(op.is_load);
+  entries_.push_back(Entry{op, false, now, now, next_order_++});
+}
+
+void InputBuffer::addMbe(const MemOp& op, Cycle now) {
+  MALEC_CHECK_MSG(hasMbeSpace(), "second MBE in InputBuffer");
+  MALEC_CHECK(!op.is_load);
+  entries_.push_back(Entry{op, true, now, now, next_order_++});
+}
+
+std::optional<std::size_t> InputBuffer::selectHead(Cycle now) const {
+  // Loads in age order first; the MBE is always lowest priority (its
+  // stores already committed, Sec. IV).
+  std::optional<std::size_t> mbe;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (e.not_before > now) continue;
+    if (e.is_mbe) {
+      mbe = i;
+      continue;
+    }
+    return i;
+  }
+  return mbe;
+}
+
+std::vector<std::size_t> InputBuffer::group(std::size_t head,
+                                            Cycle now) const {
+  MALEC_CHECK(head < entries_.size());
+  const PageId page = layout_.pageId(entries_[head].op.vaddr);
+  std::vector<std::size_t> g;
+  g.push_back(head);
+  std::uint32_t compared = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i == head) continue;
+    if (compared >= group_comparators_) break;
+    ++compared;  // every remaining valid entry consumes a comparator
+    const Entry& e = entries_[i];
+    if (e.not_before > now) continue;
+    if (layout_.pageId(e.op.vaddr) == page) g.push_back(i);
+  }
+  // Keep priority order: loads by order, MBE last.
+  std::sort(g.begin(), g.end(), [this](std::size_t a, std::size_t b) {
+    if (entries_[a].is_mbe != entries_[b].is_mbe)
+      return entries_[b].is_mbe;
+    return entries_[a].order < entries_[b].order;
+  });
+  return g;
+}
+
+void InputBuffer::defer(std::size_t index, Cycle until) {
+  MALEC_CHECK(index < entries_.size());
+  entries_[index].not_before = until;
+}
+
+void InputBuffer::remove(const std::vector<std::size_t>& indices) {
+  std::vector<std::size_t> sorted = indices;
+  std::sort(sorted.begin(), sorted.end());
+  MALEC_DCHECK(std::adjacent_find(sorted.begin(), sorted.end()) ==
+               sorted.end());
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    MALEC_CHECK(*it < entries_.size());
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+}
+
+}  // namespace malec::core

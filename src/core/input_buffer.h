@@ -1,0 +1,82 @@
+// Input Buffer: the entry stage of Page-Based Memory Access Grouping
+// (paper Sec. IV, Fig. 2).
+//
+// Holds, in priority order: loads carried over from previous cycles, loads
+// finishing address computation this cycle, and at most one evicted Merge
+// Buffer entry (lowest priority — its stores already committed). Each cycle
+// the highest-priority *ready* entry becomes the head; its virtual page ID
+// is sent to the uTLB and simultaneously compared (by a small bank of
+// page-wide comparators) against the other valid entries. Matching entries
+// form the cycle's page group and proceed to the Arbitration Unit.
+//
+// If more loads need carrying than the carry capacity allows, the address
+// computation units stall (canAcceptLoad() turns false).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/address.h"
+#include "common/types.h"
+#include "core/mem_interface.h"
+
+namespace malec::core {
+
+class InputBuffer {
+ public:
+  struct Entry {
+    MemOp op;
+    bool is_mbe = false;
+    /// Entry not selectable before this cycle (pending TLB access / walk).
+    Cycle not_before = 0;
+    /// Cycle the entry entered the buffer.
+    Cycle arrival = 0;
+    std::uint64_t order = 0;  ///< global priority: lower = older = higher
+  };
+
+  InputBuffer(std::uint32_t carry_slots, std::uint32_t agu_slots,
+              std::uint32_t group_comparators, AddressLayout layout);
+
+  /// Can another load enter this cycle? (carry + AGU slots not exhausted)
+  [[nodiscard]] bool hasLoadSpace() const;
+  /// Is the single MBE slot free?
+  [[nodiscard]] bool hasMbeSpace() const;
+
+  void addLoad(const MemOp& op, Cycle now);
+  void addMbe(const MemOp& op, Cycle now);
+
+  /// Highest-priority entry index ready at `now`, or nullopt if idle.
+  [[nodiscard]] std::optional<std::size_t> selectHead(Cycle now) const;
+
+  /// Indices (into entries(), priority order, head first) of the head's
+  /// page group: entries sharing the head's vPageID among the first
+  /// `group_comparators` ready candidates (hardware comparator limit).
+  [[nodiscard]] std::vector<std::size_t> group(std::size_t head,
+                                               Cycle now) const;
+
+  /// Defer an entry (TLB access or page walk in flight).
+  void defer(std::size_t index, Cycle until);
+
+  /// Remove serviced entries (indices into entries(); any order).
+  void remove(const std::vector<std::size_t>& indices);
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t loadCount() const;
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  /// True when loads carried over from earlier cycles exceed the carry
+  /// capacity — the address-computation units must stall (paper Sec. IV:
+  /// "should the Input Buffer's storage elements be insufficient, one or
+  /// more address computation units are stalled").
+  [[nodiscard]] bool overCommitted(Cycle now) const;
+
+ private:
+  std::uint32_t carry_slots_;
+  std::uint32_t agu_slots_;
+  std::uint32_t group_comparators_;
+  AddressLayout layout_;
+  std::vector<Entry> entries_;  ///< kept sorted by order (oldest first)
+  std::uint64_t next_order_ = 0;
+};
+
+}  // namespace malec::core

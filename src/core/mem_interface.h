@@ -1,0 +1,93 @@
+// Abstract L1 data-memory interface as seen by the out-of-order core.
+//
+// Concrete implementations: MalecInterface (Page-Based Access Grouping) and
+// BaselineInterface (Base1ldst / Base2ld1st port models). The core submits
+// memory operations as their address computations finish and receives load
+// completions; stores complete architecturally at commit via
+// notifyStoreCommit, after which the interface drains them through the
+// Store Buffer and Merge Buffer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace malec::core {
+
+/// A memory operation handed over by an address-computation unit.
+struct MemOp {
+  SeqNum seq = 0;
+  bool is_load = true;
+  Addr vaddr = 0;
+  std::uint8_t size = 8;
+};
+
+/// Aggregate behavioural counters every interface maintains.
+struct InterfaceStats {
+  std::uint64_t loads_submitted = 0;
+  std::uint64_t stores_submitted = 0;
+
+  std::uint64_t load_l1_accesses = 0;  ///< actual L1 reads (after fwd/merge)
+  std::uint64_t load_l1_hits = 0;
+  std::uint64_t load_l1_misses = 0;
+  std::uint64_t write_l1_accesses = 0;  ///< MBE writes reaching the cache
+  std::uint64_t write_l1_misses = 0;
+
+  std::uint64_t reduced_accesses = 0;       ///< tag arrays bypassed
+  std::uint64_t conventional_accesses = 0;  ///< full lookup
+  std::uint64_t way_lookups = 0;            ///< way-determination queries
+  std::uint64_t way_known = 0;              ///< ... answered with a valid way
+
+  std::uint64_t merged_loads = 0;  ///< loads sharing another load's L1 read
+  std::uint64_t sb_forwards = 0;
+  std::uint64_t mb_forwards = 0;
+
+  std::uint64_t groups = 0;         ///< page groups formed (MALEC)
+  std::uint64_t group_entries = 0;  ///< accesses serviced via groups
+  std::uint64_t ib_hold_events = 0; ///< entries held for a later cycle
+  std::uint64_t ib_stall_cycles = 0;
+  std::uint64_t bank_conflicts = 0;
+  std::uint64_t bus_rejects = 0;
+  std::uint64_t port_conflicts = 0;
+  std::uint64_t mbe_writes = 0;
+
+  [[nodiscard]] double wayCoverage() const {
+    return way_lookups == 0
+               ? 0.0
+               : static_cast<double>(way_known) /
+                     static_cast<double>(way_lookups);
+  }
+};
+
+class MemInterface {
+ public:
+  virtual ~MemInterface() = default;
+
+  /// Start-of-cycle housekeeping (reset port budgets, accept MB evictions).
+  virtual void beginCycle(Cycle now) = 0;
+
+  /// May the core submit another load/store this cycle? (structural space)
+  [[nodiscard]] virtual bool canAcceptLoad() const = 0;
+  [[nodiscard]] virtual bool canAcceptStore() const = 0;
+
+  /// Hand over an op whose address computation finished this cycle.
+  /// Returns false on a structural hazard (caller retries next cycle).
+  virtual bool submit(const MemOp& op) = 0;
+
+  /// ROB committed this store; it may drain towards the cache.
+  virtual void notifyStoreCommit(SeqNum seq) = 0;
+
+  /// End-of-cycle: translation, arbitration and L1 access for this cycle.
+  virtual void endCycle(Cycle now) = 0;
+
+  /// Collect loads whose data is available at `now`.
+  virtual void drainCompletions(Cycle now, std::vector<SeqNum>& out) = 0;
+
+  /// No in-flight work left (used to drain the pipeline at end of run).
+  [[nodiscard]] virtual bool quiesced() const = 0;
+
+  [[nodiscard]] virtual const InterfaceStats& stats() const = 0;
+};
+
+}  // namespace malec::core

@@ -1,0 +1,199 @@
+#include "core/translation_engine.h"
+
+#include "common/check.h"
+#include "waydet/way_info.h"
+
+namespace malec::core {
+
+namespace {
+tlb::Tlb::Params utlbParams(const TranslationEngine::Params& p) {
+  tlb::Tlb::Params tp;
+  tp.entries = p.utlb_entries;
+  // Second chance keeps hot pages resident, minimising full-entry uWT->WT
+  // writebacks (paper Sec. V).
+  tp.replacement = mem::ReplacementKind::kSecondChance;
+  tp.seed = p.seed * 3 + 1;
+  return tp;
+}
+
+tlb::Tlb::Params tlbParams(const TranslationEngine::Params& p) {
+  tlb::Tlb::Params tp;
+  tp.entries = p.tlb_entries;
+  tp.replacement = mem::ReplacementKind::kRandom;
+  tp.seed = p.seed * 5 + 2;
+  return tp;
+}
+}  // namespace
+
+TranslationEngine::TranslationEngine(const Params& p,
+                                     energy::EnergyAccount& ea)
+    : p_(p),
+      ea_(ea),
+      pt_(/*phys_pages=*/65536, p.seed * 7 + 3),
+      utlb_(utlbParams(p)),
+      tlb_(tlbParams(p)),
+      uwt_(p.utlb_entries, p.layout.linesPerPage(), p.layout.l1Banks(),
+           p.layout.l1Assoc()),
+      wt_(p.tlb_entries, p.layout.linesPerPage(), p.layout.l1Banks(),
+          p.layout.l1Assoc()),
+      last_entry_(p.last_entry_depth) {
+  pt_.setWalkLatency(p.walk_latency);
+
+  // uTLB eviction: write the (possibly updated) uWT entry back to the WT if
+  // the page is still TLB-resident; otherwise the way information is lost.
+  utlb_.setEvictCallback([this](std::uint32_t slot) {
+    if (!p_.way_tables) return;
+    const PageId vpage = utlb_.entry(slot).vpage;
+    if (auto tlb_slot = tlb_.probeV(vpage); tlb_slot.has_value()) {
+      wt_.setEntryCodes(*tlb_slot, uwt_.entryCodes(slot));
+      ea_.count("wt.write");
+    }
+    uwt_.invalidateSlot(slot);
+  });
+
+  // TLB eviction invalidates the WT entry and any shadowing uTLB/uWT slot
+  // (Fig. 3 note: "update uTLB&uWT on ... TLB evictions").
+  tlb_.setEvictCallback([this](std::uint32_t slot) {
+    if (p_.way_tables) wt_.invalidateSlot(slot);
+    const PageId vpage = tlb_.entry(slot).vpage;
+    if (auto uslot = utlb_.probeV(vpage); uslot.has_value()) {
+      if (p_.way_tables) uwt_.invalidateSlot(*uslot);
+      utlb_.invalidate(*uslot);
+    }
+  });
+}
+
+void TranslationEngine::installIntoUtlb(PageId vpage, PageId ppage,
+                                        std::uint32_t tlb_slot,
+                                        bool tlb_entry_fresh) {
+  const std::uint32_t uslot = utlb_.insert(vpage, ppage);
+  if (!p_.way_tables) return;
+  if (tlb_entry_fresh) {
+    // Newly walked page: no way information exists yet.
+    uwt_.invalidateSlot(uslot);
+  } else {
+    // Copy the WT entry alongside the translation (Fig. 3 note 1).
+    uwt_.setEntryCodes(uslot, wt_.entryCodes(tlb_slot));
+    ea_.count("wt.read");
+    ea_.count("uwt.write");
+  }
+}
+
+TranslationEngine::Result TranslationEngine::translate(PageId vpage) {
+  Result r;
+  ea_.count("utlb.search");
+  if (auto uslot = utlb_.lookupV(vpage); uslot.has_value()) {
+    r.utlb_hit = true;
+    r.ppage = utlb_.entry(*uslot).ppage;
+    r.uwt_slot = *uslot;
+    r.extra_latency = 0;
+    if (p_.way_tables && !suspended_) {
+      ea_.count("uwt.read");
+      last_entry_.push(*uslot, vpage);
+    }
+    return r;
+  }
+
+  ea_.count("tlb.search");
+  if (auto tslot = tlb_.lookupV(vpage); tslot.has_value()) {
+    r.tlb_hit = true;
+    r.ppage = tlb_.entry(*tslot).ppage;
+    r.extra_latency = 1;
+    installIntoUtlb(vpage, r.ppage, *tslot, /*tlb_entry_fresh=*/false);
+    const auto uslot = utlb_.probeV(vpage);
+    MALEC_CHECK(uslot.has_value());
+    r.uwt_slot = *uslot;
+    if (p_.way_tables) last_entry_.push(*uslot, vpage);
+    return r;
+  }
+
+  // Page walk.
+  r.ppage = pt_.translate(vpage);
+  r.extra_latency = pt_.walkLatency();
+  const std::uint32_t tslot = tlb_.insert(vpage, r.ppage);
+  if (p_.way_tables) wt_.invalidateSlot(tslot);
+  installIntoUtlb(vpage, r.ppage, tslot, /*tlb_entry_fresh=*/true);
+  const auto uslot = utlb_.probeV(vpage);
+  MALEC_CHECK(uslot.has_value());
+  r.uwt_slot = *uslot;
+  if (p_.way_tables) last_entry_.push(*uslot, vpage);
+  return r;
+}
+
+void TranslationEngine::setSuspended(bool suspended) {
+  if (suspended_ == suspended) return;
+  suspended_ = suspended;
+  if (!suspended) {
+    // Way information accumulated before the bypass window is stale: the
+    // cache changed underneath without validity maintenance. Flush.
+    for (std::uint32_t s = 0; s < p_.utlb_entries; ++s)
+      uwt_.invalidateSlot(s);
+    for (std::uint32_t s = 0; s < p_.tlb_entries; ++s)
+      wt_.invalidateSlot(s);
+    last_entry_.clear();
+  }
+}
+
+WayIdx TranslationEngine::wayFor(std::uint32_t uwt_slot, Addr vaddr) {
+  if (!p_.way_tables || suspended_) return kWayUnknown;
+  ++way_lookups_;
+  const std::uint32_t salt = utlb_.entry(uwt_slot).ppage;
+  const WayIdx way =
+      uwt_.lookup(uwt_slot, p_.layout.lineInPage(vaddr), salt);
+  if (way != kWayUnknown) ++way_known_;
+  return way;
+}
+
+void TranslationEngine::feedbackConventionalHit(PageId vpage, Addr vaddr,
+                                                WayIdx way) {
+  if (!p_.way_tables || !p_.last_entry_feedback || suspended_) return;
+  MALEC_DCHECK(way != kWayUnknown);
+  const auto slot = last_entry_.match(vpage);
+  if (!slot.has_value()) return;
+  // The slot must still map the same page (second-chance replacement makes
+  // displacement while in the FIFO unlikely but possible).
+  const auto& e = utlb_.entry(*slot);
+  if (!e.valid || e.vpage != vpage) return;
+  uwt_.record(*slot, p_.layout.lineInPage(vaddr), e.ppage,
+              static_cast<std::uint32_t>(way));
+  ea_.count("uwt.write");
+  ++feedbacks_;
+}
+
+void TranslationEngine::onLineFill(Addr paddr_line_base, WayIdx way) {
+  if (!p_.way_tables || suspended_) return;
+  MALEC_DCHECK(way != kWayUnknown);
+  const PageId ppage = p_.layout.pageId(paddr_line_base);
+  const std::uint32_t line = p_.layout.lineInPage(paddr_line_base);
+  // "The WT is only updated if no corresponding uWT entry was found."
+  ea_.count("utlb.psearch");
+  if (auto uslot = utlb_.lookupP(ppage); uslot.has_value()) {
+    uwt_.record(*uslot, line, ppage, static_cast<std::uint32_t>(way));
+    ea_.count("uwt.write");
+    return;
+  }
+  ea_.count("tlb.psearch");
+  if (auto tslot = tlb_.lookupP(ppage); tslot.has_value()) {
+    wt_.record(*tslot, line, ppage, static_cast<std::uint32_t>(way));
+    ea_.count("wt.write");
+  }
+}
+
+void TranslationEngine::onLineEvict(Addr paddr_line_base) {
+  if (!p_.way_tables || suspended_) return;
+  const PageId ppage = p_.layout.pageId(paddr_line_base);
+  const std::uint32_t line = p_.layout.lineInPage(paddr_line_base);
+  ea_.count("utlb.psearch");
+  if (auto uslot = utlb_.lookupP(ppage); uslot.has_value()) {
+    uwt_.clearLine(*uslot, line);
+    ea_.count("uwt.write");
+    return;
+  }
+  ea_.count("tlb.psearch");
+  if (auto tslot = tlb_.lookupP(ppage); tslot.has_value()) {
+    wt_.clearLine(*tslot, line);
+    ea_.count("wt.write");
+  }
+}
+
+}  // namespace malec::core

@@ -1,0 +1,107 @@
+// Shared uTLB/TLB machinery with optional Way Tables.
+//
+// Both the baselines and MALEC translate through a 16-entry uTLB backed by
+// a 64-entry TLB (Table II). With way tables enabled (MALEC), each uTLB/TLB
+// slot carries a Way Table entry, and this engine implements the full
+// synchronisation protocol of Sec. V (see way_table.h for the rules) plus
+// the validity maintenance on cache line fills/evictions via reverse
+// physical lookups. It also counts all translation-side energy events.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/address.h"
+#include "common/types.h"
+#include "energy/energy_account.h"
+#include "tlb/page_table.h"
+#include "tlb/tlb.h"
+#include "waydet/way_table.h"
+
+namespace malec::core {
+
+class TranslationEngine {
+ public:
+  struct Params {
+    AddressLayout layout{};
+    std::uint32_t utlb_entries = 16;
+    std::uint32_t tlb_entries = 64;
+    bool way_tables = false;
+    bool last_entry_feedback = true;
+    std::uint32_t last_entry_depth = 4;
+    Cycle walk_latency = 30;
+    std::uint64_t seed = 17;
+  };
+
+  struct Result {
+    PageId ppage = 0;
+    /// Cycles beyond the uTLB-hit path: 0 (uTLB hit), 1 (TLB hit) or the
+    /// page-walk latency (TLB miss).
+    Cycle extra_latency = 0;
+    /// uTLB/uWT slot now holding the page (always valid after translate()).
+    std::uint32_t uwt_slot = 0;
+    bool utlb_hit = false;
+    bool tlb_hit = false;  ///< meaningful when !utlb_hit
+  };
+
+  TranslationEngine(const Params& p, energy::EnergyAccount& ea);
+
+  /// Translate a virtual page; installs it into uTLB (and TLB) as needed
+  /// and counts the corresponding energy events. With way tables enabled a
+  /// uTLB hit also reads the uWT entry (one read services the whole page
+  /// group, Sec. V).
+  Result translate(PageId vpage);
+
+  /// Way for a specific address given the current cycle's uWT slot.
+  /// Returns kWayUnknown without way tables. Increments coverage counters.
+  WayIdx wayFor(std::uint32_t uwt_slot, Addr vaddr);
+
+  /// A conventional access hit `way` after this engine answered "unknown":
+  /// repair the uWT through the last-entry register (no uTLB lookup).
+  void feedbackConventionalHit(PageId vpage, Addr vaddr, WayIdx way);
+
+  /// Suspend/resume way-table maintenance (run-time bypass, Sec. VI-D).
+  /// While suspended, translations skip the uWT read, way queries answer
+  /// "unknown" and fills/evictions perform no reverse lookups. Resuming
+  /// invalidates all way information (it is stale by then).
+  void setSuspended(bool suspended);
+  [[nodiscard]] bool suspended() const { return suspended_; }
+
+  /// Cache line filled into `way` — set validity (reverse lookup path).
+  void onLineFill(Addr paddr_line_base, WayIdx way);
+  /// Cache line evicted — clear validity (reverse lookup path).
+  void onLineEvict(Addr paddr_line_base);
+
+  [[nodiscard]] tlb::PageTable& pageTable() { return pt_; }
+  [[nodiscard]] const tlb::Tlb& utlb() const { return utlb_; }
+  [[nodiscard]] const tlb::Tlb& tlb() const { return tlb_; }
+  [[nodiscard]] bool wayTablesEnabled() const { return p_.way_tables; }
+
+  // --- statistics -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t wayLookups() const { return way_lookups_; }
+  [[nodiscard]] std::uint64_t wayKnown() const { return way_known_; }
+  [[nodiscard]] std::uint64_t feedbackUpdates() const { return feedbacks_; }
+
+  /// Test access to the way tables.
+  [[nodiscard]] const waydet::WayTable& wt() const { return wt_; }
+  [[nodiscard]] const waydet::WayTable& uwt() const { return uwt_; }
+
+ private:
+  void installIntoUtlb(PageId vpage, PageId ppage, std::uint32_t tlb_slot,
+                       bool tlb_entry_fresh);
+
+  Params p_;
+  energy::EnergyAccount& ea_;
+  tlb::PageTable pt_;
+  tlb::Tlb utlb_;
+  tlb::Tlb tlb_;
+  waydet::WayTable uwt_;
+  waydet::WayTable wt_;
+  waydet::LastEntryRegister last_entry_;
+  std::uint64_t way_lookups_ = 0;
+  std::uint64_t way_known_ = 0;
+  std::uint64_t feedbacks_ = 0;
+  bool suspended_ = false;
+};
+
+}  // namespace malec::core

@@ -1,0 +1,247 @@
+#include "cpu/core_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace malec::cpu {
+
+CoreModel::CoreModel(const core::SystemConfig& sys,
+                     const core::InterfaceConfig& ifc,
+                     trace::TraceSource& src, core::MemInterface& mem)
+    : sys_(sys), ifc_cfg_(ifc), src_(src), mem_(mem), lq_(sys.lq_entries) {}
+
+bool CoreModel::inRob(SeqNum seq) const {
+  return !rob_.empty() && seq >= head_seq_ &&
+         seq < head_seq_ + rob_.size();
+}
+
+CoreModel::RobEntry& CoreModel::entry(SeqNum seq) {
+  MALEC_DCHECK(inRob(seq));
+  return rob_[static_cast<std::size_t>(seq - head_seq_)];
+}
+
+void CoreModel::enqueueReady(SeqNum seq) {
+  RobEntry& e = entry(seq);
+  MALEC_DCHECK(e.pending_deps == 0);
+  switch (e.instr.kind) {
+    case trace::InstrKind::kOther:
+      ready_exec_.push_back(seq);
+      break;
+    case trace::InstrKind::kLoad:
+      ready_loads_.push_back(seq);
+      break;
+    case trace::InstrKind::kStore:
+      // Stores wait in store_order_ (program order); readiness is checked
+      // there via pending_deps == 0.
+      break;
+  }
+}
+
+void CoreModel::markCompleted(SeqNum seq) {
+  RobEntry& e = entry(seq);
+  if (e.completed) return;
+  e.completed = true;
+  auto it = dependents_.find(seq);
+  if (it == dependents_.end()) return;
+  for (SeqNum dep : it->second) {
+    if (!inRob(dep)) continue;  // dependent already retired (cannot happen
+                                // for true deps, defensive anyway)
+    RobEntry& d = entry(dep);
+    MALEC_DCHECK(d.pending_deps > 0);
+    if (--d.pending_deps == 0) enqueueReady(dep);
+  }
+  dependents_.erase(it);
+}
+
+void CoreModel::doCommit() {
+  std::uint32_t committed = 0;
+  while (committed < sys_.commit_width && !rob_.empty()) {
+    RobEntry& head = rob_.front();
+    if (head.instr.isStore()) {
+      if (!head.agu_done) break;  // store not yet buffered
+      mem_.notifyStoreCommit(head.instr.seq);
+    } else if (!head.completed) {
+      break;
+    }
+    if (head.instr.isLoad()) lq_.release(head.instr.seq);
+    // A store's dependents (if any) were woken at submit; make sure the
+    // completion bookkeeping is consistent before retiring.
+    if (!head.completed) markCompleted(head.instr.seq);
+    dependents_.erase(head.instr.seq);
+    rob_.pop_front();
+    ++head_seq_;
+    ++stats_.instructions;
+    ++committed;
+  }
+}
+
+void CoreModel::doExecute() {
+  // Non-memory instructions: single-cycle execution, issue-width limited.
+  std::uint32_t issued = 0;
+  while (issued < sys_.issue_width && !ready_exec_.empty()) {
+    const SeqNum seq = ready_exec_.front();
+    ready_exec_.pop_front();
+    if (!inRob(seq)) continue;
+    exec_events_.emplace(now_ + 1, seq);
+    ++issued;
+  }
+}
+
+void CoreModel::doAgu() {
+  // Loads claim the load-only units plus shared ld/st units; stores use
+  // store-only units plus whatever shared units remain (loads are the
+  // latency-critical class).
+  std::uint32_t shared = ifc_cfg_.agu_load_store;
+  std::uint32_t load_units = ifc_cfg_.agu_load_only;
+  std::uint32_t store_units = ifc_cfg_.agu_store_only;
+
+  while ((load_units > 0 || shared > 0) && !ready_loads_.empty()) {
+    const SeqNum seq = ready_loads_.front();
+    if (!mem_.canAcceptLoad()) {
+      ++stats_.agu_stall_events;
+      break;
+    }
+    RobEntry& e = entry(seq);
+    core::MemOp op{e.instr.seq, true, e.instr.vaddr, e.instr.size};
+    const bool ok = mem_.submit(op);
+    MALEC_CHECK(ok);
+    e.agu_done = true;
+    ready_loads_.pop_front();
+    if (load_units > 0) {
+      --load_units;
+    } else {
+      --shared;
+    }
+  }
+
+  while ((store_units > 0 || shared > 0) && !store_order_.empty()) {
+    const SeqNum seq = store_order_.front();
+    if (!inRob(seq)) {
+      store_order_.pop_front();
+      continue;
+    }
+    RobEntry& e = entry(seq);
+    if (e.pending_deps != 0) break;  // oldest store not ready: keep order
+    if (!mem_.canAcceptStore()) {
+      ++stats_.agu_stall_events;
+      break;
+    }
+    core::MemOp op{e.instr.seq, false, e.instr.vaddr, e.instr.size};
+    const bool ok = mem_.submit(op);
+    MALEC_CHECK(ok);
+    e.agu_done = true;
+    // Dependents of a store (rare register forwarding) wake at submit.
+    markCompleted(seq);
+    store_order_.pop_front();
+    if (store_units > 0) {
+      --store_units;
+    } else {
+      --shared;
+    }
+  }
+}
+
+void CoreModel::doDispatch() {
+  std::uint32_t dispatched = 0;
+  bool stalled = false;
+  while (dispatched < sys_.fetch_width && !trace_done_) {
+    if (rob_.size() >= sys_.rob_entries) {
+      ++stats_.rob_full_cycles;
+      stalled = true;
+      break;
+    }
+    trace::InstrRecord r;
+    if (!src_.next(r)) {
+      trace_done_ = true;
+      break;
+    }
+    if (r.isLoad() && lq_.full()) {
+      // Put the record back conceptually: we cannot, so we buffer it in a
+      // one-slot staging area instead.
+      staged_ = r;
+      has_staged_ = true;
+      ++stats_.lq_stall_cycles;
+      stalled = true;
+      break;
+    }
+    dispatchRecord(r);
+    ++dispatched;
+  }
+  if (stalled) ++stats_.dispatch_stall_cycles;
+}
+
+CoreStats CoreModel::run(Cycle max_cycles) {
+  now_ = 0;
+  while (true) {
+    mem_.beginCycle(now_);
+
+    // 1. Collect completions (loads from the interface, ALU events).
+    completion_buf_.clear();
+    mem_.drainCompletions(now_, completion_buf_);
+    for (SeqNum seq : completion_buf_)
+      if (inRob(seq)) markCompleted(seq);
+    while (!exec_events_.empty() && exec_events_.top().first <= now_) {
+      const SeqNum seq = exec_events_.top().second;
+      exec_events_.pop();
+      if (inRob(seq)) markCompleted(seq);
+    }
+
+    // 2. Retire.
+    doCommit();
+    // 3. Execute ALU ops; compute addresses and talk to the interface.
+    doExecute();
+    doAgu();
+    // 4. Bring in new work (staged record first).
+    if (has_staged_) {
+      if (rob_.size() < sys_.rob_entries &&
+          !(staged_.isLoad() && lq_.full())) {
+        dispatchRecord(staged_);
+        has_staged_ = false;
+      } else {
+        ++stats_.dispatch_stall_cycles;
+      }
+    }
+    if (!has_staged_) doDispatch();
+
+    // 5. The interface performs this cycle's translation/arbitration/L1.
+    mem_.endCycle(now_);
+
+    ++now_;
+    if (trace_done_ && !has_staged_ && rob_.empty() && mem_.quiesced())
+      break;
+    if (max_cycles != 0 && now_ >= max_cycles) break;
+  }
+  stats_.cycles = now_;
+  return stats_;
+}
+
+void CoreModel::dispatchRecord(const trace::InstrRecord& r) {
+  rob_.push_back(RobEntry{r, 0, false, false});
+  RobEntry& e = rob_.back();
+  if (r.isLoad()) {
+    lq_.allocate(r.seq);
+    ++stats_.loads;
+  } else if (r.isStore()) {
+    ++stats_.stores;
+  }
+
+  // Register dependencies: data input and (for memory ops) address input.
+  auto addDep = [&](std::uint32_t distance) {
+    if (distance == 0 || distance > r.seq) return;
+    const SeqNum target = r.seq - distance;
+    if (!inRob(target)) return;           // producer already retired
+    RobEntry& t = entry(target);
+    if (t.completed) return;              // producer done
+    dependents_[target].push_back(r.seq);
+    ++e.pending_deps;
+  };
+  addDep(r.dep_distance);
+  if (r.isMem() && r.addr_dep_distance != r.dep_distance)
+    addDep(r.addr_dep_distance);
+
+  if (r.isStore()) store_order_.push_back(r.seq);
+  if (e.pending_deps == 0) enqueueReady(r.seq);
+}
+
+}  // namespace malec::cpu

@@ -1,0 +1,109 @@
+#include "energy/array_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace malec::energy {
+
+namespace {
+
+/// ceil(log2(v)) for v >= 1.
+std::uint32_t ceilLog2(std::uint64_t v) {
+  std::uint32_t b = 0;
+  while ((1ull << b) < v) ++b;
+  return b;
+}
+
+double portDynFactor(const SramArraySpec& s, const TechnologyParams& t) {
+  const std::uint32_t extra = s.totalPorts() > 0 ? s.totalPorts() - 1 : 0;
+  return 1.0 + t.dyn_per_extra_port * extra;
+}
+
+double portLeakFactor(const SramArraySpec& s, const TechnologyParams& t) {
+  const std::uint32_t extra = s.totalPorts() > 0 ? s.totalPorts() - 1 : 0;
+  return 1.0 + t.leak_per_extra_port * extra;
+}
+
+double cellDynFactor(CellType c) {
+  // LSTP cells use higher-Vt transistors: slightly costlier to switch.
+  return c == CellType::kLowStandbyPower ? 1.18 : 1.0;
+}
+
+double cellLeakNwPerBit(CellType c, const TechnologyParams& t) {
+  return c == CellType::kLowStandbyPower ? t.leak_lstp_nw_per_bit
+                                         : t.leak_hp_nw_per_bit;
+}
+
+}  // namespace
+
+ArrayEstimate SramArrayModel::estimate(const SramArraySpec& spec,
+                                       const TechnologyParams& tech) {
+  MALEC_CHECK(spec.entries >= 1);
+  MALEC_CHECK(spec.entry_bits >= 1);
+  const std::uint32_t read_bits =
+      spec.read_bits != 0 ? spec.read_bits : spec.entry_bits;
+
+  // CACTI-style mat partitioning: cap bitline length, route across mats.
+  const std::uint64_t rows = spec.entries;
+  const std::uint64_t rows_per_sub =
+      std::min<std::uint64_t>(rows, tech.max_rows_per_subarray);
+  const double subarrays =
+      static_cast<double>((rows + rows_per_sub - 1) / rows_per_sub);
+  const double route_factor = std::sqrt(subarrays);
+
+  const double dyn_f = portDynFactor(spec, tech) * cellDynFactor(spec.cell);
+
+  ArrayEstimate est;
+
+  // --- dynamic read --------------------------------------------------------
+  // Bitline discharge on the accessed columns scales with the (capped)
+  // bitline length; wordline fires the full row; decoder scales with the
+  // number of address bits; routing with the mat count.
+  const double bl_len_factor =
+      static_cast<double>(rows_per_sub) / tech.max_rows_per_subarray;
+  const double e_bl_read = tech.e_bitline_read_pj_per_bit * read_bits *
+                           (0.35 + 0.65 * bl_len_factor);
+  const double e_wl = tech.e_wordline_pj_per_bit * spec.entry_bits;
+  const double e_dec = tech.e_decode_pj_per_addr_bit * ceilLog2(rows);
+  const double e_route = tech.e_route_pj_per_bit * read_bits * route_factor;
+  est.read_pj =
+      dyn_f * (e_bl_read + e_wl + e_dec + e_route + tech.e_periph_fixed_pj);
+
+  // --- dynamic write -------------------------------------------------------
+  const double e_bl_write = tech.e_bitline_write_pj_per_bit * read_bits *
+                            (0.35 + 0.65 * bl_len_factor);
+  est.write_pj =
+      dyn_f * (e_bl_write + e_wl + e_dec + e_route + tech.e_periph_fixed_pj);
+
+  // --- CAM search ----------------------------------------------------------
+  if (spec.kind == ArrayKind::kCam) {
+    MALEC_CHECK_MSG(spec.search_bits > 0, "CAM arrays need search_bits");
+    // All match lines precharge and all search lines toggle: energy scales
+    // with entries x searched bits; a hit then reads the payload row.
+    const double e_match = tech.e_cam_pj_per_entry_bit *
+                           static_cast<double>(spec.entries) *
+                           spec.search_bits;
+    est.search_pj = dyn_f * e_match + est.read_pj;
+  }
+
+  // --- leakage -------------------------------------------------------------
+  const double cell_leak_mw = cellLeakNwPerBit(spec.cell, tech) *
+                              static_cast<double>(spec.totalBits()) * 1e-6;
+  const double periph_leak_mw = tech.leak_periph_nw_per_width_bit *
+                                spec.entry_bits * 1e-6 *
+                                static_cast<double>(spec.totalPorts());
+  est.leak_mw = cell_leak_mw * portLeakFactor(spec, tech) + periph_leak_mw;
+
+  // --- area (informational) ------------------------------------------------
+  // 6T cell ~ 0.17 um^2 at 32 nm; multi-port cells grow linearly.
+  const std::uint32_t extra_ports =
+      spec.totalPorts() > 0 ? spec.totalPorts() - 1 : 0;
+  const double cell_um2 = 0.17 * (1.0 + tech.area_per_extra_port * extra_ports);
+  est.area_mm2 = static_cast<double>(spec.totalBits()) * cell_um2 * 1e-6 * 1.4;
+
+  return est;
+}
+
+}  // namespace malec::energy

@@ -1,0 +1,64 @@
+// Mini-CACTI: analytical per-access energy / leakage / area estimation for
+// the SRAM and CAM structures in the L1 data memory subsystem.
+//
+// Each hardware structure (tag array, data array, TLB CAM, way table, ...)
+// is described by an SramArraySpec; SramArrayModel::estimate() turns it into
+// per-operation dynamic energies and a leakage power. The simulator then
+// multiplies operation counts by these energies (EnergyAccount) exactly the
+// way the paper combines gem5 statistics with CACTI numbers (Sec. VI-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "energy/tech.h"
+
+namespace malec::energy {
+
+/// What kind of lookup hardware the array implements.
+enum class ArrayKind {
+  kRam,  ///< decoded (indexed) SRAM array
+  kCam,  ///< fully-associative content-addressable search + payload read
+};
+
+/// Geometry and porting of one physical array.
+struct SramArraySpec {
+  std::string name;             ///< for reports ("l1.data.bank", ...)
+  std::uint64_t entries = 1;    ///< rows
+  std::uint32_t entry_bits = 8; ///< stored bits per row
+  /// Bits actually delivered per read access (column-muxed arrays read
+  /// fewer bits than a full row stores; defaults to entry_bits).
+  std::uint32_t read_bits = 0;
+  /// Bits compared per CAM search (CAM arrays only).
+  std::uint32_t search_bits = 0;
+  std::uint32_t rw_ports = 1;
+  std::uint32_t rd_ports = 0;
+  std::uint32_t wt_ports = 0;
+  CellType cell = CellType::kLowStandbyPower;
+  ArrayKind kind = ArrayKind::kRam;
+
+  [[nodiscard]] std::uint32_t totalPorts() const {
+    return rw_ports + rd_ports + wt_ports;
+  }
+  [[nodiscard]] std::uint64_t totalBits() const {
+    return entries * entry_bits;
+  }
+};
+
+/// Per-array estimate produced by the model.
+struct ArrayEstimate {
+  double read_pj = 0.0;    ///< one read access
+  double write_pj = 0.0;   ///< one write access
+  double search_pj = 0.0;  ///< one CAM search (kCam only; includes payload)
+  double leak_mw = 0.0;    ///< static power of the whole array
+  double area_mm2 = 0.0;   ///< rough cell-area estimate (for reports only)
+};
+
+class SramArrayModel {
+ public:
+  /// Estimate energies for `spec` under technology `tech`.
+  [[nodiscard]] static ArrayEstimate estimate(const SramArraySpec& spec,
+                                              const TechnologyParams& tech);
+};
+
+}  // namespace malec::energy

@@ -1,0 +1,94 @@
+#include "energy/energy_account.h"
+
+#include "common/check.h"
+
+namespace malec::energy {
+
+void EnergyAccount::defineEvent(const std::string& name, double pj_per_event) {
+  MALEC_CHECK_MSG(pj_per_event >= 0.0, "event energy must be non-negative");
+  events_[name].pj = pj_per_event;
+}
+
+void EnergyAccount::defineLeakage(const std::string& structure, double mw) {
+  MALEC_CHECK_MSG(mw >= 0.0, "leakage must be non-negative");
+  leakage_mw_[structure] = mw;
+}
+
+void EnergyAccount::count(const std::string& name, std::uint64_t n) {
+  auto it = events_.find(name);
+  MALEC_CHECK_MSG(it != events_.end(), name.c_str());
+  it->second.count += n;
+}
+
+std::uint64_t EnergyAccount::eventCount(const std::string& name) const {
+  auto it = events_.find(name);
+  return it == events_.end() ? 0 : it->second.count;
+}
+
+double EnergyAccount::eventEnergyPj(const std::string& name) const {
+  auto it = events_.find(name);
+  return it == events_.end() ? 0.0 : it->second.pj;
+}
+
+bool EnergyAccount::hasEvent(const std::string& name) const {
+  return events_.count(name) != 0;
+}
+
+double EnergyAccount::dynamicPj() const {
+  double sum = 0.0;
+  for (const auto& [name, ev] : events_)
+    sum += ev.pj * static_cast<double>(ev.count);
+  return sum;
+}
+
+double EnergyAccount::leakageMw() const {
+  double sum = 0.0;
+  for (const auto& [name, mw] : leakage_mw_) sum += mw;
+  return sum;
+}
+
+double EnergyAccount::leakagePj(Cycle cycles, double clock_ghz) const {
+  MALEC_CHECK(clock_ghz > 0.0);
+  // mW * ns = pJ; one cycle at f GHz lasts 1/f ns.
+  const double ns = static_cast<double>(cycles) / clock_ghz;
+  return leakageMw() * ns;
+}
+
+double EnergyAccount::totalPj(Cycle cycles, double clock_ghz) const {
+  return dynamicPj() + leakagePj(cycles, clock_ghz);
+}
+
+double EnergyAccount::dynamicPjFor(const std::string& prefix) const {
+  double sum = 0.0;
+  for (const auto& [name, ev] : events_)
+    if (name.rfind(prefix, 0) == 0)
+      sum += ev.pj * static_cast<double>(ev.count);
+  return sum;
+}
+
+double EnergyAccount::leakageMwFor(const std::string& prefix) const {
+  double sum = 0.0;
+  for (const auto& [name, mw] : leakage_mw_)
+    if (name.rfind(prefix, 0) == 0) sum += mw;
+  return sum;
+}
+
+StatSet EnergyAccount::report(Cycle cycles, double clock_ghz) const {
+  StatSet s;
+  for (const auto& [name, ev] : events_) {
+    s.set("count." + name, static_cast<double>(ev.count));
+    s.set("dyn_pj." + name, ev.pj * static_cast<double>(ev.count));
+  }
+  for (const auto& [name, mw] : leakage_mw_) s.set("leak_mw." + name, mw);
+  s.set("total.dynamic_pj", dynamicPj());
+  s.set("total.leakage_pj", leakagePj(cycles, clock_ghz));
+  s.set("total.energy_pj", totalPj(cycles, clock_ghz));
+  s.set("total.leakage_mw", leakageMw());
+  return s;
+}
+
+void EnergyAccount::clearCounts() {
+  for (auto& [name, ev] : events_) ev.count = 0;
+}
+
+}  // namespace malec::energy

@@ -1,0 +1,71 @@
+// Event-based energy accounting.
+//
+// Mirrors the paper's methodology (Sec. VI-A): the timing simulator produces
+// access statistics; those are combined with per-access energies from the
+// mini-CACTI array model plus per-structure leakage powers integrated over
+// the run's wall-clock (cycles / clock).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace malec::energy {
+
+/// Accumulates (event -> count) and (structure -> leakage) and produces an
+/// energy report. Event names are conventionally "structure.operation", e.g.
+/// "l1.tag_read", "utlb.search", "wt.write".
+class EnergyAccount {
+ public:
+  /// Register an event type with its per-occurrence energy. Re-defining an
+  /// event overwrites its energy (used when sweeping technologies).
+  void defineEvent(const std::string& name, double pj_per_event);
+
+  /// Register a structure's static leakage power.
+  void defineLeakage(const std::string& structure, double mw);
+
+  /// Record `n` occurrences of `name`. The event must have been defined.
+  void count(const std::string& name, std::uint64_t n = 1);
+
+  [[nodiscard]] std::uint64_t eventCount(const std::string& name) const;
+  [[nodiscard]] double eventEnergyPj(const std::string& name) const;
+  [[nodiscard]] bool hasEvent(const std::string& name) const;
+
+  /// Total dynamic energy in pJ.
+  [[nodiscard]] double dynamicPj() const;
+
+  /// Total leakage energy in pJ over `cycles` at `clock_ghz`.
+  [[nodiscard]] double leakagePj(Cycle cycles, double clock_ghz) const;
+
+  /// Total (dynamic + leakage) energy in pJ.
+  [[nodiscard]] double totalPj(Cycle cycles, double clock_ghz) const;
+
+  /// Total leakage power in mW.
+  [[nodiscard]] double leakageMw() const;
+
+  /// Dynamic energy contributed by events whose name starts with `prefix`.
+  [[nodiscard]] double dynamicPjFor(const std::string& prefix) const;
+
+  /// Leakage power of structures whose name starts with `prefix`.
+  [[nodiscard]] double leakageMwFor(const std::string& prefix) const;
+
+  /// Flatten into a StatSet: per-event counts and energies, per-structure
+  /// leakage, dynamic/leakage/total rollups.
+  [[nodiscard]] StatSet report(Cycle cycles, double clock_ghz) const;
+
+  /// Reset counts (keeps event/leakage definitions).
+  void clearCounts();
+
+ private:
+  struct Event {
+    double pj = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::map<std::string, Event> events_;
+  std::map<std::string, double> leakage_mw_;
+};
+
+}  // namespace malec::energy

@@ -1,0 +1,49 @@
+// Load Queue occupancy model (40 entries, paper Table II).
+//
+// The LQ tracks in-flight loads from dispatch to commit. Its energy is
+// excluded from the paper's accounting (similar across configurations), so
+// this model only enforces the structural limit and collects occupancy
+// statistics.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace malec::lsq {
+
+class LoadQueue {
+ public:
+  explicit LoadQueue(std::uint32_t capacity = 40) : capacity_(capacity) {
+    MALEC_CHECK(capacity >= 1);
+  }
+
+  [[nodiscard]] bool full() const { return live_.size() >= capacity_; }
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+
+  /// Allocate at dispatch. Caller must check full() first.
+  void allocate(SeqNum seq) {
+    MALEC_CHECK_MSG(!full(), "LoadQueue overflow");
+    const bool inserted = live_.insert(seq).second;
+    MALEC_CHECK_MSG(inserted, "duplicate LQ allocation");
+    peak_ = live_.size() > peak_ ? live_.size() : peak_;
+  }
+
+  /// Release at commit.
+  void release(SeqNum seq) {
+    const auto erased = live_.erase(seq);
+    MALEC_CHECK_MSG(erased == 1, "LQ release of unknown load");
+  }
+
+  [[nodiscard]] std::size_t peakOccupancy() const { return peak_; }
+
+ private:
+  std::uint32_t capacity_;
+  std::unordered_set<SeqNum> live_;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace malec::lsq

@@ -1,0 +1,72 @@
+#include "lsq/merge_buffer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace malec::lsq {
+
+std::uint64_t MergeBuffer::maskFor(Addr vaddr, std::uint8_t size) const {
+  const std::uint32_t off = static_cast<std::uint32_t>(
+      layout_.lineOffset(vaddr));
+  MALEC_DCHECK(off + size <= layout_.lineBytes());
+  MALEC_DCHECK(layout_.lineBytes() <= 64);
+  const std::uint64_t ones =
+      size >= 64 ? ~0ull : ((1ull << size) - 1);
+  return ones << off;
+}
+
+bool MergeBuffer::absorb(Addr vaddr, std::uint8_t size) {
+  const Addr line = layout_.lineBase(vaddr);
+  for (Entry& e : entries_) {
+    if (e.line_base == line) {
+      e.byte_mask |= maskFor(vaddr, size);
+      e.lru = ++tick_;
+      ++e.merged_stores;
+      ++merges_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void MergeBuffer::allocate(Addr vaddr, std::uint8_t size) {
+  MALEC_CHECK_MSG(!full(), "MergeBuffer overflow");
+  Entry e;
+  e.line_base = layout_.lineBase(vaddr);
+  e.byte_mask = maskFor(vaddr, size);
+  e.lru = ++tick_;
+  e.merged_stores = 1;
+  entries_.push_back(e);
+}
+
+std::optional<MergeBuffer::Entry> MergeBuffer::evictLru() {
+  if (entries_.empty()) return std::nullopt;
+  auto it = std::min_element(
+      entries_.begin(), entries_.end(),
+      [](const Entry& a, const Entry& b) { return a.lru < b.lru; });
+  Entry e = *it;
+  entries_.erase(it);
+  return e;
+}
+
+bool MergeBuffer::coversLoad(Addr vaddr, std::uint8_t size,
+                             bool split_lookup) {
+  const Addr line = layout_.lineBase(vaddr);
+  const std::uint64_t need = maskFor(vaddr, size);
+  bool covered = false;
+  for (const Entry& e : entries_) {
+    if (split_lookup) {
+      ++page_compares_;
+      if (layout_.pageId(e.line_base) != layout_.pageId(vaddr)) continue;
+      ++offset_compares_;
+    } else {
+      ++full_compares_;
+    }
+    if (e.line_base == line && (e.byte_mask & need) == need) covered = true;
+  }
+  if (covered) ++forwards_;
+  return covered;
+}
+
+}  // namespace malec::lsq

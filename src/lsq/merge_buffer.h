@@ -1,0 +1,61 @@
+// Merge Buffer: coalesces committed stores to the same cache line before
+// they are written to the L1 (4 entries, paper Table II). Evicted entries
+// (MBEs) are handed to the Input Buffer / cache ports for the actual write.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/address.h"
+#include "common/types.h"
+
+namespace malec::lsq {
+
+class MergeBuffer {
+ public:
+  struct Entry {
+    Addr line_base = 0;         ///< virtual line base the entry covers
+    std::uint64_t byte_mask = 0;///< bit i = byte i of the line written
+    std::uint64_t lru = 0;
+    std::uint32_t merged_stores = 0;
+  };
+
+  MergeBuffer(std::uint32_t capacity, AddressLayout layout)
+      : capacity_(capacity), layout_(layout) {}
+
+  [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Try to merge a committed store into an existing entry.
+  bool absorb(Addr vaddr, std::uint8_t size);
+
+  /// Allocate a new entry for the store's line. Caller checks full().
+  void allocate(Addr vaddr, std::uint8_t size);
+
+  /// Evict the least-recently-merged entry (to be written to L1).
+  [[nodiscard]] std::optional<Entry> evictLru();
+
+  /// Forwarding: does a Merge Buffer entry hold every byte of the load?
+  /// Counters mirror StoreBuffer's split vs full-width lookup organisation.
+  [[nodiscard]] bool coversLoad(Addr vaddr, std::uint8_t size,
+                                bool split_lookup);
+
+  [[nodiscard]] std::uint64_t forwards() const { return forwards_; }
+  [[nodiscard]] std::uint64_t mergesTotal() const { return merges_; }
+
+ private:
+  [[nodiscard]] std::uint64_t maskFor(Addr vaddr, std::uint8_t size) const;
+
+  std::uint32_t capacity_;
+  AddressLayout layout_;
+  std::vector<Entry> entries_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t merges_ = 0;
+  std::uint64_t forwards_ = 0;
+  std::uint64_t page_compares_ = 0;
+  std::uint64_t offset_compares_ = 0;
+  std::uint64_t full_compares_ = 0;
+};
+
+}  // namespace malec::lsq

@@ -1,0 +1,65 @@
+#include "lsq/store_buffer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace malec::lsq {
+
+void StoreBuffer::insert(SeqNum seq, Addr vaddr, std::uint8_t size) {
+  MALEC_CHECK_MSG(!full(), "StoreBuffer overflow");
+  MALEC_CHECK(size > 0);
+  entries_.push_back(Entry{seq, vaddr, size, false});
+}
+
+void StoreBuffer::markCommitted(SeqNum seq) {
+  for (Entry& e : entries_) {
+    if (e.seq == seq) {
+      e.committed = true;
+      return;
+    }
+  }
+  MALEC_CHECK_MSG(false, "commit of unknown store");
+}
+
+std::optional<StoreBuffer::Entry> StoreBuffer::popCommitted() {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].committed) {
+      Entry e = entries_[i];
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+bool StoreBuffer::coversLoad(Addr vaddr, std::uint8_t size,
+                             bool split_lookup) {
+  const Addr lo = vaddr;
+  const Addr hi = vaddr + size;
+  bool covered = false;
+  for (const Entry& e : entries_) {
+    if (split_lookup) {
+      // Shared page-ID segment evaluated once per candidate; the narrow
+      // offset comparator only fires for entries on the matching page.
+      ++page_compares_;
+      if (layout_.pageId(e.vaddr) != layout_.pageId(vaddr)) continue;
+      ++offset_compares_;
+    } else {
+      ++full_compares_;
+    }
+    if (e.vaddr <= lo && e.vaddr + e.size >= hi) covered = true;
+  }
+  if (covered) ++forwards_;
+  return covered;
+}
+
+bool StoreBuffer::hasOverlap(Addr vaddr, std::uint8_t size) const {
+  const Addr lo = vaddr;
+  const Addr hi = vaddr + size;
+  return std::any_of(entries_.begin(), entries_.end(), [&](const Entry& e) {
+    return e.vaddr < hi && e.vaddr + e.size > lo;
+  });
+}
+
+}  // namespace malec::lsq

@@ -1,0 +1,114 @@
+#include "mem/l1_cache.h"
+
+#include "common/check.h"
+
+namespace malec::mem {
+
+L1Cache::L1Cache(const Params& p)
+    : layout_(p.layout),
+      restrict_alloc_(p.restrict_alloc_ways),
+      ways_(p.layout.l1Assoc()),
+      sets_(p.layout.l1Sets()),
+      lines_(static_cast<std::size_t>(sets_) * ways_),
+      repl_(makePolicy(p.replacement, sets_, ways_, Rng(p.seed))) {}
+
+L1Cache::Line& L1Cache::line(std::uint32_t set, std::uint32_t way) {
+  return lines_[static_cast<std::size_t>(set) * ways_ + way];
+}
+
+const L1Cache::Line& L1Cache::line(std::uint32_t set,
+                                   std::uint32_t way) const {
+  return lines_[static_cast<std::size_t>(set) * ways_ + way];
+}
+
+std::optional<WayIdx> L1Cache::probe(Addr paddr) const {
+  const std::uint32_t set = layout_.l1Set(paddr);
+  const std::uint64_t tag = layout_.l1Tag(paddr);
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    const Line& ln = line(set, w);
+    if (ln.valid && ln.tag == tag) return static_cast<WayIdx>(w);
+  }
+  return std::nullopt;
+}
+
+void L1Cache::touch(Addr paddr, WayIdx way) {
+  MALEC_DCHECK(way >= 0 && static_cast<std::uint32_t>(way) < ways_);
+  repl_->touch(layout_.l1Set(paddr), static_cast<std::uint32_t>(way));
+}
+
+std::uint32_t L1Cache::excludedWay(Addr paddr) const {
+  // Lines 0..3 of a page sit in banks 0..3 and exclude way 0; lines 4..7
+  // exclude way 1; and so on, cycling every banks*assoc lines (Sec. V).
+  // The rotation is salted by the physical page so that different pages
+  // landing in the same set exclude different ways (see way_info.h).
+  return (layout_.lineInPage(paddr) / layout_.l1Banks() +
+          layout_.pageId(paddr)) % ways_;
+}
+
+L1Cache::FillResult L1Cache::fill(Addr paddr) {
+  const std::uint32_t set = layout_.l1Set(paddr);
+  const std::uint64_t tag = layout_.l1Tag(paddr);
+  MALEC_DCHECK(!probe(paddr).has_value());
+
+  std::uint32_t allowed = (1u << ways_) - 1;
+  if (restrict_alloc_) allowed &= ~(1u << excludedWay(paddr));
+
+  // Prefer an invalid allowed way before displacing a valid line.
+  std::uint32_t way = ways_;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if ((allowed & (1u << w)) != 0 && !line(set, w).valid) {
+      way = w;
+      break;
+    }
+  }
+  FillResult res;
+  if (way == ways_) {
+    way = repl_->victim(set, allowed);
+    Line& victim = line(set, way);
+    if (victim.valid) {
+      res.evicted = true;
+      res.evicted_dirty = victim.dirty;
+      // Reconstruct the victim's line base from its tag and this set.
+      const std::uint32_t line_off_bits = log2Exact(layout_.lineBytes());
+      const std::uint32_t set_bits = log2Exact(layout_.l1Sets());
+      res.evicted_line_base =
+          (victim.tag << (line_off_bits + set_bits)) |
+          (static_cast<Addr>(set) << line_off_bits);
+      ++evictions_;
+    }
+  }
+  Line& ln = line(set, way);
+  ln.valid = true;
+  ln.dirty = false;
+  ln.tag = tag;
+  repl_->fill(set, way);
+  ++fills_;
+  res.way = static_cast<WayIdx>(way);
+  return res;
+}
+
+void L1Cache::markDirty(Addr paddr, WayIdx way) {
+  MALEC_DCHECK(way >= 0 && static_cast<std::uint32_t>(way) < ways_);
+  Line& ln = line(layout_.l1Set(paddr), static_cast<std::uint32_t>(way));
+  MALEC_DCHECK(ln.valid && ln.tag == layout_.l1Tag(paddr));
+  ln.dirty = true;
+}
+
+std::optional<bool> L1Cache::invalidate(Addr paddr) {
+  const auto way = probe(paddr);
+  if (!way.has_value()) return std::nullopt;
+  Line& ln = line(layout_.l1Set(paddr), static_cast<std::uint32_t>(*way));
+  const bool was_dirty = ln.dirty;
+  ln.valid = false;
+  ln.dirty = false;
+  return was_dirty;
+}
+
+std::uint64_t L1Cache::validLines() const {
+  std::uint64_t n = 0;
+  for (const Line& ln : lines_)
+    if (ln.valid) ++n;
+  return n;
+}
+
+}  // namespace malec::mem

@@ -1,0 +1,94 @@
+// L1 data cache tag/state model.
+//
+// 32 KByte, 4-way set-associative, PIPT, 64-byte lines split over four
+// independently addressed single-ported banks with 128-bit sub-blocks
+// (paper Table II). This class models tag state and replacement only;
+// timing (latencies, ports, MSHRs) lives in the memory hierarchy and the
+// interface models, and energy is accounted by the simulation layer from
+// the access-mode outcomes this class reports.
+//
+// When `restrict_alloc_ways` is set (MALEC with Way Tables), a line is never
+// allocated into its WT-excluded way — the way that the 2-bit validity+way
+// encoding cannot express for that line (Sec. V): excludedWay(line) =
+// (lineInPage / banks) % assoc. Working sets still use all four ways because
+// the excluded way rotates with the line index.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/address.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "mem/replacement.h"
+
+namespace malec::mem {
+
+class L1Cache {
+ public:
+  struct Params {
+    AddressLayout layout;
+    /// Forbid allocation into the per-line WT-excluded way.
+    bool restrict_alloc_ways = false;
+    ReplacementKind replacement = ReplacementKind::kLru;
+    std::uint64_t seed = 7;
+  };
+
+  struct FillResult {
+    WayIdx way = kWayUnknown;        ///< way the new line landed in
+    bool evicted = false;            ///< a valid line was displaced
+    Addr evicted_line_base = 0;      ///< physical line base of the victim
+    bool evicted_dirty = false;      ///< victim needs writeback
+  };
+
+  explicit L1Cache(const Params& p);
+
+  /// Pure tag probe: hit way or nullopt. Does not update replacement state.
+  [[nodiscard]] std::optional<WayIdx> probe(Addr paddr) const;
+
+  /// Record a hit for replacement purposes.
+  void touch(Addr paddr, WayIdx way);
+
+  /// Allocate `paddr`'s line, evicting if needed. The caller is responsible
+  /// for having established the miss (probe() == nullopt).
+  FillResult fill(Addr paddr);
+
+  /// Mark a resident line dirty (stores / merge-buffer writes).
+  void markDirty(Addr paddr, WayIdx way);
+
+  /// Invalidate a line if present; returns whether it was dirty.
+  std::optional<bool> invalidate(Addr paddr);
+
+  /// The way the WT 2-bit encoding cannot represent for this address' line.
+  [[nodiscard]] std::uint32_t excludedWay(Addr paddr) const;
+
+  [[nodiscard]] const AddressLayout& layout() const { return layout_; }
+  [[nodiscard]] std::uint64_t fills() const { return fills_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+  /// Number of valid lines (tests / occupancy checks).
+  [[nodiscard]] std::uint64_t validLines() const;
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t tag = 0;
+  };
+
+  [[nodiscard]] Line& line(std::uint32_t set, std::uint32_t way);
+  [[nodiscard]] const Line& line(std::uint32_t set, std::uint32_t way) const;
+
+  AddressLayout layout_;
+  bool restrict_alloc_;
+  std::uint32_t ways_;
+  std::uint32_t sets_;
+  std::vector<Line> lines_;  ///< sets x ways
+  std::unique_ptr<ReplacementPolicy> repl_;
+  std::uint64_t fills_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace malec::mem

@@ -1,0 +1,98 @@
+#include "mem/l2_cache.h"
+
+#include "common/check.h"
+
+namespace malec::mem {
+
+L2Cache::L2Cache(const Params& p) : p_(p) {
+  MALEC_CHECK(isPow2(p.capacity_bytes));
+  MALEC_CHECK(isPow2(p.assoc));
+  MALEC_CHECK(isPow2(p.line_bytes));
+  const std::uint64_t total_lines = p.capacity_bytes / p.line_bytes;
+  sets_ = static_cast<std::uint32_t>(total_lines / p.assoc);
+  MALEC_CHECK(isPow2(sets_));
+  line_bits_ = log2Exact(p.line_bytes);
+  set_bits_ = log2Exact(sets_);
+  lines_.resize(static_cast<std::size_t>(sets_) * p.assoc);
+  repl_ = makePolicy(p.replacement, sets_, p.assoc, Rng(p.seed));
+}
+
+std::uint32_t L2Cache::setOf(Addr paddr) const {
+  return static_cast<std::uint32_t>((paddr >> line_bits_) & (sets_ - 1));
+}
+
+std::uint64_t L2Cache::tagOf(Addr paddr) const {
+  return paddr >> (line_bits_ + set_bits_);
+}
+
+L2Cache::Line& L2Cache::line(std::uint32_t set, std::uint32_t way) {
+  return lines_[static_cast<std::size_t>(set) * p_.assoc + way];
+}
+
+const L2Cache::Line& L2Cache::line(std::uint32_t set,
+                                   std::uint32_t way) const {
+  return lines_[static_cast<std::size_t>(set) * p_.assoc + way];
+}
+
+std::optional<std::uint32_t> L2Cache::probe(Addr paddr) const {
+  const std::uint32_t set = setOf(paddr);
+  const std::uint64_t tag = tagOf(paddr);
+  for (std::uint32_t w = 0; w < p_.assoc; ++w) {
+    const Line& ln = line(set, w);
+    if (ln.valid && ln.tag == tag) return w;
+  }
+  return std::nullopt;
+}
+
+void L2Cache::touch(Addr paddr, std::uint32_t way) {
+  repl_->touch(setOf(paddr), way);
+}
+
+L2Cache::FillResult L2Cache::fill(Addr paddr) {
+  const std::uint32_t set = setOf(paddr);
+  MALEC_DCHECK(!probe(paddr).has_value());
+  const std::uint32_t all = (p_.assoc >= 32) ? 0xFFFFFFFFu
+                                             : ((1u << p_.assoc) - 1);
+  FillResult res;
+  std::uint32_t way = p_.assoc;
+  for (std::uint32_t w = 0; w < p_.assoc; ++w) {
+    if (!line(set, w).valid) {
+      way = w;
+      break;
+    }
+  }
+  if (way == p_.assoc) {
+    way = repl_->victim(set, all);
+    Line& victim = line(set, way);
+    res.evicted = true;
+    res.evicted_dirty = victim.dirty;
+    res.evicted_line_base = (victim.tag << (line_bits_ + set_bits_)) |
+                            (static_cast<Addr>(set) << line_bits_);
+  }
+  Line& ln = line(set, way);
+  ln.valid = true;
+  ln.dirty = false;
+  ln.tag = tagOf(paddr);
+  repl_->fill(set, way);
+  ++fills_;
+  res.way = way;
+  return res;
+}
+
+void L2Cache::markDirty(Addr paddr, std::uint32_t way) {
+  Line& ln = line(setOf(paddr), way);
+  MALEC_DCHECK(ln.valid && ln.tag == tagOf(paddr));
+  ln.dirty = true;
+}
+
+std::optional<bool> L2Cache::invalidate(Addr paddr) {
+  const auto way = probe(paddr);
+  if (!way.has_value()) return std::nullopt;
+  Line& ln = line(setOf(paddr), *way);
+  const bool was_dirty = ln.dirty;
+  ln.valid = false;
+  ln.dirty = false;
+  return was_dirty;
+}
+
+}  // namespace malec::mem

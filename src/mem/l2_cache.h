@@ -1,0 +1,64 @@
+// Unified L2 cache model: 1 MByte, 16-way set-associative, 12-cycle latency
+// (paper Table II). Tag/state only; timing is applied by MemoryHierarchy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/address.h"
+#include "common/types.h"
+#include "mem/replacement.h"
+
+namespace malec::mem {
+
+class L2Cache {
+ public:
+  struct Params {
+    std::uint64_t capacity_bytes = 1ull << 20;  ///< 1 MByte
+    std::uint32_t assoc = 16;
+    std::uint32_t line_bytes = 64;
+    ReplacementKind replacement = ReplacementKind::kLru;
+    std::uint64_t seed = 11;
+  };
+
+  struct FillResult {
+    std::uint32_t way = 0;
+    bool evicted = false;
+    Addr evicted_line_base = 0;
+    bool evicted_dirty = false;
+  };
+
+  explicit L2Cache(const Params& p);
+
+  [[nodiscard]] std::optional<std::uint32_t> probe(Addr paddr) const;
+  void touch(Addr paddr, std::uint32_t way);
+  FillResult fill(Addr paddr);
+  void markDirty(Addr paddr, std::uint32_t way);
+  std::optional<bool> invalidate(Addr paddr);
+
+  [[nodiscard]] std::uint32_t sets() const { return sets_; }
+  [[nodiscard]] std::uint64_t fills() const { return fills_; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t tag = 0;
+  };
+
+  [[nodiscard]] std::uint32_t setOf(Addr paddr) const;
+  [[nodiscard]] std::uint64_t tagOf(Addr paddr) const;
+  [[nodiscard]] Line& line(std::uint32_t set, std::uint32_t way);
+  [[nodiscard]] const Line& line(std::uint32_t set, std::uint32_t way) const;
+
+  Params p_;
+  std::uint32_t sets_;
+  std::uint32_t line_bits_;
+  std::uint32_t set_bits_;
+  std::vector<Line> lines_;
+  std::unique_ptr<ReplacementPolicy> repl_;
+  std::uint64_t fills_ = 0;
+};
+
+}  // namespace malec::mem

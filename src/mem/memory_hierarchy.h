@@ -1,0 +1,76 @@
+// Glue between L1, L2 and DRAM with miss-status handling.
+//
+// The interface models (MALEC / baselines) probe the L1 themselves — they
+// need the hit way and access mode for energy accounting. On a miss they
+// call missAccess(), which walks L2 -> DRAM, performs the L1 (and L2) fills,
+// fires fill/eviction callbacks (used to maintain Way Table validity bits,
+// Sec. V) and returns the cycle at which data is available. Outstanding
+// misses to the same line are merged MSHR-style.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "mem/l1_cache.h"
+#include "mem/l2_cache.h"
+
+namespace malec::mem {
+
+class MemoryHierarchy {
+ public:
+  struct Params {
+    Cycle l2_latency = 12;    ///< Table II
+    Cycle dram_latency = 54;  ///< Table II
+    std::uint32_t mshrs = 8;  ///< outstanding distinct line misses
+  };
+
+  /// Fired when a line is filled into / evicted from the L1. Way Table
+  /// validity maintenance hooks in here (paper Sec. V).
+  using FillCallback = std::function<void(Addr line_base, WayIdx way)>;
+  using EvictCallback = std::function<void(Addr line_base)>;
+
+  MemoryHierarchy(L1Cache& l1, L2Cache& l2, const Params& p);
+
+  void setFillCallback(FillCallback cb) { on_fill_ = std::move(cb); }
+  void setEvictCallback(EvictCallback cb) { on_evict_ = std::move(cb); }
+
+  struct MissOutcome {
+    bool l2_hit = false;
+    Cycle ready_cycle = 0;   ///< when the load's data is available
+    bool merged_mshr = false;///< piggybacked on an outstanding miss
+    WayIdx l1_way = kWayUnknown;  ///< way the line was filled into
+  };
+
+  /// Handle an established L1 miss for `paddr` at time `now`; performs the
+  /// fills eagerly (tag state) and returns data-ready timing. `is_store`
+  /// marks the filled line dirty (write-allocate).
+  MissOutcome missAccess(Addr paddr, Cycle now, bool is_store);
+
+  /// True if a new distinct line miss can be tracked at `now`.
+  [[nodiscard]] bool mshrAvailable(Cycle now) const;
+
+  // --- statistics ----------------------------------------------------------
+  [[nodiscard]] std::uint64_t l2Hits() const { return l2_hits_; }
+  [[nodiscard]] std::uint64_t l2Misses() const { return l2_misses_; }
+  [[nodiscard]] std::uint64_t l1Writebacks() const { return l1_writebacks_; }
+  [[nodiscard]] std::uint64_t mshrMerges() const { return mshr_merges_; }
+
+ private:
+  void dropExpired(Cycle now);
+
+  L1Cache& l1_;
+  L2Cache& l2_;
+  Params p_;
+  FillCallback on_fill_;
+  EvictCallback on_evict_;
+  /// line base -> (ready cycle, filled way): outstanding line fills.
+  std::unordered_map<Addr, std::pair<Cycle, WayIdx>> pending_;
+  std::uint64_t l2_hits_ = 0;
+  std::uint64_t l2_misses_ = 0;
+  std::uint64_t l1_writebacks_ = 0;
+  std::uint64_t mshr_merges_ = 0;
+};
+
+}  // namespace malec::mem

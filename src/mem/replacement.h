@@ -1,0 +1,83 @@
+// Replacement policies for set-associative structures.
+//
+// The paper uses LRU-style replacement for caches, random replacement for
+// the main TLB and the second-chance (clock) algorithm for the uTLB — the
+// latter chosen to reduce uWT->WT writeback traffic (Sec. V).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace malec::mem {
+
+/// Chooses victims within one set of `ways` ways. `allowed_mask` restricts
+/// candidate ways (bit i set = way i allowed); MALEC uses this to keep lines
+/// out of their WT-excluded way (Sec. V).
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+  /// Note a hit on (set, way).
+  virtual void touch(std::uint32_t set, std::uint32_t way) = 0;
+  /// Note a fill into (set, way).
+  virtual void fill(std::uint32_t set, std::uint32_t way) = 0;
+  /// Pick a victim way within `set` among `allowed_mask`.
+  [[nodiscard]] virtual std::uint32_t victim(std::uint32_t set,
+                                             std::uint64_t allowed_mask) = 0;
+};
+
+/// True LRU via per-set recency stamps.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  LruPolicy(std::uint32_t sets, std::uint32_t ways);
+  void touch(std::uint32_t set, std::uint32_t way) override;
+  void fill(std::uint32_t set, std::uint32_t way) override;
+  [[nodiscard]] std::uint32_t victim(std::uint32_t set,
+                                     std::uint64_t allowed_mask) override;
+
+ private:
+  std::uint32_t ways_;
+  std::uint64_t tick_ = 0;
+  std::vector<std::uint64_t> stamp_;  ///< sets x ways
+};
+
+/// Uniform-random victim selection (paper: TLB replacement).
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  RandomPolicy(std::uint32_t sets, std::uint32_t ways, Rng rng);
+  void touch(std::uint32_t set, std::uint32_t way) override;
+  void fill(std::uint32_t set, std::uint32_t way) override;
+  [[nodiscard]] std::uint32_t victim(std::uint32_t set,
+                                     std::uint64_t allowed_mask) override;
+
+ private:
+  std::uint32_t ways_;
+  Rng rng_;
+};
+
+/// Second-chance (clock). Intended for fully-associative structures
+/// (sets == 1); the paper uses it for the uTLB to minimise full-entry
+/// uWT->WT transfers.
+class SecondChancePolicy final : public ReplacementPolicy {
+ public:
+  SecondChancePolicy(std::uint32_t sets, std::uint32_t ways);
+  void touch(std::uint32_t set, std::uint32_t way) override;
+  void fill(std::uint32_t set, std::uint32_t way) override;
+  [[nodiscard]] std::uint32_t victim(std::uint32_t set,
+                                     std::uint64_t allowed_mask) override;
+
+ private:
+  std::uint32_t ways_;
+  std::vector<std::uint8_t> ref_;     ///< reference bits, sets x ways
+  std::vector<std::uint32_t> hand_;   ///< clock hand per set
+};
+
+enum class ReplacementKind { kLru, kRandom, kSecondChance };
+
+/// Factory used by cache/TLB constructors.
+[[nodiscard]] std::unique_ptr<ReplacementPolicy> makePolicy(
+    ReplacementKind kind, std::uint32_t sets, std::uint32_t ways, Rng rng);
+
+}  // namespace malec::mem

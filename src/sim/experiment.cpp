@@ -1,0 +1,76 @@
+#include "sim/experiment.h"
+
+#include <cstdlib>
+
+#include "energy/energy_account.h"
+#include "sim/presets.h"
+#include "sim/structures.h"
+#include "trace/synth_generator.h"
+
+namespace malec::sim {
+
+RunOutput runOne(const RunConfig& rc) {
+  energy::EnergyAccount ea;
+  defineEnergies(ea, rc.interface_cfg, rc.system);
+
+  trace::SyntheticTraceGenerator gen(rc.workload, rc.system.layout,
+                                     rc.instructions, rc.seed);
+  auto ifc = makeInterface(rc.interface_cfg, rc.system, ea);
+  cpu::CoreModel core(rc.system, rc.interface_cfg, gen, *ifc);
+
+  // Safety bound: no workload should need 60 cycles per instruction.
+  const cpu::CoreStats cs = core.run(rc.instructions * 60 + 100'000);
+
+  RunOutput out;
+  out.benchmark = rc.workload.name;
+  out.config = rc.interface_cfg.name;
+  out.cycles = cs.cycles;
+  out.instructions = cs.instructions;
+  out.ipc = cs.ipc();
+  out.core = cs;
+  out.ifc = ifc->stats();
+  out.dynamic_pj = ea.dynamicPj();
+  out.leakage_pj = ea.leakagePj(cs.cycles, rc.system.clock_ghz);
+  out.total_pj = out.dynamic_pj + out.leakage_pj;
+  out.way_coverage = out.ifc.wayCoverage();
+  out.l1_load_miss_rate =
+      out.ifc.load_l1_accesses == 0
+          ? 0.0
+          : static_cast<double>(out.ifc.load_l1_misses) /
+                static_cast<double>(out.ifc.load_l1_accesses);
+  out.merged_load_fraction =
+      out.ifc.loads_submitted == 0
+          ? 0.0
+          : static_cast<double>(out.ifc.merged_loads) /
+                static_cast<double>(out.ifc.loads_submitted);
+  out.energy_detail = ea.report(cs.cycles, rc.system.clock_ghz);
+  return out;
+}
+
+std::vector<RunOutput> runConfigs(
+    const trace::WorkloadProfile& wl,
+    const std::vector<core::InterfaceConfig>& cfgs,
+    std::uint64_t instructions, std::uint64_t seed) {
+  std::vector<RunOutput> outs;
+  outs.reserve(cfgs.size());
+  for (const auto& cfg : cfgs) {
+    RunConfig rc;
+    rc.workload = wl;
+    rc.interface_cfg = cfg;
+    rc.system = defaultSystem();
+    rc.instructions = instructions;
+    rc.seed = seed;
+    outs.push_back(runOne(rc));
+  }
+  return outs;
+}
+
+std::uint64_t instructionBudget(std::uint64_t dflt) {
+  if (const char* env = std::getenv("MALEC_INSTR"); env != nullptr) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<std::uint64_t>(v);
+  }
+  return dflt;
+}
+
+}  // namespace malec::sim

@@ -1,0 +1,59 @@
+// Experiment runner: one (benchmark, interface configuration) simulation,
+// producing timing, behavioural and energy results — the unit of work every
+// bench binary and example builds on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/interface_config.h"
+#include "core/mem_interface.h"
+#include "cpu/core_model.h"
+#include "trace/workload_profile.h"
+
+namespace malec::sim {
+
+struct RunConfig {
+  trace::WorkloadProfile workload;
+  core::InterfaceConfig interface_cfg;
+  core::SystemConfig system;
+  /// Instructions to simulate. The paper uses 1B-instruction Simpoint
+  /// phases; the synthetic workloads reach steady state much faster.
+  std::uint64_t instructions = 200'000;
+  std::uint64_t seed = 1;
+};
+
+struct RunOutput {
+  std::string benchmark;
+  std::string config;
+  Cycle cycles = 0;
+  std::uint64_t instructions = 0;
+  double ipc = 0.0;
+  double dynamic_pj = 0.0;
+  double leakage_pj = 0.0;
+  double total_pj = 0.0;
+  double way_coverage = 0.0;    ///< reduced-access fraction of way lookups
+  double l1_load_miss_rate = 0.0;
+  double merged_load_fraction = 0.0;  ///< of submitted loads
+  core::InterfaceStats ifc;
+  cpu::CoreStats core;
+  StatSet energy_detail;
+};
+
+/// Run one simulation.
+[[nodiscard]] RunOutput runOne(const RunConfig& rc);
+
+/// Run one benchmark across several interface configurations (shared
+/// workload parameters and instruction budget).
+[[nodiscard]] std::vector<RunOutput> runConfigs(
+    const trace::WorkloadProfile& wl,
+    const std::vector<core::InterfaceConfig>& cfgs,
+    std::uint64_t instructions, std::uint64_t seed = 1);
+
+/// Instruction budget honouring the MALEC_INSTR environment override
+/// (lets CI shrink runs; benches default to `dflt`).
+[[nodiscard]] std::uint64_t instructionBudget(std::uint64_t dflt);
+
+}  // namespace malec::sim

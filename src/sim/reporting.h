@@ -1,0 +1,48 @@
+// Table formatting for the bench binaries: per-benchmark rows with
+// suite and overall geometric means, normalised the way the paper plots
+// Fig. 4 (percent of the Base1ldst value).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace malec::sim {
+
+/// Geometric mean; empty input yields 0.
+[[nodiscard]] double geomean(const std::vector<double>& v);
+
+/// One output table: first column = row label, remaining columns numeric.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void addRow(const std::string& label, const std::vector<double>& values);
+  /// Insert a geometric-mean row over the rows added since the last mean.
+  void addGeomeanRow(const std::string& label);
+  /// Geometric mean over every data row added so far (excluding mean rows).
+  void addOverallGeomeanRow(const std::string& label);
+
+  /// Render with fixed-point values ("%.1f" by default).
+  [[nodiscard]] std::string render(int precision = 1) const;
+  /// Comma-separated form for downstream plotting.
+  [[nodiscard]] std::string csv(int precision = 4) const;
+
+  /// Write csv() to `<dir>/<name>.csv` when the MALEC_CSV_DIR environment
+  /// variable is set; silently does nothing otherwise. Returns whether a
+  /// file was written.
+  bool maybeWriteCsv(const std::string& name, int precision = 4) const;
+
+ private:
+  struct Row {
+    std::string label;
+    std::vector<double> values;
+    bool is_mean = false;
+  };
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+  std::size_t mean_window_start_ = 0;
+};
+
+}  // namespace malec::sim

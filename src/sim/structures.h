@@ -1,0 +1,31 @@
+// Binds the mini-CACTI array model to a configuration: builds the physical
+// array inventory of the L1 data memory subsystem (L1 tag/data arrays,
+// uTLB+uWT, TLB+WT, optional WDU), derives per-event dynamic energies and
+// per-structure leakage powers, and registers them with an EnergyAccount —
+// the exact counterpart of the paper's CACTI step (Sec. VI-A).
+#pragma once
+
+#include <vector>
+
+#include "core/interface_config.h"
+#include "energy/array_model.h"
+#include "energy/energy_account.h"
+#include "energy/tech.h"
+
+namespace malec::sim {
+
+/// One modelled array with its estimate (for reports and tests).
+struct StructureInfo {
+  energy::SramArraySpec spec;
+  energy::ArrayEstimate est;
+  std::uint32_t instances = 1;  ///< e.g. one tag array per bank
+};
+
+/// Register all event energies and leakages for `cfg` on `ea`.
+/// Returns the array inventory used (for inspection).
+std::vector<StructureInfo> defineEnergies(
+    energy::EnergyAccount& ea, const core::InterfaceConfig& cfg,
+    const core::SystemConfig& sys,
+    const energy::TechnologyParams& tech = energy::tech32nm());
+
+}  // namespace malec::sim

@@ -1,0 +1,28 @@
+#include "tlb/page_table.h"
+
+#include "common/check.h"
+
+namespace malec::tlb {
+
+PageTable::PageTable(std::uint32_t phys_pages, std::uint64_t seed)
+    : phys_pages_(phys_pages), seed_(seed) {
+  MALEC_CHECK(phys_pages >= 1);
+}
+
+PageId PageTable::translate(PageId vpage) {
+  auto it = map_.find(vpage);
+  if (it != map_.end()) return it->second;
+  ++walks_;
+  // splitmix-style mix keyed by the seed; collisions are acceptable (two
+  // virtual pages sharing a frame is harmless for this study).
+  std::uint64_t x = (static_cast<std::uint64_t>(vpage) + seed_) *
+                    0x9E3779B97F4A7C15ull;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  const PageId ppage = static_cast<PageId>(x % phys_pages_);
+  map_.emplace(vpage, ppage);
+  return ppage;
+}
+
+}  // namespace malec::tlb

@@ -1,0 +1,42 @@
+// Deterministic flat page table.
+//
+// Virtual pages map to physical pages through a keyed mixing function, so
+// translations are stable across a run, distinct pages collide rarely within
+// the modelled physical space, and no per-page state needs allocating. The
+// mapping is invertible in practice for our working sets because we memoise
+// the assignments that were actually handed out (needed for reverse lookups
+// in tests).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace malec::tlb {
+
+class PageTable {
+ public:
+  /// `phys_pages` bounds the physical page space (256 MByte DRAM / 4 KByte
+  /// pages = 65536 by default, paper Table II).
+  explicit PageTable(std::uint32_t phys_pages = 65536,
+                     std::uint64_t seed = 0xA5A5);
+
+  /// Translate a virtual page ID to a physical page ID. Stable per run.
+  [[nodiscard]] PageId translate(PageId vpage);
+
+  /// Cycles a hardware page walk takes on a TLB miss.
+  [[nodiscard]] Cycle walkLatency() const { return walk_latency_; }
+  void setWalkLatency(Cycle c) { walk_latency_ = c; }
+
+  [[nodiscard]] std::uint64_t walks() const { return walks_; }
+
+ private:
+  std::uint32_t phys_pages_;
+  std::uint64_t seed_;
+  Cycle walk_latency_ = 30;
+  std::unordered_map<PageId, PageId> map_;
+  std::uint64_t walks_ = 0;
+};
+
+}  // namespace malec::tlb

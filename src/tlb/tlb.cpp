@@ -1,0 +1,74 @@
+#include "tlb/tlb.h"
+
+#include "common/check.h"
+
+namespace malec::tlb {
+
+Tlb::Tlb(const Params& p)
+    : slots_(p.entries),
+      repl_(mem::makePolicy(p.replacement, 1, p.entries, Rng(p.seed))) {
+  MALEC_CHECK(p.entries >= 1);
+}
+
+std::optional<std::uint32_t> Tlb::lookupV(PageId vpage) {
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].valid && slots_[i].vpage == vpage) {
+      repl_->touch(0, i);
+      ++hits_;
+      return i;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> Tlb::probeV(PageId vpage) const {
+  for (std::uint32_t i = 0; i < slots_.size(); ++i)
+    if (slots_[i].valid && slots_[i].vpage == vpage) return i;
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> Tlb::lookupP(PageId ppage) const {
+  for (std::uint32_t i = 0; i < slots_.size(); ++i)
+    if (slots_[i].valid && slots_[i].ppage == ppage) return i;
+  return std::nullopt;
+}
+
+std::uint32_t Tlb::insert(PageId vpage, PageId ppage) {
+  // Reuse an existing mapping slot for the same vpage if present.
+  if (auto slot = probeV(vpage); slot.has_value()) {
+    slots_[*slot].ppage = ppage;
+    repl_->touch(0, *slot);
+    return *slot;
+  }
+  // Prefer an invalid slot.
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].valid) {
+      slots_[i] = Entry{true, vpage, ppage};
+      repl_->fill(0, i);
+      return i;
+    }
+  }
+  const std::uint64_t all =
+      slots_.size() >= 64 ? ~0ull : ((1ull << slots_.size()) - 1);
+  const std::uint32_t victim = repl_->victim(0, all);
+  if (slots_[victim].valid) {
+    ++evictions_;
+    if (on_evict_) on_evict_(victim);
+  }
+  slots_[victim] = Entry{true, vpage, ppage};
+  repl_->fill(0, victim);
+  return victim;
+}
+
+void Tlb::invalidate(std::uint32_t slot) {
+  MALEC_CHECK(slot < slots_.size());
+  slots_[slot].valid = false;
+}
+
+const Tlb::Entry& Tlb::entry(std::uint32_t slot) const {
+  MALEC_CHECK(slot < slots_.size());
+  return slots_[slot];
+}
+
+}  // namespace malec::tlb

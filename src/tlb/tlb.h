@@ -1,0 +1,83 @@
+// Translation lookaside buffer with reverse (physical) lookup.
+//
+// MALEC couples a Way Table entry to every TLB entry, so this TLB exposes
+// slot indices, fires an eviction callback when a slot is recycled, and —
+// because the L1 is PIPT and line fills/evictions carry physical tags —
+// additionally supports lookups by *physical* page ID (paper Sec. V: "the
+// uTLB and TLB need to be modified to allow lookups based on physical, in
+// addition to virtual, PageIDs"). Energy accounting therefore treats each
+// TLB as two fully-associative tag arrays over one payload array (VI-A).
+//
+// The paper's configuration: 64-entry main TLB with random replacement,
+// 16-entry uTLB with second-chance replacement (chosen to keep hot pages —
+// and hence their uWT entries — resident, minimising full-entry uWT->WT
+// transfers).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "mem/replacement.h"
+
+namespace malec::tlb {
+
+class Tlb {
+ public:
+  struct Params {
+    std::uint32_t entries = 64;
+    mem::ReplacementKind replacement = mem::ReplacementKind::kRandom;
+    std::uint64_t seed = 13;
+  };
+
+  struct Entry {
+    bool valid = false;
+    PageId vpage = 0;
+    PageId ppage = 0;
+  };
+
+  /// Fired just before a valid slot is recycled for a different page.
+  using EvictCallback = std::function<void(std::uint32_t slot)>;
+
+  explicit Tlb(const Params& p);
+
+  void setEvictCallback(EvictCallback cb) { on_evict_ = std::move(cb); }
+
+  /// Forward lookup by virtual page; returns the slot index on a hit and
+  /// updates replacement state.
+  std::optional<std::uint32_t> lookupV(PageId vpage);
+
+  /// Reverse lookup by physical page; does NOT touch replacement state
+  /// (fills/evictions are not locality events). Returns the first match.
+  [[nodiscard]] std::optional<std::uint32_t> lookupP(PageId ppage) const;
+
+  /// Probe without updating replacement state (tests, peek paths).
+  [[nodiscard]] std::optional<std::uint32_t> probeV(PageId vpage) const;
+
+  /// Insert a translation; evicts if full. Returns the slot used.
+  std::uint32_t insert(PageId vpage, PageId ppage);
+
+  /// Invalidate a slot (tests / shootdowns).
+  void invalidate(std::uint32_t slot);
+
+  [[nodiscard]] const Entry& entry(std::uint32_t slot) const;
+  [[nodiscard]] std::uint32_t entries() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  std::vector<Entry> slots_;
+  std::unique_ptr<mem::ReplacementPolicy> repl_;
+  EvictCallback on_evict_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace malec::tlb

@@ -1,0 +1,124 @@
+#include "trace/locality_analyzer.h"
+
+#include "common/check.h"
+
+namespace malec::trace {
+
+LocalityAnalyzer::LocalityAnalyzer(AddressLayout layout,
+                                   std::vector<std::uint32_t> allowances)
+    : layout_(layout), allowances_(std::move(allowances)) {}
+
+void LocalityAnalyzer::observe(const InstrRecord& r) {
+  if (!r.isMem()) return;
+  Access a;
+  a.page = layout_.pageId(r.vaddr);
+  a.line = layout_.lineAddr(r.vaddr);
+  a.is_load = r.isLoad();
+  if (a.is_load) load_pages_.push_back(static_cast<std::uint32_t>(accesses_.size()));
+  accesses_.push_back(a);
+}
+
+PageGroupStats LocalityAnalyzer::analyzeAllowance(std::uint32_t x) const {
+  PageGroupStats st;
+  st.allowed_intermediates = x;
+  st.total_loads = load_pages_.size();
+  if (load_pages_.empty()) return st;
+
+  // Walk loads in order, forming maximal chains: a chain continues when the
+  // next load to the same page appears with at most `x` intervening accesses
+  // to *different* pages (paper Fig. 1 definition). Accesses to the same
+  // page do not count against the allowance.
+  std::uint64_t g1 = 0, g2 = 0, g34 = 0, g58 = 0, g9 = 0, followed = 0;
+
+  std::size_t li = 0;
+  while (li < load_pages_.size()) {
+    const PageId page = accesses_[load_pages_[li]].page;
+    std::uint64_t group = 1;
+    std::size_t cur = li;
+    while (true) {
+      // Scan forward from the access position of load `cur` looking for the
+      // next load to `page` within the allowance.
+      std::uint32_t strangers = 0;
+      std::size_t pos = load_pages_[cur] + 1;
+      bool chained = false;
+      while (pos < accesses_.size() && strangers <= x) {
+        const Access& a = accesses_[pos];
+        if (a.page == page) {
+          if (a.is_load) {
+            chained = true;
+            break;
+          }
+        } else {
+          ++strangers;
+        }
+        ++pos;
+      }
+      if (!chained) break;
+      // Find the load index of the chained access.
+      std::size_t nli = cur + 1;
+      while (nli < load_pages_.size() && load_pages_[nli] != pos) ++nli;
+      if (nli >= load_pages_.size()) break;
+      ++group;
+      cur = nli;
+      if (cur != li + group - 1) {
+        // Loads between li and cur that belong to other pages stay in the
+        // stream; chains may interleave. For simplicity each load belongs to
+        // exactly one chain: we only chain strictly forward from `li`'s run.
+      }
+    }
+    // Attribute the whole group's loads to the bucket.
+    if (group == 1) g1 += 1;
+    else if (group == 2) g2 += 2;
+    else if (group <= 4) g34 += group;
+    else if (group <= 8) g58 += group;
+    else g9 += group;
+    followed += group - 1;
+    li += group;
+  }
+
+  const double total = static_cast<double>(st.total_loads);
+  st.frac_group_1 = static_cast<double>(g1) / total;
+  st.frac_group_2 = static_cast<double>(g2) / total;
+  st.frac_group_3to4 = static_cast<double>(g34) / total;
+  st.frac_group_5to8 = static_cast<double>(g58) / total;
+  st.frac_group_gt8 = static_cast<double>(g9) / total;
+  st.frac_followed = static_cast<double>(followed) / total;
+  return st;
+}
+
+std::vector<PageGroupStats> LocalityAnalyzer::pageGroups() const {
+  std::vector<PageGroupStats> out;
+  out.reserve(allowances_.size());
+  for (std::uint32_t x : allowances_) out.push_back(analyzeAllowance(x));
+  return out;
+}
+
+double LocalityAnalyzer::sameLineFollowedFraction() const {
+  if (load_pages_.size() < 2) return 0.0;
+  std::uint64_t followed = 0;
+  for (std::size_t i = 0; i + 1 < load_pages_.size(); ++i) {
+    if (accesses_[load_pages_[i]].line == accesses_[load_pages_[i + 1]].line)
+      ++followed;
+  }
+  return static_cast<double>(followed) /
+         static_cast<double>(load_pages_.size());
+}
+
+double LocalityAnalyzer::storeSamePageFollowedFraction() const {
+  std::uint64_t stores = 0, followed = 0;
+  PageId prev_page = 0;
+  bool have_prev = false;
+  for (const Access& a : accesses_) {
+    if (a.is_load) continue;
+    if (have_prev) {
+      if (a.page == prev_page) ++followed;
+    }
+    prev_page = a.page;
+    have_prev = true;
+    ++stores;
+  }
+  if (stores < 2) return 0.0;
+  return static_cast<double>(followed) / static_cast<double>(stores - 1);
+}
+
+}  // namespace malec::trace

@@ -1,0 +1,71 @@
+// Address-stream locality analysis reproducing the paper's motivation data
+// (Sec. III / Fig. 1): how many consecutive read accesses hit the same page
+// when up to `x` intermediate accesses to different pages are tolerated, the
+// fraction of loads directly followed by a same-page (or same-line) load,
+// and the analogous store-side statistic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/address.h"
+#include "common/stats.h"
+#include "trace/record.h"
+
+namespace malec::trace {
+
+/// Result of one Fig. 1 analysis at a fixed intermediate-access allowance.
+struct PageGroupStats {
+  std::uint32_t allowed_intermediates = 0;
+  /// Fraction of loads whose page group (chain of same-page loads tolerating
+  /// the allowance) has size 1, 2, 3-4, 5-8, >8 — the Fig. 1 bar segments.
+  double frac_group_1 = 0.0;
+  double frac_group_2 = 0.0;
+  double frac_group_3to4 = 0.0;
+  double frac_group_5to8 = 0.0;
+  double frac_group_gt8 = 0.0;
+  /// Fraction of loads followed (within the allowance) by >=1 same-page
+  /// load, i.e. loads in groups of size >= 2. Paper: 70 % at x=0.
+  double frac_followed = 0.0;
+  std::uint64_t total_loads = 0;
+};
+
+/// Streaming analyzer: feed records in program order, then query.
+class LocalityAnalyzer {
+ public:
+  explicit LocalityAnalyzer(AddressLayout layout,
+                            std::vector<std::uint32_t> allowances = {0, 1, 2,
+                                                                     3, 4, 8});
+
+  void observe(const InstrRecord& r);
+
+  /// Finish and compute statistics (idempotent).
+  [[nodiscard]] std::vector<PageGroupStats> pageGroups() const;
+
+  /// Fraction of loads directly followed by >=1 load to the same line
+  /// (paper: 46 %).
+  [[nodiscard]] double sameLineFollowedFraction() const;
+
+  /// Fraction of stores directly followed by >=1 store to the same page.
+  [[nodiscard]] double storeSamePageFollowedFraction() const;
+
+  [[nodiscard]] std::uint64_t loads() const { return load_pages_.size(); }
+
+ private:
+  [[nodiscard]] PageGroupStats analyzeAllowance(std::uint32_t x) const;
+
+  AddressLayout layout_;
+  std::vector<std::uint32_t> allowances_;
+  /// Page ID of every access in order, with a load/store flag. Kept simple
+  /// and explicit: analysis workloads are tens of millions of records at
+  /// most, well within memory.
+  struct Access {
+    PageId page;
+    LineAddr line;
+    bool is_load;
+  };
+  std::vector<Access> accesses_;
+  std::vector<std::uint32_t> load_pages_;  ///< indices into accesses_
+};
+
+}  // namespace malec::trace

@@ -1,0 +1,49 @@
+// Instruction/memory-reference records produced by trace sources and
+// consumed by the out-of-order core model.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace malec::trace {
+
+enum class InstrKind : std::uint8_t {
+  kOther = 0,  ///< non-memory instruction (ALU/branch/FP)
+  kLoad = 1,
+  kStore = 2,
+};
+
+/// One dynamic instruction. Memory instructions carry a virtual address and
+/// access size; every instruction may carry a register dependency on an
+/// earlier instruction (`dep_distance` back in program order) which the core
+/// model honours when scheduling. `addr_dep_distance` models address
+/// computations that depend on an earlier load (pointer chasing).
+struct InstrRecord {
+  SeqNum seq = 0;
+  InstrKind kind = InstrKind::kOther;
+  Addr vaddr = 0;
+  std::uint8_t size = 0;
+  /// 0 = no data dependency; otherwise depends on instruction seq-N.
+  std::uint32_t dep_distance = 0;
+  /// 0 = address available immediately after issue; otherwise the address
+  /// computation consumes the result of load at seq-N.
+  std::uint32_t addr_dep_distance = 0;
+
+  [[nodiscard]] bool isMem() const { return kind != InstrKind::kOther; }
+  [[nodiscard]] bool isLoad() const { return kind == InstrKind::kLoad; }
+  [[nodiscard]] bool isStore() const { return kind == InstrKind::kStore; }
+};
+
+/// Streaming source of instructions. Implementations: synthetic generator,
+/// trace-file reader, in-memory vector (tests).
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  /// Fills `out` with the next instruction; returns false at end of stream.
+  virtual bool next(InstrRecord& out) = 0;
+  /// Restart the stream from the beginning (same sequence, deterministic).
+  virtual void reset() = 0;
+};
+
+}  // namespace malec::trace

@@ -1,0 +1,65 @@
+// Deterministic synthetic instruction-stream generator.
+//
+// Produces an unbounded stream of InstrRecords whose aggregate statistics
+// (memory-op density, load/store ratio, page/line locality per Fig. 1,
+// working-set footprint, dependency structure) follow a WorkloadProfile.
+// All randomness comes from a seeded Rng, so a given (profile, seed, length)
+// triple always yields the identical stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/address.h"
+#include "common/rng.h"
+#include "trace/record.h"
+#include "trace/workload_profile.h"
+
+namespace malec::trace {
+
+class SyntheticTraceGenerator final : public TraceSource {
+ public:
+  /// `num_instructions` bounds the stream (0 = unbounded).
+  SyntheticTraceGenerator(WorkloadProfile profile, AddressLayout layout,
+                          std::uint64_t num_instructions,
+                          std::uint64_t seed = 1);
+
+  bool next(InstrRecord& out) override;
+  void reset() override;
+
+  [[nodiscard]] const WorkloadProfile& profile() const { return profile_; }
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  struct Stream {
+    std::uint32_t page_index = 0;  ///< index into the working set
+    Addr offset = 0;               ///< current offset within the page
+  };
+
+  [[nodiscard]] Addr pageBase(std::uint32_t page_index) const;
+  std::uint32_t pickPage(bool streaming_next, std::uint32_t current);
+  Addr nextLoadAddr();
+  Addr nextStoreAddr();
+  void emitDeps(InstrRecord& r);
+
+  WorkloadProfile profile_;
+  AddressLayout layout_;
+  std::uint64_t limit_;
+  std::uint64_t seed_;
+
+  Rng rng_;
+  std::uint64_t emitted_ = 0;
+  SeqNum seq_ = 0;
+  std::vector<Stream> streams_;
+  std::uint32_t active_stream_ = 0;
+  Addr last_load_line_base_ = 0;
+  bool has_last_load_ = false;
+  Stream store_stream_;
+  Addr last_store_addr_ = 0;
+  bool has_last_store_ = false;
+  /// Distance (in instructions) since the most recent load, for dependency
+  /// generation.
+  std::uint32_t since_last_load_ = 0;
+};
+
+}  // namespace malec::trace

@@ -1,0 +1,131 @@
+#include "trace/trace_io.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace malec::trace {
+
+namespace {
+
+/// Fixed-width on-disk record (little-endian, packed manually for
+/// portability — no struct punning).
+constexpr std::size_t kRecordBytes = 8 + 8 + 1 + 1 + 4 + 4;
+
+void put64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+void put32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint64_t get64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+std::uint32_t get32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void encode(const InstrRecord& r, std::uint8_t* buf) {
+  put64(buf + 0, r.seq);
+  put64(buf + 8, r.vaddr);
+  buf[16] = static_cast<std::uint8_t>(r.kind);
+  buf[17] = r.size;
+  put32(buf + 18, r.dep_distance);
+  put32(buf + 22, r.addr_dep_distance);
+}
+
+void decode(const std::uint8_t* buf, InstrRecord& r) {
+  r.seq = get64(buf + 0);
+  r.vaddr = get64(buf + 8);
+  r.kind = static_cast<InstrKind>(buf[16]);
+  r.size = buf[17];
+  r.dep_distance = get32(buf + 18);
+  r.addr_dep_distance = get32(buf + 22);
+}
+
+constexpr long kHeaderBytes = 16;  // magic, version, count
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path) {
+  f_ = std::fopen(path.c_str(), "wb");
+  if (f_ == nullptr) return;
+  std::uint8_t hdr[kHeaderBytes] = {};
+  put32(hdr + 0, kTraceMagic);
+  put32(hdr + 4, kTraceVersion);
+  put64(hdr + 8, 0);  // record count patched on close
+  ok_ = std::fwrite(hdr, 1, sizeof hdr, f_) == sizeof hdr;
+}
+
+TraceWriter::~TraceWriter() {
+  if (f_ != nullptr) close();
+}
+
+void TraceWriter::write(const InstrRecord& r) {
+  if (!ok_) return;
+  std::uint8_t buf[kRecordBytes];
+  encode(r, buf);
+  if (std::fwrite(buf, 1, sizeof buf, f_) != sizeof buf) {
+    ok_ = false;
+    return;
+  }
+  ++count_;
+}
+
+bool TraceWriter::close() {
+  if (f_ == nullptr) return ok_;
+  if (ok_ && std::fseek(f_, 8, SEEK_SET) == 0) {
+    std::uint8_t cnt[8];
+    put64(cnt, count_);
+    ok_ = std::fwrite(cnt, 1, sizeof cnt, f_) == sizeof cnt;
+  }
+  std::fclose(f_);
+  f_ = nullptr;
+  return ok_;
+}
+
+TraceReader::TraceReader(const std::string& path) {
+  f_ = std::fopen(path.c_str(), "rb");
+  if (f_ == nullptr) return;
+  std::uint8_t hdr[kHeaderBytes];
+  if (std::fread(hdr, 1, sizeof hdr, f_) != sizeof hdr) return;
+  if (get32(hdr + 0) != kTraceMagic || get32(hdr + 4) != kTraceVersion) return;
+  total_ = get64(hdr + 8);
+  ok_ = true;
+}
+
+TraceReader::~TraceReader() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+bool TraceReader::next(InstrRecord& out) {
+  if (!ok_ || read_ >= total_) return false;
+  std::uint8_t buf[kRecordBytes];
+  if (std::fread(buf, 1, sizeof buf, f_) != sizeof buf) {
+    ok_ = false;
+    return false;
+  }
+  decode(buf, out);
+  ++read_;
+  return true;
+}
+
+void TraceReader::reset() {
+  if (f_ == nullptr) return;
+  std::fseek(f_, kHeaderBytes, SEEK_SET);
+  read_ = 0;
+  ok_ = true;
+}
+
+std::vector<InstrRecord> drain(TraceSource& src) {
+  std::vector<InstrRecord> v;
+  InstrRecord r;
+  while (src.next(r)) v.push_back(r);
+  return v;
+}
+
+}  // namespace malec::trace

@@ -1,0 +1,84 @@
+// Binary trace file I/O.
+//
+// Lets users capture a synthetic stream once and replay it (or bring their
+// own traces from a real simulator) — the on-disk format is a fixed-width
+// little-endian record stream with a small header.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace malec::trace {
+
+/// Magic bytes + version identifying a MALEC trace file.
+inline constexpr std::uint32_t kTraceMagic = 0x4D414C43;  // "MALC"
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Writes records to a trace file. Throws nothing; reports failures via
+/// ok(). The file is finalised (header record count patched) on close().
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void write(const InstrRecord& r);
+  /// Flush, patch the header and close. Returns false on I/O failure.
+  bool close();
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::uint64_t written() const { return count_; }
+
+ private:
+  std::FILE* f_ = nullptr;
+  bool ok_ = false;
+  std::uint64_t count_ = 0;
+};
+
+/// Streams records back from a trace file; implements TraceSource.
+class TraceReader final : public TraceSource {
+ public:
+  explicit TraceReader(const std::string& path);
+  ~TraceReader() override;
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  bool next(InstrRecord& out) override;
+  void reset() override;
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  std::FILE* f_ = nullptr;
+  bool ok_ = false;
+  std::uint64_t total_ = 0;
+  std::uint64_t read_ = 0;
+};
+
+/// In-memory trace source for tests and small experiments.
+class VectorTraceSource final : public TraceSource {
+ public:
+  explicit VectorTraceSource(std::vector<InstrRecord> records)
+      : records_(std::move(records)) {}
+
+  bool next(InstrRecord& out) override {
+    if (pos_ >= records_.size()) return false;
+    out = records_[pos_++];
+    return true;
+  }
+  void reset() override { pos_ = 0; }
+
+ private:
+  std::vector<InstrRecord> records_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: drain `src` into a vector (use only for bounded sources).
+[[nodiscard]] std::vector<InstrRecord> drain(TraceSource& src);
+
+}  // namespace malec::trace

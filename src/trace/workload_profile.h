@@ -1,0 +1,83 @@
+// Statistical workload description driving the synthetic trace generator.
+//
+// The paper evaluates Simpoint phases of SPEC CPU2000 and MediaBench2; we
+// have no access to those binaries or traces, so each benchmark is replaced
+// by a profile capturing the address-stream and ILP statistics the paper
+// reports (Sec. III and VI) — see DESIGN.md for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace malec::trace {
+
+struct WorkloadProfile {
+  std::string name;
+  std::string suite;  ///< "SPEC-INT", "SPEC-FP" or "MediaBench2"
+
+  // --- instruction mix -----------------------------------------------------
+  /// Fraction of instructions that reference memory (paper avg 40 %;
+  /// SPEC-INT 45 %, SPEC-FP 40 %, MediaBench2 37 %).
+  double mem_fraction = 0.40;
+  /// Fraction of memory references that are loads (paper: 2:1 ld/st).
+  double load_share = 0.667;
+
+  // --- spatial locality ----------------------------------------------------
+  /// Number of interleaved access streams (arrays/structures walked
+  /// concurrently). More streams -> more "intermediate accesses to a
+  /// different page" in the Fig. 1 sense.
+  std::uint32_t streams = 2;
+  /// Probability a memory access hops to a different stream.
+  double p_switch_stream = 0.25;
+  /// Probability the stream stays within its current page on an access.
+  double p_same_page = 0.82;
+  /// Within a page: probability of a sequential/strided step (vs a random
+  /// offset within the page).
+  double p_sequential = 0.70;
+  /// Stride for sequential steps, bytes.
+  std::uint32_t stride_bytes = 8;
+  /// Probability a load re-touches the previous load's cache line (drives
+  /// MALEC's load-merging opportunity; paper: 46 % same-line follow rate).
+  double p_same_line = 0.35;
+
+  // --- footprint / miss behaviour -------------------------------------
+  /// Working-set size in pages. Small -> everything L1-resident; large ->
+  /// capacity misses (mcf/art style).
+  std::uint32_t ws_pages = 512;
+  /// Fraction of page picks served from the hot subset.
+  double hot_fraction = 0.85;
+  /// Hot-subset size in pages.
+  std::uint32_t hot_pages = 48;
+  /// When leaving a page: probability of advancing to the *next* page
+  /// (streaming walk) instead of picking a random working-set page.
+  double p_stream_advance = 0.35;
+
+  // --- ILP structure ---------------------------------------------------
+  /// Probability an instruction's input depends on a recent load.
+  double dep_on_load = 0.30;
+  /// Cap for the (geometric) dependency distance draw.
+  std::uint32_t dep_distance_cap = 12;
+  /// Probability a memory access' *address* depends on a recent load
+  /// (pointer chasing; serialises address computation).
+  double addr_dep_on_load = 0.05;
+  /// Probability an instruction (that did not draw a load dependency)
+  /// depends on a very recent instruction — ALU dependency chains that
+  /// bound ILP independently of the memory system.
+  double dep_on_prev = 0.40;
+
+  // --- stores ------------------------------------------------------
+  /// Stores show higher page locality than loads (paper Sec. III).
+  double store_p_same_page = 0.90;
+  /// Probability a store lands adjacent to the previous store (drives
+  /// Merge Buffer coalescing).
+  double store_p_adjacent = 0.60;
+  /// Probability a store targets the page of the most recent load
+  /// (read-modify-write idiom). Keeps stores from breaking load page
+  /// chains in the Fig. 1 sense.
+  double store_near_load = 0.40;
+
+  /// Typical access size in bytes (4/8 scalar, 16 for media kernels).
+  std::uint32_t access_size = 8;
+};
+
+}  // namespace malec::trace

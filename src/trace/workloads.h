@@ -1,0 +1,32 @@
+// The 38 benchmark workload models used throughout the evaluation:
+// 12 SPEC CPU2000 integer, 14 SPEC CPU2000 floating-point and 12
+// MediaBench2 kernels, matching the x-axes of the paper's Fig. 4.
+//
+// Per-benchmark parameters are calibrated from the statistics the paper
+// itself documents (see workload_profile.h and DESIGN.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/workload_profile.h"
+
+namespace malec::trace {
+
+/// All benchmark profiles in the paper's plotting order.
+[[nodiscard]] const std::vector<WorkloadProfile>& allWorkloads();
+
+/// Profiles belonging to one suite ("SPEC-INT", "SPEC-FP", "MediaBench2").
+[[nodiscard]] std::vector<WorkloadProfile> workloadsForSuite(
+    const std::string& suite);
+
+/// Look up a single profile by benchmark name; aborts if unknown.
+[[nodiscard]] const WorkloadProfile& workloadByName(const std::string& name);
+
+/// True if a profile with this name exists.
+[[nodiscard]] bool hasWorkload(const std::string& name);
+
+/// The three suite names in plotting order.
+[[nodiscard]] const std::vector<std::string>& suiteNames();
+
+}  // namespace malec::trace

@@ -1,0 +1,61 @@
+// The 2-bit combined validity+way encoding of Way Table entries.
+//
+// Paper Sec. V: a WT entry holds 2 bits per cache line of its page (128 bits
+// for 64 lines), instead of the naive 1 valid + 2 way bits (192 bits),
+// cutting WT area and leakage by one third. The trick: for each line, one
+// specific way — excludedWay = (lineInPage / banks) % assoc — is declared
+// unrepresentable ("way unknown"), so the remaining three ways plus the
+// unknown state fit in 2 bits. The L1 allocation policy avoids the excluded
+// way for that line, and working sets still use all four ways because the
+// excluded way rotates with the line index.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace malec::waydet {
+
+/// 2-bit code: 0 = way unknown / invalid; 1..3 = one of the three
+/// representable ways for the line.
+using WayCode = std::uint8_t;
+inline constexpr WayCode kCodeUnknown = 0;
+
+/// The way that cannot be encoded for `line_in_page` within page
+/// `page_salt` (low physical-page bits). The paper fixes the excluded way
+/// per line index (lines 0..3 exclude way 0, 4..7 way 1, ...); salting the
+/// rotation with the page ID keeps that property per page while letting
+/// different pages mapping to the same cache set exclude different ways,
+/// which is what preserves full set associativity across a working set
+/// ("working sets may still utilize all four ways", Sec. V).
+[[nodiscard]] inline std::uint32_t excludedWay(std::uint32_t line_in_page,
+                                               std::uint32_t page_salt,
+                                               std::uint32_t banks,
+                                               std::uint32_t assoc) {
+  return (line_in_page / banks + page_salt) % assoc;
+}
+
+/// Encode a physical way for a line; the excluded way encodes as unknown.
+[[nodiscard]] inline WayCode encodeWay(std::uint32_t way,
+                                       std::uint32_t excluded_way,
+                                       [[maybe_unused]] std::uint32_t assoc) {
+  MALEC_DCHECK(way < assoc);
+  MALEC_DCHECK(excluded_way < assoc);
+  if (way == excluded_way) return kCodeUnknown;
+  // Representable ways in increasing order map onto codes 1..assoc-1.
+  const std::uint32_t rank = way < excluded_way ? way : way - 1;
+  return static_cast<WayCode>(rank + 1);
+}
+
+/// Decode a code back to a way; kCodeUnknown decodes to kWayUnknown.
+[[nodiscard]] inline WayIdx decodeWay(WayCode code, std::uint32_t excluded_way,
+                                      [[maybe_unused]] std::uint32_t assoc) {
+  if (code == kCodeUnknown) return kWayUnknown;
+  MALEC_DCHECK(code < assoc);
+  const std::uint32_t rank = code - 1;
+  const std::uint32_t way = rank < excluded_way ? rank : rank + 1;
+  return static_cast<WayIdx>(way);
+}
+
+}  // namespace malec::waydet

@@ -1,0 +1,62 @@
+#include "waydet/wdu.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace malec::waydet {
+
+Wdu::Wdu(std::uint32_t entries) : capacity_(entries), slots_(entries) {
+  MALEC_CHECK(entries >= 1);
+}
+
+std::optional<WayIdx> Wdu::lookup(LineAddr line) {
+  ++searches_;
+  for (Slot& s : slots_) {
+    if (s.valid && s.line == line) {
+      s.lru = ++tick_;
+      ++hits_;
+      return s.way;
+    }
+  }
+  return std::nullopt;
+}
+
+void Wdu::record(LineAddr line, WayIdx way) {
+  MALEC_CHECK(way != kWayUnknown);
+  for (Slot& s : slots_) {
+    if (s.valid && s.line == line) {
+      s.way = way;
+      s.lru = ++tick_;
+      return;
+    }
+  }
+  // Allocate: invalid slot first, else LRU.
+  Slot* victim = nullptr;
+  for (Slot& s : slots_) {
+    if (!s.valid) {
+      victim = &s;
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    victim = &*std::min_element(
+        slots_.begin(), slots_.end(),
+        [](const Slot& a, const Slot& b) { return a.lru < b.lru; });
+  }
+  victim->valid = true;
+  victim->line = line;
+  victim->way = way;
+  victim->lru = ++tick_;
+}
+
+void Wdu::invalidate(LineAddr line) {
+  for (Slot& s : slots_) {
+    if (s.valid && s.line == line) {
+      s.valid = false;
+      return;
+    }
+  }
+}
+
+}  // namespace malec::waydet

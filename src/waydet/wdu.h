@@ -1,0 +1,58 @@
+// Way Determination Unit — the line-granularity prior art MALEC's
+// Page-Based Way Determination is compared against (Nicolaescu, Veidenbaum
+// and Nicolau, DATE'03; paper Sec. II and VI-C).
+//
+// The WDU is a small fully-associative buffer of recently accessed cache
+// lines, each associated with exactly one way: a line either hits in that
+// way or misses the whole cache. Per the paper's comparison methodology, we
+// extend the original WDU with validity bits so it too can issue *reduced*
+// accesses (tag arrays bypassed) rather than mere predictions.
+//
+// Unlike the single-ported, lookup-free WT (indexed by the TLB hit), the
+// WDU needs one fully-associative, tag-sized lookup port per parallel
+// memory reference — four for the evaluated MALEC configuration — which is
+// what makes it the energy-losing option at this access parallelism.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace malec::waydet {
+
+class Wdu {
+ public:
+  /// `entries`: 8, 16 or 32 in the paper's sweep.
+  explicit Wdu(std::uint32_t entries);
+
+  /// Look up the way for a line address; counts one associative search.
+  [[nodiscard]] std::optional<WayIdx> lookup(LineAddr line);
+
+  /// Record/refresh a line->way binding (on cache access or fill).
+  void record(LineAddr line, WayIdx way);
+
+  /// Drop a line (cache eviction) — the validity extension.
+  void invalidate(LineAddr line);
+
+  [[nodiscard]] std::uint32_t entries() const { return capacity_; }
+  [[nodiscard]] std::uint64_t searches() const { return searches_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+
+ private:
+  struct Slot {
+    bool valid = false;
+    LineAddr line = 0;
+    WayIdx way = kWayUnknown;
+    std::uint64_t lru = 0;
+  };
+
+  std::uint32_t capacity_;
+  std::vector<Slot> slots_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t searches_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace malec::waydet

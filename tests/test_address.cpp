@@ -1,0 +1,144 @@
+#include "common/address.h"
+
+#include <gtest/gtest.h>
+
+namespace malec {
+namespace {
+
+TEST(AddressLayout, DefaultsMatchTableII) {
+  AddressLayout l;
+  EXPECT_EQ(l.addrBits(), 32u);
+  EXPECT_EQ(l.pageBytes(), 4096u);
+  EXPECT_EQ(l.lineBytes(), 64u);
+  EXPECT_EQ(l.subBlockBytes(), 16u);
+  EXPECT_EQ(l.l1Bytes(), 32u * 1024);
+  EXPECT_EQ(l.l1Assoc(), 4u);
+  EXPECT_EQ(l.l1Banks(), 4u);
+}
+
+TEST(AddressLayout, DerivedWidths) {
+  AddressLayout l;
+  EXPECT_EQ(l.pageOffsetBits(), 12u);
+  EXPECT_EQ(l.lineOffsetBits(), 6u);
+  EXPECT_EQ(l.pageIdBits(), 20u);   // 32-bit space, 4 KByte pages (Sec. V)
+  EXPECT_EQ(l.linesPerPage(), 64u); // 64 lines per WT entry (Fig. 3)
+  EXPECT_EQ(l.l1Sets(), 128u);
+  EXPECT_EQ(l.l1SetsPerBank(), 32u);
+  EXPECT_EQ(l.subBlocksPerLine(), 4u);
+  // Narrow arbitration comparator: addr - pageID - line offset (Sec. IV).
+  EXPECT_EQ(l.narrowComparatorBits(), 6u);
+}
+
+TEST(AddressLayout, PageDecomposition) {
+  AddressLayout l;
+  const Addr a = 0x1234'5678;
+  EXPECT_EQ(l.pageId(a), 0x12345u);
+  EXPECT_EQ(l.pageOffset(a), 0x678u);
+  EXPECT_EQ(l.compose(l.pageId(a), l.pageOffset(a)), a);
+}
+
+TEST(AddressLayout, LineDecomposition) {
+  AddressLayout l;
+  const Addr a = 0x1234'5678;
+  EXPECT_EQ(l.lineAddr(a), a >> 6);
+  EXPECT_EQ(l.lineBase(a), a & ~0x3Full);
+  EXPECT_EQ(l.lineOffset(a), a & 0x3F);
+  EXPECT_EQ(l.lineInPage(a), (a >> 6) & 63);
+}
+
+TEST(AddressLayout, BankInterleavingOnLineAddress) {
+  AddressLayout l;
+  // Paper Sec. V: lines 0..3 of a page go to separate banks; lines
+  // 0,4,8,... map to the same bank.
+  const Addr page = 0x7000'0000 & ~0xFFFull;
+  for (std::uint32_t line = 0; line < 64; ++line) {
+    EXPECT_EQ(l.bankOf(page + line * 64), line % 4);
+  }
+}
+
+TEST(AddressLayout, SetAndTagRoundTrip) {
+  AddressLayout l;
+  const Addr a = 0x0BCD'EF40;
+  const std::uint32_t set = l.l1Set(a);
+  const std::uint64_t tag = l.l1Tag(a);
+  EXPECT_LT(set, l.l1Sets());
+  // Rebuild the line base from tag+set.
+  const Addr rebuilt = (tag << (6 + 7)) | (static_cast<Addr>(set) << 6);
+  EXPECT_EQ(rebuilt, l.lineBase(a));
+}
+
+TEST(AddressLayout, SetInBankConsistent) {
+  AddressLayout l;
+  for (Addr a = 0x100000; a < 0x100000 + 64 * 128; a += 64) {
+    const std::uint32_t global = l.l1Set(a);
+    EXPECT_EQ(global % l.l1Banks(), l.bankOf(a));
+    EXPECT_EQ(global / l.l1Banks(), l.l1SetInBank(a));
+  }
+}
+
+TEST(AddressLayout, SubBlocks) {
+  AddressLayout l;
+  EXPECT_EQ(l.subBlockOf(0x1000), 0u);
+  EXPECT_EQ(l.subBlockOf(0x1010), 1u);
+  EXPECT_EQ(l.subBlockOf(0x1020), 2u);
+  EXPECT_EQ(l.subBlockOf(0x1030), 3u);
+  // Pairs: sub-blocks {0,1} and {2,3} (two adjacent per read, Sec. IV).
+  EXPECT_EQ(l.subBlockPairOf(0x1000), l.subBlockPairOf(0x101F));
+  EXPECT_NE(l.subBlockPairOf(0x1010), l.subBlockPairOf(0x1020));
+  EXPECT_TRUE(l.withinSubBlockPair(0x1018, 8));
+  EXPECT_FALSE(l.withinSubBlockPair(0x1018, 16));
+}
+
+TEST(AddressLayout, NonDefaultGeometry) {
+  AddressLayout::Params p;
+  p.l1_bytes = 64 * 1024;
+  p.l1_assoc = 8;
+  p.l1_banks = 2;
+  p.line_bytes = 32;
+  p.sub_block_bytes = 16;
+  AddressLayout l(p);
+  EXPECT_EQ(l.l1Sets(), 64u * 1024 / 32 / 8);
+  EXPECT_EQ(l.linesPerPage(), 128u);
+  EXPECT_EQ(l.l1SetsPerBank(), l.l1Sets() / 2);
+}
+
+TEST(Log2Exact, PowersOfTwo) {
+  EXPECT_EQ(log2Exact(1), 0u);
+  EXPECT_EQ(log2Exact(2), 1u);
+  EXPECT_EQ(log2Exact(4096), 12u);
+  EXPECT_EQ(log2Exact(1ull << 40), 40u);
+}
+
+TEST(IsPow2, Classification) {
+  EXPECT_TRUE(isPow2(1));
+  EXPECT_TRUE(isPow2(64));
+  EXPECT_FALSE(isPow2(0));
+  EXPECT_FALSE(isPow2(3));
+  EXPECT_FALSE(isPow2(96));
+}
+
+// Property sweep: page/line/bank accessors agree for arbitrary addresses.
+class AddressProperty : public ::testing::TestWithParam<Addr> {};
+
+TEST_P(AddressProperty, DecompositionInvariants) {
+  AddressLayout l;
+  const Addr a = GetParam();
+  EXPECT_EQ(l.compose(l.pageId(a), l.pageOffset(a)), a);
+  EXPECT_EQ(l.lineBase(a) + l.lineOffset(a), a);
+  EXPECT_EQ(l.lineAddr(a) * 64, l.lineBase(a));
+  EXPECT_LT(l.lineInPage(a), l.linesPerPage());
+  EXPECT_LT(l.bankOf(a), l.l1Banks());
+  EXPECT_LT(l.l1Set(a), l.l1Sets());
+  // Same line => same bank and same set.
+  EXPECT_EQ(l.bankOf(a), l.bankOf(l.lineBase(a)));
+  EXPECT_EQ(l.l1Set(a), l.l1Set(l.lineBase(a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AddressProperty,
+                         ::testing::Values(0x0ull, 0x1ull, 0x3Full, 0x40ull,
+                                           0xFFFull, 0x1000ull, 0x1FFFull,
+                                           0x1234'5678ull, 0xFFFF'FFFFull,
+                                           0x8000'0000ull, 0x7FFF'FFC0ull));
+
+}  // namespace
+}  // namespace malec

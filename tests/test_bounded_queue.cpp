@@ -1,0 +1,89 @@
+#include "common/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace malec {
+namespace {
+
+TEST(BoundedQueue, StartsEmpty) {
+  BoundedQueue<int> q(3);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.full());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.capacity(), 3u);
+  EXPECT_EQ(q.freeSlots(), 3u);
+}
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueue, TryPushRejectsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.tryPush(1));
+  EXPECT_TRUE(q.tryPush(2));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.tryPush(3));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, IndexedAccessAndErase) {
+  BoundedQueue<std::string> q(4);
+  q.push("a");
+  q.push("b");
+  q.push("c");
+  EXPECT_EQ(q.at(1), "b");
+  q.erase(1);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.at(0), "a");
+  EXPECT_EQ(q.at(1), "c");
+}
+
+TEST(BoundedQueue, FrontAccess) {
+  BoundedQueue<int> q(2);
+  q.push(42);
+  EXPECT_EQ(q.front(), 42);
+  q.front() = 7;
+  EXPECT_EQ(q.pop(), 7);
+}
+
+TEST(BoundedQueue, ClearEmpties) {
+  BoundedQueue<int> q(2);
+  q.push(1);
+  q.push(2);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.tryPush(3));
+}
+
+TEST(BoundedQueue, IterationInOrder) {
+  BoundedQueue<int> q(5);
+  for (int i = 0; i < 5; ++i) q.push(i * 10);
+  int expect = 0;
+  for (int v : q) {
+    EXPECT_EQ(v, expect);
+    expect += 10;
+  }
+}
+
+TEST(BoundedQueueDeath, PushOverflowAborts) {
+  BoundedQueue<int> q(1);
+  q.push(1);
+  EXPECT_DEATH(q.push(2), "overflow");
+}
+
+TEST(BoundedQueueDeath, PopEmptyAborts) {
+  BoundedQueue<int> q(1);
+  EXPECT_DEATH(q.pop(), "MALEC_CHECK");
+}
+
+}  // namespace
+}  // namespace malec

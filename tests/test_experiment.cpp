@@ -1,0 +1,94 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/presets.h"
+#include "trace/workloads.h"
+
+namespace malec::sim {
+namespace {
+
+RunConfig quickRun(const char* bench, core::InterfaceConfig cfg,
+                   std::uint64_t instrs = 20'000) {
+  RunConfig rc;
+  rc.workload = trace::workloadByName(bench);
+  rc.interface_cfg = std::move(cfg);
+  rc.system = defaultSystem();
+  rc.instructions = instrs;
+  rc.seed = 1;
+  return rc;
+}
+
+TEST(Experiment, RunsToCompletion) {
+  const auto out = runOne(quickRun("eon", presetMalec()));
+  EXPECT_EQ(out.instructions, 20'000u);
+  EXPECT_GT(out.cycles, 0u);
+  EXPECT_GT(out.ipc, 0.0);
+  EXPECT_GT(out.dynamic_pj, 0.0);
+  EXPECT_GT(out.leakage_pj, 0.0);
+  EXPECT_EQ(out.benchmark, "eon");
+  EXPECT_EQ(out.config, "MALEC");
+}
+
+TEST(Experiment, Deterministic) {
+  const auto a = runOne(quickRun("gcc", presetMalec()));
+  const auto b = runOne(quickRun("gcc", presetMalec()));
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.dynamic_pj, b.dynamic_pj);
+  EXPECT_DOUBLE_EQ(a.way_coverage, b.way_coverage);
+}
+
+TEST(Experiment, SeedChangesOutcome) {
+  auto rc = quickRun("gcc", presetMalec());
+  const auto a = runOne(rc);
+  rc.seed = 2;
+  const auto b = runOne(rc);
+  EXPECT_NE(a.cycles, b.cycles);
+}
+
+TEST(Experiment, RunConfigsCoversAll) {
+  const auto outs = runConfigs(trace::workloadByName("eon"), fig4Configs(),
+                               10'000, 1);
+  ASSERT_EQ(outs.size(), 5u);
+  EXPECT_EQ(outs[0].config, "Base1ldst");
+  EXPECT_EQ(outs[1].config, "Base2ld1st_1cycleL1");
+  EXPECT_EQ(outs[2].config, "Base2ld1st");
+  EXPECT_EQ(outs[3].config, "MALEC");
+  EXPECT_EQ(outs[4].config, "MALEC_3cycleL1");
+}
+
+TEST(Experiment, DerivedMetricsConsistent) {
+  const auto out = runOne(quickRun("gap", presetMalec()));
+  EXPECT_NEAR(out.total_pj, out.dynamic_pj + out.leakage_pj, 1e-6);
+  EXPECT_NEAR(out.way_coverage, out.ifc.wayCoverage(), 1e-12);
+  EXPECT_GE(out.way_coverage, 0.0);
+  EXPECT_LE(out.way_coverage, 1.0);
+  EXPECT_LE(out.ifc.load_l1_hits + out.ifc.load_l1_misses,
+            out.ifc.load_l1_accesses + 1);
+}
+
+TEST(Experiment, BaselineHasNoWayCoverage) {
+  const auto out = runOne(quickRun("gap", presetBase1ldst()));
+  EXPECT_DOUBLE_EQ(out.way_coverage, 0.0);
+  EXPECT_EQ(out.ifc.reduced_accesses, 0u);
+}
+
+TEST(Experiment, InstructionBudgetEnvOverride) {
+  ::setenv("MALEC_INSTR", "12345", 1);
+  EXPECT_EQ(instructionBudget(999), 12345u);
+  ::setenv("MALEC_INSTR", "notanumber", 1);
+  EXPECT_EQ(instructionBudget(999), 999u);
+  ::unsetenv("MALEC_INSTR");
+  EXPECT_EQ(instructionBudget(999), 999u);
+}
+
+TEST(Experiment, EnergyDetailExported) {
+  const auto out = runOne(quickRun("eon", presetMalec()));
+  EXPECT_GT(out.energy_detail.get("total.dynamic_pj"), 0.0);
+  EXPECT_GT(out.energy_detail.get("count.utlb.search"), 0.0);
+}
+
+}  // namespace
+}  // namespace malec::sim

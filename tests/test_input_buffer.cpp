@@ -1,0 +1,138 @@
+#include "core/input_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace malec::core {
+namespace {
+
+MemOp load(SeqNum seq, Addr a) { return MemOp{seq, true, a, 8}; }
+MemOp mbe(Addr a) { return MemOp{0, false, a, 64}; }
+
+constexpr Addr kPageA = 0x100 * 4096;
+constexpr Addr kPageB = 0x200 * 4096;
+
+InputBuffer makeIb(std::uint32_t carry = 2, std::uint32_t agu = 3,
+                   std::uint32_t comparators = 5) {
+  return InputBuffer(carry, agu, comparators, AddressLayout{});
+}
+
+TEST(InputBuffer, LoadSpaceIsCarryPlusAgu) {
+  InputBuffer ib = makeIb(2, 3);
+  for (SeqNum i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ib.hasLoadSpace());
+    ib.addLoad(load(i, kPageA + i * 8), 0);
+  }
+  EXPECT_FALSE(ib.hasLoadSpace());
+  EXPECT_EQ(ib.loadCount(), 5u);
+}
+
+TEST(InputBuffer, SingleMbeSlot) {
+  InputBuffer ib = makeIb();
+  EXPECT_TRUE(ib.hasMbeSpace());
+  ib.addMbe(mbe(kPageA), 0);
+  EXPECT_FALSE(ib.hasMbeSpace());
+}
+
+TEST(InputBuffer, HeadIsOldestLoad) {
+  InputBuffer ib = makeIb();
+  ib.addLoad(load(1, kPageB), 0);
+  ib.addLoad(load(2, kPageA), 0);
+  const auto head = ib.selectHead(0);
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(ib.entries()[*head].op.seq, 1u);
+}
+
+TEST(InputBuffer, MbeIsLowestPriority) {
+  InputBuffer ib = makeIb();
+  ib.addMbe(mbe(kPageB), 0);
+  ib.addLoad(load(1, kPageA), 0);
+  const auto head = ib.selectHead(0);
+  ASSERT_TRUE(head.has_value());
+  EXPECT_FALSE(ib.entries()[*head].is_mbe);
+  // With only the MBE present it becomes the head.
+  ib.remove({*head});
+  const auto head2 = ib.selectHead(0);
+  ASSERT_TRUE(head2.has_value());
+  EXPECT_TRUE(ib.entries()[*head2].is_mbe);
+}
+
+TEST(InputBuffer, DeferredEntriesNotSelectable) {
+  InputBuffer ib = makeIb();
+  ib.addLoad(load(1, kPageA), 0);
+  ib.addLoad(load(2, kPageB), 0);
+  ib.defer(0, 10);  // entry 0 waits for a page walk
+  const auto head = ib.selectHead(5);
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(ib.entries()[*head].op.seq, 2u);
+  // After the walk completes, priority order is restored.
+  const auto later = ib.selectHead(10);
+  ASSERT_TRUE(later.has_value());
+  EXPECT_EQ(ib.entries()[*later].op.seq, 1u);
+}
+
+TEST(InputBuffer, EmptyOrAllDeferredYieldsNoHead) {
+  InputBuffer ib = makeIb();
+  EXPECT_FALSE(ib.selectHead(0).has_value());
+  ib.addLoad(load(1, kPageA), 0);
+  ib.defer(0, 100);
+  EXPECT_FALSE(ib.selectHead(50).has_value());
+}
+
+TEST(InputBuffer, GroupCollectsSamePageEntries) {
+  InputBuffer ib = makeIb();
+  ib.addLoad(load(1, kPageA), 0);
+  ib.addLoad(load(2, kPageB), 0);
+  ib.addLoad(load(3, kPageA + 64), 0);
+  ib.addMbe(mbe(kPageA + 128), 0);
+  const auto head = ib.selectHead(0);
+  const auto group = ib.group(*head, 0);
+  // Loads 1 and 3 plus the MBE share page A; load 2 does not.
+  ASSERT_EQ(group.size(), 3u);
+  EXPECT_EQ(ib.entries()[group[0]].op.seq, 1u);
+  EXPECT_EQ(ib.entries()[group[1]].op.seq, 3u);
+  EXPECT_TRUE(ib.entries()[group[2]].is_mbe);  // MBE sorted last
+}
+
+TEST(InputBuffer, ComparatorLimitBoundsGroup) {
+  InputBuffer ib(8, 8, /*comparators=*/2, AddressLayout{});
+  for (SeqNum i = 0; i < 6; ++i) ib.addLoad(load(i, kPageA + i * 8), 0);
+  const auto group = ib.group(0, 0);
+  // Head + at most 2 compared entries.
+  EXPECT_LE(group.size(), 3u);
+}
+
+TEST(InputBuffer, RemoveKeepsOthersIntact) {
+  InputBuffer ib = makeIb();
+  ib.addLoad(load(1, kPageA), 0);
+  ib.addLoad(load(2, kPageB), 0);
+  ib.addLoad(load(3, kPageA + 64), 0);
+  ib.remove({0, 2});
+  ASSERT_EQ(ib.entries().size(), 1u);
+  EXPECT_EQ(ib.entries()[0].op.seq, 2u);
+}
+
+TEST(InputBuffer, OverCommittedCountsCarriedLoadsOnly) {
+  InputBuffer ib = makeIb(/*carry=*/2, /*agu=*/3);
+  for (SeqNum i = 0; i < 3; ++i) ib.addLoad(load(i, kPageA + i * 8), 0);
+  // Same-cycle arrivals are AGU outputs, not held state.
+  EXPECT_FALSE(ib.overCommitted(0));
+  // One cycle later all three are carried: exceeds the two carry slots.
+  EXPECT_TRUE(ib.overCommitted(1));
+  ib.remove({0});
+  EXPECT_FALSE(ib.overCommitted(1));
+}
+
+TEST(InputBufferDeath, LoadOverflowAborts) {
+  InputBuffer ib = makeIb(0, 1);
+  ib.addLoad(load(1, kPageA), 0);
+  EXPECT_DEATH(ib.addLoad(load(2, kPageA), 0), "overflow");
+}
+
+TEST(InputBufferDeath, SecondMbeAborts) {
+  InputBuffer ib = makeIb();
+  ib.addMbe(mbe(kPageA), 0);
+  EXPECT_DEATH(ib.addMbe(mbe(kPageB), 0), "second MBE");
+}
+
+}  // namespace
+}  // namespace malec::core

@@ -1,0 +1,168 @@
+#include "mem/l1_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace malec::mem {
+namespace {
+
+L1Cache::Params defaults(bool restrict_ways = false) {
+  L1Cache::Params p;
+  p.restrict_alloc_ways = restrict_ways;
+  return p;
+}
+
+TEST(L1Cache, MissThenHitAfterFill) {
+  L1Cache l1(defaults());
+  const Addr a = 0x1234'5640;
+  EXPECT_FALSE(l1.probe(a).has_value());
+  const auto fill = l1.fill(a);
+  EXPECT_FALSE(fill.evicted);
+  const auto way = l1.probe(a);
+  ASSERT_TRUE(way.has_value());
+  EXPECT_EQ(*way, fill.way);
+}
+
+TEST(L1Cache, WholeLineHits) {
+  L1Cache l1(defaults());
+  const Addr base = 0x4'0000;
+  l1.fill(base);
+  for (Addr off = 0; off < 64; off += 8)
+    EXPECT_TRUE(l1.probe(base + off).has_value());
+  EXPECT_FALSE(l1.probe(base + 64).has_value());
+}
+
+TEST(L1Cache, FillsSameSetUntilEviction) {
+  L1Cache l1(defaults());
+  const AddressLayout& L = l1.layout();
+  // Five different tags mapping to the same set: 4 fills fit, the fifth
+  // evicts the LRU.
+  const Addr stride = static_cast<Addr>(L.l1Sets()) * L.lineBytes();
+  std::vector<Addr> lines;
+  for (int i = 0; i < 5; ++i) lines.push_back(0x10'0000 + i * stride);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(l1.fill(lines[i]).evicted);
+  // Touch line 0 so line 1 is LRU.
+  l1.touch(lines[0], *l1.probe(lines[0]));
+  const auto fill = l1.fill(lines[4]);
+  EXPECT_TRUE(fill.evicted);
+  EXPECT_EQ(fill.evicted_line_base, lines[1]);
+  EXPECT_FALSE(l1.probe(lines[1]).has_value());
+}
+
+TEST(L1Cache, EvictedDirtyFlagPropagates) {
+  L1Cache l1(defaults());
+  const AddressLayout& L = l1.layout();
+  const Addr stride = static_cast<Addr>(L.l1Sets()) * L.lineBytes();
+  for (int i = 0; i < 4; ++i) {
+    const auto f = l1.fill(0x20'0000 + i * stride);
+    if (i == 0) l1.markDirty(0x20'0000, f.way);
+  }
+  // Evicting the dirty line 0 must report dirty.
+  const auto fill = l1.fill(0x20'0000 + 4 * stride);
+  EXPECT_TRUE(fill.evicted);
+  EXPECT_TRUE(fill.evicted_dirty);
+}
+
+TEST(L1Cache, InvalidateReportsDirtiness) {
+  L1Cache l1(defaults());
+  const Addr a = 0x9000;
+  const auto f = l1.fill(a);
+  l1.markDirty(a, f.way);
+  const auto inv = l1.invalidate(a);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_TRUE(*inv);
+  EXPECT_FALSE(l1.probe(a).has_value());
+  EXPECT_FALSE(l1.invalidate(a).has_value());
+}
+
+TEST(L1Cache, ExcludedWayRotatesWithLineAndPage) {
+  L1Cache l1(defaults(true));
+  const AddressLayout& L = l1.layout();
+  // Within one page, lines 0..3 share an exclusion, lines 4..7 the next.
+  const Addr page = 0x30'0000;
+  const std::uint32_t e0 = l1.excludedWay(page);
+  EXPECT_EQ(l1.excludedWay(page + 1 * 64), e0);
+  EXPECT_EQ(l1.excludedWay(page + 3 * 64), e0);
+  EXPECT_EQ(l1.excludedWay(page + 4 * 64), (e0 + 1) % L.l1Assoc());
+  EXPECT_EQ(l1.excludedWay(page + 8 * 64), (e0 + 2) % L.l1Assoc());
+  // A different page rotates the exclusion.
+  EXPECT_EQ(l1.excludedWay(page + L.pageBytes()),
+            (e0 + 1) % L.l1Assoc());
+}
+
+TEST(L1Cache, RestrictedFillNeverUsesExcludedWay) {
+  L1Cache l1(defaults(true));
+  const AddressLayout& L = l1.layout();
+  const Addr stride = static_cast<Addr>(L.l1Sets()) * L.lineBytes();
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const Addr a = (0x100'0000 + rng.below(1u << 22)) & ~0x3Full;
+    if (l1.probe(a).has_value()) continue;
+    const auto f = l1.fill(a);
+    ASSERT_NE(static_cast<std::uint32_t>(f.way), l1.excludedWay(a))
+        << "line filled into its WT-excluded way";
+  }
+  (void)stride;
+}
+
+TEST(L1Cache, UnrestrictedFillUsesAllWays) {
+  L1Cache l1(defaults(false));
+  const AddressLayout& L = l1.layout();
+  const Addr stride = static_cast<Addr>(L.l1Sets()) * L.lineBytes();
+  std::set<WayIdx> ways;
+  for (int i = 0; i < 8; ++i) ways.insert(l1.fill(0x50'0000 + i * stride).way);
+  EXPECT_EQ(ways.size(), L.l1Assoc());
+}
+
+TEST(L1Cache, ValidLineCountTracksFills) {
+  L1Cache l1(defaults());
+  EXPECT_EQ(l1.validLines(), 0u);
+  l1.fill(0x1000);
+  l1.fill(0x2000);
+  EXPECT_EQ(l1.validLines(), 2u);
+  EXPECT_EQ(l1.fills(), 2u);
+  l1.invalidate(0x1000);
+  EXPECT_EQ(l1.validLines(), 1u);
+}
+
+TEST(L1Cache, CapacityNeverExceeded) {
+  L1Cache l1(defaults(true));
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    const Addr a = (rng.below(1u << 26)) & ~0x3Full;
+    if (!l1.probe(a).has_value()) l1.fill(a);
+  }
+  EXPECT_LE(l1.validLines(), 512u);  // 32 KByte / 64 B
+}
+
+// Property: probe(paddr) after fill(paddr) always returns the filled way,
+// for both allocation policies.
+class L1FillProbeProperty : public ::testing::TestWithParam<bool> {};
+
+TEST_P(L1FillProbeProperty, FillThenProbeConsistent) {
+  L1Cache l1(defaults(GetParam()));
+  Rng rng(23);
+  for (int i = 0; i < 3000; ++i) {
+    const Addr a = rng.below(1u << 24) & ~0x3Full;
+    const auto pre = l1.probe(a);
+    if (pre.has_value()) {
+      l1.touch(a, *pre);
+      continue;
+    }
+
+    const auto f = l1.fill(a);
+    const auto post = l1.probe(a);
+    ASSERT_TRUE(post.has_value());
+    EXPECT_EQ(*post, f.way);
+    if (f.evicted) {
+      EXPECT_FALSE(l1.probe(f.evicted_line_base).has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPolicies, L1FillProbeProperty,
+                         ::testing::Bool());
+
+}  // namespace
+}  // namespace malec::mem

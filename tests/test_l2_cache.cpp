@@ -1,0 +1,93 @@
+#include "mem/l2_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace malec::mem {
+namespace {
+
+TEST(L2Cache, GeometryFromParams) {
+  L2Cache::Params p;  // 1 MByte, 16-way, 64 B lines (Table II)
+  L2Cache l2(p);
+  EXPECT_EQ(l2.sets(), 1024u);
+}
+
+TEST(L2Cache, MissFillHit) {
+  L2Cache l2(L2Cache::Params{});
+  const Addr a = 0xABC'DE40;
+  EXPECT_FALSE(l2.probe(a).has_value());
+  l2.fill(a);
+  EXPECT_TRUE(l2.probe(a).has_value());
+}
+
+TEST(L2Cache, SixteenWaysBeforeEviction) {
+  L2Cache l2(L2Cache::Params{});
+  const Addr stride = 1024ull * 64;  // same set, different tags
+  for (int i = 0; i < 16; ++i)
+    EXPECT_FALSE(l2.fill(0x100'0000 + i * stride).evicted) << i;
+  EXPECT_TRUE(l2.fill(0x100'0000 + 16 * stride).evicted);
+}
+
+TEST(L2Cache, LruVictimSelection) {
+  L2Cache::Params p;
+  p.capacity_bytes = 1 << 14;  // small: 4 sets at 16 ways
+  L2Cache l2(p);
+  const Addr stride = static_cast<Addr>(l2.sets()) * 64;
+  for (int i = 0; i < 16; ++i) l2.fill(i * stride);
+  l2.touch(0, *l2.probe(0));  // protect way of line 0
+  const auto f = l2.fill(16 * stride);
+  EXPECT_TRUE(f.evicted);
+  EXPECT_EQ(f.evicted_line_base, stride);  // line 1 was LRU
+}
+
+TEST(L2Cache, DirtyWritebackReporting) {
+  L2Cache::Params p;
+  p.capacity_bytes = 1 << 14;
+  L2Cache l2(p);
+  const Addr stride = static_cast<Addr>(l2.sets()) * 64;
+  const auto f0 = l2.fill(0);
+  l2.markDirty(0, f0.way);
+  for (int i = 1; i < 16; ++i) l2.fill(i * stride);
+  const auto f = l2.fill(16 * stride);
+  EXPECT_TRUE(f.evicted);
+  EXPECT_TRUE(f.evicted_dirty);
+  EXPECT_EQ(f.evicted_line_base, 0u);
+}
+
+TEST(L2Cache, InvalidateRemovesLine) {
+  L2Cache l2(L2Cache::Params{});
+  l2.fill(0x5000);
+  const auto inv = l2.invalidate(0x5000);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_FALSE(*inv);
+  EXPECT_FALSE(l2.probe(0x5000).has_value());
+}
+
+TEST(L2Cache, FillCountTracks) {
+  L2Cache l2(L2Cache::Params{});
+  EXPECT_EQ(l2.fills(), 0u);
+  l2.fill(0x1000);
+  l2.fill(0x2000);
+  EXPECT_EQ(l2.fills(), 2u);
+}
+
+TEST(L2Cache, RandomisedFillProbeConsistency) {
+  L2Cache::Params p;
+  p.capacity_bytes = 1 << 16;
+  L2Cache l2(p);
+  Rng rng(31);
+  for (int i = 0; i < 4000; ++i) {
+    const Addr a = rng.below(1u << 24) & ~0x3Full;
+    if (auto w = l2.probe(a); w.has_value()) {
+      l2.touch(a, *w);
+    } else {
+      const auto f = l2.fill(a);
+      ASSERT_TRUE(l2.probe(a).has_value());
+      EXPECT_EQ(*l2.probe(a), f.way);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace malec::mem

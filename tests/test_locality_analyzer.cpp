@@ -1,0 +1,150 @@
+#include "trace/locality_analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace malec::trace {
+namespace {
+
+InstrRecord load(Addr a) {
+  InstrRecord r;
+  r.kind = InstrKind::kLoad;
+  r.vaddr = a;
+  r.size = 8;
+  return r;
+}
+
+InstrRecord store(Addr a) {
+  InstrRecord r;
+  r.kind = InstrKind::kStore;
+  r.vaddr = a;
+  r.size = 8;
+  return r;
+}
+
+InstrRecord alu() { return InstrRecord{}; }
+
+constexpr Addr kPageA = 0x10'0000;
+constexpr Addr kPageB = 0x20'0000;
+constexpr Addr kPageC = 0x30'0000;
+
+TEST(LocalityAnalyzer, AllSamePageIsOneGroup) {
+  LocalityAnalyzer an{AddressLayout{}};
+  for (int i = 0; i < 10; ++i) an.observe(load(kPageA + i * 64));
+  const auto g = an.pageGroups();
+  EXPECT_DOUBLE_EQ(g[0].frac_group_gt8, 1.0);
+  EXPECT_DOUBLE_EQ(g[0].frac_followed, 0.9);  // 9 of 10 have a successor
+}
+
+TEST(LocalityAnalyzer, AlternatingPagesNoGroupsAtX0) {
+  LocalityAnalyzer an{AddressLayout{}};
+  for (int i = 0; i < 10; ++i)
+    an.observe(load((i % 2 ? kPageA : kPageB) + i * 8));
+  const auto g = an.pageGroups();
+  // At x=0 every load is its own group; at x=1 the interleave chains up.
+  EXPECT_DOUBLE_EQ(g[0].frac_group_1, 1.0);
+  EXPECT_DOUBLE_EQ(g[0].frac_followed, 0.0);
+  EXPECT_GT(g[1].frac_followed, 0.5);
+}
+
+TEST(LocalityAnalyzer, IntermediateAllowanceCounting) {
+  LocalityAnalyzer an(AddressLayout{}, {0, 1, 2});
+  // A, B, A: one stranger between the two A-loads.
+  an.observe(load(kPageA));
+  an.observe(load(kPageB));
+  an.observe(load(kPageA + 64));
+  const auto g = an.pageGroups();
+  EXPECT_DOUBLE_EQ(g[0].frac_followed, 0.0);            // x=0: broken
+  EXPECT_NEAR(g[1].frac_followed, 1.0 / 3.0, 1e-9);     // x=1: A chains
+  EXPECT_NEAR(g[2].frac_followed, 1.0 / 3.0, 1e-9);
+}
+
+TEST(LocalityAnalyzer, SamePageAccessesDoNotCountAsStrangers) {
+  LocalityAnalyzer an(AddressLayout{}, {0});
+  // Load A, store to A, load A: the store is on the same page, so the two
+  // loads chain even at x=0.
+  an.observe(load(kPageA));
+  an.observe(store(kPageA + 128));
+  an.observe(load(kPageA + 64));
+  const auto g = an.pageGroups();
+  EXPECT_NEAR(g[0].frac_followed, 0.5, 1e-9);
+}
+
+TEST(LocalityAnalyzer, StoresBreakChainsAsStrangers) {
+  LocalityAnalyzer an(AddressLayout{}, {0, 1});
+  an.observe(load(kPageA));
+  an.observe(store(kPageC));
+  an.observe(load(kPageA + 64));
+  const auto g = an.pageGroups();
+  EXPECT_DOUBLE_EQ(g[0].frac_followed, 0.0);
+  EXPECT_NEAR(g[1].frac_followed, 0.5, 1e-9);
+}
+
+TEST(LocalityAnalyzer, NonMemInstructionsIgnored) {
+  LocalityAnalyzer an(AddressLayout{}, {0});
+  an.observe(load(kPageA));
+  an.observe(alu());
+  an.observe(alu());
+  an.observe(load(kPageA + 64));
+  EXPECT_NEAR(an.pageGroups()[0].frac_followed, 0.5, 1e-9);
+}
+
+TEST(LocalityAnalyzer, GroupSizeBuckets) {
+  LocalityAnalyzer an(AddressLayout{}, {0});
+  // Group of 2 on A, then group of 3 on B, then singleton C.
+  an.observe(load(kPageA));
+  an.observe(load(kPageA + 8));
+  an.observe(load(kPageB));
+  an.observe(load(kPageB + 8));
+  an.observe(load(kPageB + 16));
+  an.observe(load(kPageC));
+  const auto g = an.pageGroups()[0];
+  EXPECT_NEAR(g.frac_group_1, 1.0 / 6.0, 1e-9);
+  EXPECT_NEAR(g.frac_group_2, 2.0 / 6.0, 1e-9);
+  EXPECT_NEAR(g.frac_group_3to4, 3.0 / 6.0, 1e-9);
+  EXPECT_DOUBLE_EQ(g.frac_group_5to8, 0.0);
+}
+
+TEST(LocalityAnalyzer, SameLineFollowedFraction) {
+  LocalityAnalyzer an{AddressLayout{}};
+  an.observe(load(kPageA));        // line 0
+  an.observe(load(kPageA + 8));    // same line
+  an.observe(load(kPageA + 64));   // next line
+  an.observe(load(kPageA + 72));   // same line
+  // Pairs: (0,1) same, (1,2) diff, (2,3) same => 2/4 loads followed.
+  EXPECT_NEAR(an.sameLineFollowedFraction(), 0.5, 1e-9);
+}
+
+TEST(LocalityAnalyzer, StoreSamePageFollowed) {
+  LocalityAnalyzer an{AddressLayout{}};
+  an.observe(store(kPageA));
+  an.observe(store(kPageA + 8));
+  an.observe(store(kPageB));
+  // Two consecutive-store pairs, one on the same page.
+  EXPECT_NEAR(an.storeSamePageFollowedFraction(), 0.5, 1e-9);
+}
+
+TEST(LocalityAnalyzer, EmptyStreamSafe) {
+  LocalityAnalyzer an{AddressLayout{}};
+  const auto g = an.pageGroups();
+  EXPECT_EQ(g[0].total_loads, 0u);
+  EXPECT_DOUBLE_EQ(an.sameLineFollowedFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(an.storeSamePageFollowedFraction(), 0.0);
+}
+
+// Property: frac_followed is monotonically non-decreasing in the allowance.
+TEST(LocalityAnalyzer, FollowedMonotoneInAllowance) {
+  LocalityAnalyzer an(AddressLayout{}, {0, 1, 2, 3, 4, 8});
+  Rng rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    const Addr page = (rng.below(4) + 1) * 0x10'0000;
+    an.observe(load(page + rng.below(4096)));
+  }
+  const auto g = an.pageGroups();
+  for (std::size_t i = 1; i < g.size(); ++i)
+    EXPECT_GE(g[i].frac_followed + 1e-9, g[i - 1].frac_followed);
+}
+
+}  // namespace
+}  // namespace malec::trace

@@ -1,0 +1,89 @@
+#include "lsq/merge_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace malec::lsq {
+namespace {
+
+MergeBuffer makeMb(std::uint32_t cap = 4) {
+  return MergeBuffer(cap, AddressLayout{});
+}
+
+TEST(MergeBuffer, AbsorbRequiresExistingLine) {
+  MergeBuffer mb = makeMb();
+  EXPECT_FALSE(mb.absorb(0x1000, 8));
+  mb.allocate(0x1000, 8);
+  EXPECT_TRUE(mb.absorb(0x1008, 8));   // same line
+  EXPECT_FALSE(mb.absorb(0x1040, 8));  // next line
+  EXPECT_EQ(mb.size(), 1u);
+  EXPECT_EQ(mb.mergesTotal(), 1u);
+}
+
+TEST(MergeBuffer, CapacityFourPerTableII) {
+  MergeBuffer mb = makeMb();
+  for (int i = 0; i < 4; ++i) mb.allocate(0x1000 + i * 64, 8);
+  EXPECT_TRUE(mb.full());
+}
+
+TEST(MergeBuffer, EvictsLeastRecentlyMerged) {
+  MergeBuffer mb = makeMb(2);
+  mb.allocate(0x1000, 8);
+  mb.allocate(0x2000, 8);
+  mb.absorb(0x1008, 8);  // refresh line 0x1000
+  const auto e = mb.evictLru();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->line_base, 0x2000u);
+  EXPECT_EQ(mb.size(), 1u);
+}
+
+TEST(MergeBuffer, EvictEmptyReturnsNothing) {
+  MergeBuffer mb = makeMb();
+  EXPECT_FALSE(mb.evictLru().has_value());
+}
+
+TEST(MergeBuffer, ByteMaskAccumulates) {
+  MergeBuffer mb = makeMb();
+  mb.allocate(0x1000, 8);
+  mb.absorb(0x1008, 8);
+  const auto e = mb.evictLru();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->byte_mask, 0xFFFFull);  // bytes 0..15 written
+  EXPECT_EQ(e->merged_stores, 2u);
+}
+
+TEST(MergeBuffer, ForwardOnlyWhenAllBytesPresent) {
+  MergeBuffer mb = makeMb();
+  mb.allocate(0x1000, 8);  // bytes 0..7 of the line
+  EXPECT_TRUE(mb.coversLoad(0x1000, 8, false));
+  EXPECT_TRUE(mb.coversLoad(0x1004, 4, false));
+  EXPECT_FALSE(mb.coversLoad(0x1008, 8, false));  // bytes not written
+  EXPECT_FALSE(mb.coversLoad(0x1004, 8, false));  // half missing
+  mb.absorb(0x1008, 8);
+  EXPECT_TRUE(mb.coversLoad(0x1004, 8, false));
+  EXPECT_EQ(mb.forwards(), 3u);
+}
+
+TEST(MergeBuffer, SplitLookupMatchesFullWidth) {
+  MergeBuffer mb = makeMb();
+  mb.allocate(0x7'3000, 16);
+  for (Addr a : {0x7'3000ull, 0x7'3008ull, 0x7'4000ull}) {
+    EXPECT_EQ(mb.coversLoad(a, 8, true), mb.coversLoad(a, 8, false)) << a;
+  }
+}
+
+TEST(MergeBuffer, LineSpanningMaskNearEnd) {
+  MergeBuffer mb = makeMb();
+  mb.allocate(0x1038, 8);  // last 8 bytes of the line
+  const auto e = mb.evictLru();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->byte_mask, 0xFFull << 56);
+}
+
+TEST(MergeBufferDeath, AllocateWhenFullAborts) {
+  MergeBuffer mb = makeMb(1);
+  mb.allocate(0x1000, 8);
+  EXPECT_DEATH(mb.allocate(0x2000, 8), "overflow");
+}
+
+}  // namespace
+}  // namespace malec::lsq

@@ -1,0 +1,134 @@
+// Cross-module property tests: whole-stack invariants swept over
+// benchmarks and configurations with randomised inputs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "sim/experiment.h"
+#include "sim/presets.h"
+#include "trace/workloads.h"
+
+namespace malec::sim {
+namespace {
+
+core::InterfaceConfig configByName(const std::string& name) {
+  if (name == "Base1ldst") return presetBase1ldst();
+  if (name == "Base2ld1st") return presetBase2ld1st();
+  if (name == "MALEC") return presetMalec();
+  if (name == "MALEC_WDU16") return presetMalecWdu(16);
+  if (name == "MALEC_noWayDet") return presetMalecNoWaydet();
+  return presetMalec();
+}
+
+using Case = std::tuple<std::string, std::string>;  // (benchmark, config)
+
+class StackProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(StackProperty, InvariantsHold) {
+  const auto& [bench, cfg_name] = GetParam();
+  RunConfig rc;
+  rc.workload = trace::workloadByName(bench);
+  rc.interface_cfg = configByName(cfg_name);
+  rc.system = defaultSystem();
+  rc.instructions = 15'000;
+  rc.seed = 7;
+  const auto out = runOne(rc);
+
+  // 1. The run completes: every instruction commits.
+  EXPECT_EQ(out.instructions, rc.instructions);
+
+  // 2. IPC is bounded by the commit width.
+  EXPECT_LE(out.ipc, static_cast<double>(rc.system.commit_width) + 1e-9);
+
+  // 3. Every submitted load is accounted for: L1 access, SB/MB forward or
+  //    merged share.
+  const auto& s = out.ifc;
+  EXPECT_EQ(s.load_l1_accesses + s.sb_forwards + s.mb_forwards +
+                s.merged_loads,
+            s.loads_submitted);
+
+  // 4. L1 accesses split exactly into hits and misses.
+  EXPECT_EQ(s.load_l1_hits + s.load_l1_misses, s.load_l1_accesses);
+
+  // 5. Access modes partition the L1 accesses.
+  EXPECT_EQ(s.reduced_accesses + s.conventional_accesses,
+            s.load_l1_accesses + s.write_l1_accesses);
+
+  // 6. Reduced accesses require way determination; they never exceed the
+  //    known-way lookups and never appear without a way provider.
+  EXPECT_LE(s.reduced_accesses, s.way_known);
+  if (rc.interface_cfg.waydet == core::WayDetKind::kNone) {
+    EXPECT_EQ(s.reduced_accesses, 0u);
+    EXPECT_EQ(s.way_lookups, 0u);
+  }
+
+  // 7. Coverage is a valid fraction.
+  EXPECT_GE(out.way_coverage, 0.0);
+  EXPECT_LE(out.way_coverage, 1.0);
+
+  // 8. Energies are positive and consistent.
+  EXPECT_GT(out.dynamic_pj, 0.0);
+  EXPECT_GT(out.leakage_pj, 0.0);
+  EXPECT_NEAR(out.total_pj, out.dynamic_pj + out.leakage_pj, 1e-6);
+
+  // 9. Stores drain completely (quiesced interface at end of run is
+  //    implied by the run finishing; the SB must be empty).
+  EXPECT_EQ(s.stores_submitted, out.core.stores);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BenchConfigMatrix, StackProperty,
+    ::testing::Combine(
+        ::testing::Values("gcc", "mcf", "gap", "mgrid", "equake", "djpeg",
+                          "h264enc", "swim"),
+        ::testing::Values("Base1ldst", "Base2ld1st", "MALEC", "MALEC_WDU16",
+                          "MALEC_noWayDet")),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+// Seed sweep: determinism and seed sensitivity.
+class SeedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedProperty, DeterministicPerSeed) {
+  RunConfig rc;
+  rc.workload = trace::workloadByName("vpr");
+  rc.interface_cfg = presetMalec();
+  rc.system = defaultSystem();
+  rc.instructions = 8'000;
+  rc.seed = GetParam();
+  const auto a = runOne(rc);
+  const auto b = runOne(rc);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.dynamic_pj, b.dynamic_pj);
+  EXPECT_EQ(a.ifc.merged_loads, b.ifc.merged_loads);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedProperty,
+                         ::testing::Values(1, 2, 3, 42, 1234, 99999));
+
+// Latency monotonicity: longer L1 latency never speeds execution up.
+class LatencyProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LatencyProperty, CyclesMonotoneInL1Latency) {
+  Cycle prev = 0;
+  for (Cycle lat : {1u, 2u, 3u, 4u}) {
+    RunConfig rc;
+    rc.workload = trace::workloadByName(GetParam());
+    rc.interface_cfg = presetMalec();
+    rc.interface_cfg.l1_latency = lat;
+    rc.system = defaultSystem();
+    rc.instructions = 12'000;
+    const auto out = runOne(rc);
+    EXPECT_GE(out.cycles + out.cycles / 50 + 10, prev)
+        << "latency " << lat;  // small tolerance for scheduling noise
+    prev = out.cycles;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, LatencyProperty,
+                         ::testing::Values("gcc", "gap", "djpeg"));
+
+}  // namespace
+}  // namespace malec::sim

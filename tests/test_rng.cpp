@@ -1,0 +1,91 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace malec {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  // Xorshift must not collapse to the all-zero fixed point.
+  EXPECT_NE(r.next(), 0u);
+  EXPECT_NE(r.next(), r.next());
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng r(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequencyRoughlyMatches) {
+  Rng r(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i)
+    if (r.chance(0.3)) ++hits;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricCapped) {
+  Rng r(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_LE(r.geometric(0.9, 5), 5u);
+}
+
+TEST(Rng, GeometricZeroProbability) {
+  Rng r(21);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.geometric(0.0, 5), 0u);
+}
+
+TEST(Rng, SplitIndependentStreams) {
+  Rng base(31);
+  Rng a = base.split(1);
+  Rng b = base.split(2);
+  std::set<std::uint64_t> vals;
+  for (int i = 0; i < 32; ++i) {
+    vals.insert(a.next());
+    vals.insert(b.next());
+  }
+  EXPECT_EQ(vals.size(), 64u);  // no collisions between split streams
+}
+
+}  // namespace
+}  // namespace malec

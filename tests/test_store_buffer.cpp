@@ -1,0 +1,95 @@
+#include "lsq/store_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace malec::lsq {
+namespace {
+
+StoreBuffer makeSb(std::uint32_t cap = 24) {
+  return StoreBuffer(cap, AddressLayout{});
+}
+
+TEST(StoreBuffer, InsertAndCapacity) {
+  StoreBuffer sb = makeSb(2);
+  sb.insert(1, 0x1000, 8);
+  EXPECT_FALSE(sb.full());
+  sb.insert(2, 0x2000, 8);
+  EXPECT_TRUE(sb.full());
+  EXPECT_EQ(sb.size(), 2u);
+}
+
+TEST(StoreBuffer, CommittedDrainInOrder) {
+  StoreBuffer sb = makeSb();
+  sb.insert(1, 0x1000, 8);
+  sb.insert(2, 0x2000, 8);
+  sb.insert(3, 0x3000, 8);
+  EXPECT_FALSE(sb.popCommitted().has_value());
+  sb.markCommitted(2);
+  sb.markCommitted(1);
+  // Oldest committed first (buffer order, not commit order).
+  auto e = sb.popCommitted();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->seq, 1u);
+  e = sb.popCommitted();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->seq, 2u);
+  EXPECT_FALSE(sb.popCommitted().has_value());
+  EXPECT_EQ(sb.size(), 1u);  // store 3 still speculative
+}
+
+TEST(StoreBuffer, ForwardingRequiresFullContainment) {
+  StoreBuffer sb = makeSb();
+  sb.insert(1, 0x1000, 8);
+  EXPECT_TRUE(sb.coversLoad(0x1000, 8, false));
+  EXPECT_TRUE(sb.coversLoad(0x1004, 4, false));
+  EXPECT_FALSE(sb.coversLoad(0x1004, 8, false));  // spills past the store
+  EXPECT_FALSE(sb.coversLoad(0x0FFC, 8, false));  // starts before it
+  EXPECT_FALSE(sb.coversLoad(0x2000, 8, false));
+  EXPECT_EQ(sb.forwards(), 2u);
+}
+
+TEST(StoreBuffer, SplitLookupSameResultFewerNarrowCompares) {
+  StoreBuffer sb = makeSb();
+  // Three stores on one page, one on another.
+  sb.insert(1, 0x10'1000, 8);
+  sb.insert(2, 0x10'1010, 8);
+  sb.insert(3, 0x10'1020, 8);
+  sb.insert(4, 0x20'0000, 8);
+
+  EXPECT_TRUE(sb.coversLoad(0x10'1010, 8, /*split=*/true));
+  EXPECT_TRUE(sb.coversLoad(0x10'1010, 8, /*split=*/false));
+  // Split organisation: 4 shared page compares, but only the 3 same-page
+  // entries activate the narrow offset comparators (paper Sec. IV).
+  EXPECT_EQ(sb.pageCompares(), 4u);
+  EXPECT_EQ(sb.offsetCompares(), 3u);
+  EXPECT_EQ(sb.fullWidthCompares(), 4u);
+}
+
+TEST(StoreBuffer, OverlapDetection) {
+  StoreBuffer sb = makeSb();
+  sb.insert(1, 0x1000, 8);
+  EXPECT_TRUE(sb.hasOverlap(0x1004, 8));   // partial overlap
+  EXPECT_TRUE(sb.hasOverlap(0x0FFC, 8));   // tail overlap
+  EXPECT_FALSE(sb.hasOverlap(0x1008, 8));  // adjacent, no overlap
+  EXPECT_FALSE(sb.hasOverlap(0x0FF0, 8));
+}
+
+TEST(StoreBuffer, TableIICapacityDefault) {
+  StoreBuffer sb = makeSb();
+  for (std::uint32_t i = 0; i < 24; ++i) sb.insert(i, 0x1000 + i * 8, 8);
+  EXPECT_TRUE(sb.full());
+}
+
+TEST(StoreBufferDeath, OverflowAborts) {
+  StoreBuffer sb = makeSb(1);
+  sb.insert(1, 0x1000, 8);
+  EXPECT_DEATH(sb.insert(2, 0x2000, 8), "overflow");
+}
+
+TEST(StoreBufferDeath, CommitUnknownAborts) {
+  StoreBuffer sb = makeSb();
+  EXPECT_DEATH(sb.markCommitted(5), "unknown");
+}
+
+}  // namespace
+}  // namespace malec::lsq

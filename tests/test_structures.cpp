@@ -1,0 +1,133 @@
+#include "sim/structures.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/presets.h"
+
+namespace malec::sim {
+namespace {
+
+TEST(Structures, AllEventsDefinedForEveryConfig) {
+  const core::SystemConfig sys;
+  for (const auto& cfg :
+       {presetBase1ldst(), presetBase2ld1st(), presetMalec(),
+        presetMalecWdu(16), presetMalecNoWaydet()}) {
+    energy::EnergyAccount ea;
+    defineEnergies(ea, cfg, sys);
+    for (const char* e :
+         {"l1.tag_read", "l1.tag_write", "l1.data_read", "l1.data_write",
+          "l1.line_write", "l1.line_read", "l1.ctrl", "utlb.search",
+          "tlb.search", "utlb.psearch", "tlb.psearch", "uwt.read",
+          "uwt.write", "wt.read", "wt.write", "wdu.search", "wdu.write"}) {
+      EXPECT_TRUE(ea.hasEvent(e)) << cfg.name << " missing " << e;
+    }
+  }
+}
+
+TEST(Structures, MalecInventoryIncludesWayTables) {
+  const core::SystemConfig sys;
+  energy::EnergyAccount ea;
+  const auto inv = defineEnergies(ea, presetMalec(), sys);
+  bool has_wt = false, has_uwt = false, has_ptag = false;
+  for (const auto& s : inv) {
+    has_wt |= s.spec.name == "wt";
+    has_uwt |= s.spec.name == "uwt";
+    has_ptag |= s.spec.name == "tlb.ptag";
+  }
+  EXPECT_TRUE(has_wt);
+  EXPECT_TRUE(has_uwt);
+  EXPECT_TRUE(has_ptag);  // reverse-lookup tag array (paper VI-A)
+}
+
+TEST(Structures, BaselineInventoryHasNoWayTables) {
+  const core::SystemConfig sys;
+  energy::EnergyAccount ea;
+  const auto inv = defineEnergies(ea, presetBase1ldst(), sys);
+  for (const auto& s : inv) {
+    EXPECT_NE(s.spec.name, "wt");
+    EXPECT_NE(s.spec.name, "uwt");
+    EXPECT_NE(s.spec.name, "wdu");
+  }
+  EXPECT_DOUBLE_EQ(ea.eventEnergyPj("uwt.read"), 0.0);
+}
+
+TEST(Structures, WtEntryIs128Bits) {
+  const core::SystemConfig sys;
+  energy::EnergyAccount ea;
+  const auto inv = defineEnergies(ea, presetMalec(), sys);
+  for (const auto& s : inv) {
+    if (s.spec.name == "wt") {
+      EXPECT_EQ(s.spec.entry_bits, 128u);  // paper Fig. 3
+      EXPECT_EQ(s.spec.entries, sys.tlb_entries);
+    }
+    if (s.spec.name == "uwt") EXPECT_EQ(s.spec.entries, sys.utlb_entries);
+  }
+}
+
+TEST(Structures, MultiPortingRaisesL1Leakage) {
+  const core::SystemConfig sys;
+  energy::EnergyAccount ea1, ea2;
+  defineEnergies(ea1, presetBase1ldst(), sys);
+  defineEnergies(ea2, presetBase2ld1st(), sys);
+  const double l1_1 = ea1.leakageMwFor("l1.");
+  const double l1_2 = ea2.leakageMwFor("l1.");
+  // Paper VI-C: the additional rd port increases L1 leakage by ~80 %.
+  EXPECT_GT(l1_2 / l1_1, 1.5);
+  EXPECT_LT(l1_2 / l1_1, 2.2);
+}
+
+TEST(Structures, WayTableLeakageIsSmallFractionOfSubsystem) {
+  const core::SystemConfig sys;
+  energy::EnergyAccount ea;
+  defineEnergies(ea, presetMalec(), sys);
+  const double wt = ea.leakageMwFor("wt") + ea.leakageMwFor("uwt");
+  const double total = ea.leakageMw();
+  // Paper VI-A: uWT contributes only ~0.3 % of subsystem leakage; our WT+uWT
+  // together must stay a small fraction.
+  EXPECT_LT(wt / total, 0.05);
+}
+
+TEST(Structures, MalecDataReadWiderThanBaseline) {
+  // MALEC reads two adjacent sub-blocks per access (Sec. IV), baselines one.
+  const core::SystemConfig sys;
+  energy::EnergyAccount em, eb;
+  defineEnergies(em, presetMalec(), sys);
+  defineEnergies(eb, presetBase1ldst(), sys);
+  EXPECT_GT(em.eventEnergyPj("l1.data_read"),
+            eb.eventEnergyPj("l1.data_read"));
+}
+
+TEST(Structures, WduIsFourPorted) {
+  const core::SystemConfig sys;
+  energy::EnergyAccount ea;
+  const auto inv = defineEnergies(ea, presetMalecWdu(16), sys);
+  bool found = false;
+  for (const auto& s : inv) {
+    if (s.spec.name == "wdu") {
+      found = true;
+      EXPECT_EQ(s.spec.totalPorts(), 4u);  // paper VI-C
+      EXPECT_EQ(s.spec.entries, 16u);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GT(ea.eventEnergyPj("wdu.search"), 0.0);
+}
+
+TEST(Structures, WduEnergyGrowsWithEntries) {
+  const core::SystemConfig sys;
+  energy::EnergyAccount e8, e32;
+  defineEnergies(e8, presetMalecWdu(8), sys);
+  defineEnergies(e32, presetMalecWdu(32), sys);
+  EXPECT_GT(e32.eventEnergyPj("wdu.search"), e8.eventEnergyPj("wdu.search"));
+}
+
+TEST(Structures, LineTransfersCostMultipleBeats) {
+  const core::SystemConfig sys;
+  energy::EnergyAccount ea;
+  defineEnergies(ea, presetMalec(), sys);
+  EXPECT_GT(ea.eventEnergyPj("l1.line_write"),
+            ea.eventEnergyPj("l1.data_write") * 1.5);
+}
+
+}  // namespace
+}  // namespace malec::sim

@@ -1,0 +1,115 @@
+#include "tlb/tlb.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace malec::tlb {
+namespace {
+
+Tlb::Params params(std::uint32_t entries,
+                   mem::ReplacementKind k = mem::ReplacementKind::kRandom) {
+  Tlb::Params p;
+  p.entries = entries;
+  p.replacement = k;
+  return p;
+}
+
+TEST(Tlb, MissThenHit) {
+  Tlb t(params(4));
+  EXPECT_FALSE(t.lookupV(10).has_value());
+  const std::uint32_t slot = t.insert(10, 99);
+  const auto hit = t.lookupV(10);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, slot);
+  EXPECT_EQ(t.entry(slot).ppage, 99u);
+  EXPECT_EQ(t.hits(), 1u);
+  EXPECT_EQ(t.misses(), 1u);
+}
+
+TEST(Tlb, ReverseLookupByPhysicalPage) {
+  Tlb t(params(4));
+  t.insert(10, 99);
+  t.insert(11, 77);
+  const auto slot = t.lookupP(77);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(t.entry(*slot).vpage, 11u);
+  EXPECT_FALSE(t.lookupP(1234).has_value());
+}
+
+TEST(Tlb, ProbeDoesNotCountStats) {
+  Tlb t(params(4));
+  t.insert(5, 50);
+  const auto h0 = t.hits();
+  EXPECT_TRUE(t.probeV(5).has_value());
+  EXPECT_EQ(t.hits(), h0);
+}
+
+TEST(Tlb, InsertExistingUpdatesInPlace) {
+  Tlb t(params(4));
+  const auto s1 = t.insert(7, 70);
+  const auto s2 = t.insert(7, 71);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(t.entry(s1).ppage, 71u);
+  EXPECT_EQ(t.evictions(), 0u);
+}
+
+TEST(Tlb, EvictionCallbackFiresBeforeOverwrite) {
+  Tlb t(params(2));
+  std::vector<PageId> evicted_vpages;
+  t.setEvictCallback([&](std::uint32_t slot) {
+    evicted_vpages.push_back(t.entry(slot).vpage);
+  });
+  t.insert(1, 10);
+  t.insert(2, 20);
+  t.insert(3, 30);  // evicts one of {1,2}
+  ASSERT_EQ(evicted_vpages.size(), 1u);
+  EXPECT_TRUE(evicted_vpages[0] == 1 || evicted_vpages[0] == 2);
+  EXPECT_EQ(t.evictions(), 1u);
+}
+
+TEST(Tlb, InvalidateFreesSlot) {
+  Tlb t(params(2));
+  const auto slot = t.insert(1, 10);
+  t.invalidate(slot);
+  EXPECT_FALSE(t.lookupV(1).has_value());
+  // The freed slot is reused without an eviction.
+  t.insert(2, 20);
+  EXPECT_EQ(t.evictions(), 0u);
+}
+
+TEST(Tlb, SecondChanceKeepsHotPage) {
+  Tlb t(params(4, mem::ReplacementKind::kSecondChance));
+  for (PageId p = 0; p < 4; ++p) t.insert(p, p + 100);
+  // Page 0 is re-referenced before every insertion; it must survive a long
+  // stream of conflicting pages (the uTLB hot-page property, Sec. V).
+  for (PageId p = 10; p < 30; ++p) {
+    EXPECT_TRUE(t.lookupV(0).has_value()) << "hot page evicted at " << p;
+    t.insert(p, p + 100);
+  }
+}
+
+TEST(Tlb, SixtyFourEntryFullCapacity) {
+  Tlb t(params(64));
+  for (PageId p = 0; p < 64; ++p) t.insert(p, p);
+  std::uint32_t present = 0;
+  for (PageId p = 0; p < 64; ++p) present += t.probeV(p).has_value();
+  EXPECT_EQ(present, 64u);
+  EXPECT_EQ(t.evictions(), 0u);
+  t.insert(100, 100);
+  EXPECT_EQ(t.evictions(), 1u);
+}
+
+TEST(Tlb, SlotsAreStableAcrossHits) {
+  Tlb t(params(8));
+  const auto slot = t.insert(42, 4200);
+  for (int i = 0; i < 10; ++i) {
+    const auto h = t.lookupV(42);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_EQ(*h, slot);
+  }
+}
+
+}  // namespace
+}  // namespace malec::tlb

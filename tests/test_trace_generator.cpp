@@ -1,0 +1,164 @@
+#include "trace/synth_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/workloads.h"
+
+namespace malec::trace {
+namespace {
+
+WorkloadProfile basicProfile() {
+  WorkloadProfile p;
+  p.name = "test";
+  p.suite = "TEST";
+  p.mem_fraction = 0.4;
+  p.load_share = 0.667;
+  p.ws_pages = 64;
+  p.dep_on_prev = 0.3;
+  return p;
+}
+
+TEST(SynthGenerator, EmitsExactlyLimit) {
+  SyntheticTraceGenerator gen(basicProfile(), AddressLayout{}, 1000, 1);
+  InstrRecord r;
+  std::uint64_t n = 0;
+  while (gen.next(r)) ++n;
+  EXPECT_EQ(n, 1000u);
+  EXPECT_FALSE(gen.next(r));
+}
+
+TEST(SynthGenerator, SequentialSeqNumbers) {
+  SyntheticTraceGenerator gen(basicProfile(), AddressLayout{}, 100, 1);
+  InstrRecord r;
+  SeqNum expect = 0;
+  while (gen.next(r)) EXPECT_EQ(r.seq, expect++);
+}
+
+TEST(SynthGenerator, DeterministicForSeed) {
+  SyntheticTraceGenerator a(basicProfile(), AddressLayout{}, 500, 9);
+  SyntheticTraceGenerator b(basicProfile(), AddressLayout{}, 500, 9);
+  InstrRecord ra, rb;
+  while (a.next(ra)) {
+    ASSERT_TRUE(b.next(rb));
+    EXPECT_EQ(ra.vaddr, rb.vaddr);
+    EXPECT_EQ(static_cast<int>(ra.kind), static_cast<int>(rb.kind));
+    EXPECT_EQ(ra.dep_distance, rb.dep_distance);
+  }
+}
+
+TEST(SynthGenerator, ResetReplaysIdentically) {
+  SyntheticTraceGenerator gen(basicProfile(), AddressLayout{}, 300, 5);
+  std::vector<Addr> first;
+  InstrRecord r;
+  while (gen.next(r)) first.push_back(r.vaddr);
+  gen.reset();
+  std::size_t i = 0;
+  while (gen.next(r)) EXPECT_EQ(r.vaddr, first[i++]);
+  EXPECT_EQ(i, first.size());
+}
+
+TEST(SynthGenerator, MemFractionRoughlyHonoured) {
+  WorkloadProfile p = basicProfile();
+  p.mem_fraction = 0.4;
+  SyntheticTraceGenerator gen(p, AddressLayout{}, 50'000, 3);
+  InstrRecord r;
+  std::uint64_t mem = 0;
+  while (gen.next(r)) {
+    if (r.isMem()) ++mem;
+  }
+  EXPECT_NEAR(mem / 50'000.0, 0.4, 0.02);
+}
+
+TEST(SynthGenerator, LoadStoreRatioRoughlyHonoured) {
+  WorkloadProfile p = basicProfile();
+  p.load_share = 0.667;  // the paper's 2:1 load/store ratio
+  SyntheticTraceGenerator gen(p, AddressLayout{}, 50'000, 3);
+  InstrRecord r;
+  std::uint64_t loads = 0, stores = 0;
+  while (gen.next(r)) {
+    loads += r.isLoad();
+    stores += r.isStore();
+  }
+  EXPECT_NEAR(static_cast<double>(loads) / (loads + stores), 0.667, 0.03);
+}
+
+TEST(SynthGenerator, AddressesAlignedToAccessSize) {
+  WorkloadProfile p = basicProfile();
+  p.access_size = 8;
+  SyntheticTraceGenerator gen(p, AddressLayout{}, 20'000, 3);
+  InstrRecord r;
+  while (gen.next(r)) {
+    if (r.isMem()) {
+      EXPECT_EQ(r.vaddr % 8, 0u);
+    }
+  }
+}
+
+TEST(SynthGenerator, WorkingSetBounded) {
+  WorkloadProfile p = basicProfile();
+  p.ws_pages = 16;
+  AddressLayout layout;
+  SyntheticTraceGenerator gen(p, layout, 20'000, 3);
+  InstrRecord r;
+  std::set<PageId> pages;
+  while (gen.next(r)) {
+    if (r.isMem()) pages.insert(layout.pageId(r.vaddr));
+  }
+  EXPECT_LE(pages.size(), 16u);
+}
+
+TEST(SynthGenerator, DependenciesPointBackwards) {
+  SyntheticTraceGenerator gen(basicProfile(), AddressLayout{}, 20'000, 3);
+  InstrRecord r;
+  while (gen.next(r)) {
+    EXPECT_LE(r.dep_distance, r.seq);
+    EXPECT_LE(r.addr_dep_distance, r.seq);
+  }
+}
+
+TEST(SynthGenerator, HighSamePageYieldsLongRuns) {
+  WorkloadProfile hi = basicProfile();
+  hi.p_same_page = 0.95;
+  hi.p_switch_stream = 0.0;
+  hi.streams = 1;
+  WorkloadProfile lo = hi;
+  lo.p_same_page = 0.3;
+  AddressLayout layout;
+
+  auto sameRate = [&](const WorkloadProfile& p) {
+    SyntheticTraceGenerator gen(p, layout, 30'000, 3);
+    InstrRecord r;
+    PageId prev = 0;
+    bool have = false;
+    std::uint64_t same = 0, total = 0;
+    while (gen.next(r)) {
+      if (!r.isLoad()) continue;
+      const PageId page = layout.pageId(r.vaddr);
+      if (have) {
+        ++total;
+        same += page == prev;
+      }
+      prev = page;
+      have = true;
+    }
+    return static_cast<double>(same) / static_cast<double>(total);
+  };
+  EXPECT_GT(sameRate(hi), sameRate(lo) + 0.2);
+}
+
+TEST(SynthGenerator, DifferentBenchmarksDiffer) {
+  const AddressLayout layout;
+  SyntheticTraceGenerator a(workloadByName("gcc"), layout, 1000, 1);
+  SyntheticTraceGenerator b(workloadByName("mcf"), layout, 1000, 1);
+  InstrRecord ra, rb;
+  int diffs = 0;
+  while (a.next(ra) && b.next(rb))
+    diffs += (ra.vaddr != rb.vaddr ||
+              static_cast<int>(ra.kind) != static_cast<int>(rb.kind));
+  EXPECT_GT(diffs, 100);
+}
+
+}  // namespace
+}  // namespace malec::trace

@@ -1,0 +1,135 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/synth_generator.h"
+#include "trace/workloads.h"
+
+namespace malec::trace {
+namespace {
+
+std::string tmpPath(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(TraceIo, RoundTrip) {
+  const std::string path = tmpPath("roundtrip.mtrace");
+  std::vector<InstrRecord> recs;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    InstrRecord r;
+    r.seq = i;
+    r.kind = static_cast<InstrKind>(i % 3);
+    r.vaddr = 0x1000 + i * 8;
+    r.size = 8;
+    r.dep_distance = static_cast<std::uint32_t>(i % 5);
+    r.addr_dep_distance = static_cast<std::uint32_t>(i % 7);
+    recs.push_back(r);
+  }
+  {
+    TraceWriter w(path);
+    ASSERT_TRUE(w.ok());
+    for (const auto& r : recs) w.write(r);
+    EXPECT_TRUE(w.close());
+    EXPECT_EQ(w.written(), 100u);
+  }
+  TraceReader rd(path);
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ(rd.total(), 100u);
+  InstrRecord r;
+  std::size_t i = 0;
+  while (rd.next(r)) {
+    EXPECT_EQ(r.seq, recs[i].seq);
+    EXPECT_EQ(static_cast<int>(r.kind), static_cast<int>(recs[i].kind));
+    EXPECT_EQ(r.vaddr, recs[i].vaddr);
+    EXPECT_EQ(r.size, recs[i].size);
+    EXPECT_EQ(r.dep_distance, recs[i].dep_distance);
+    EXPECT_EQ(r.addr_dep_distance, recs[i].addr_dep_distance);
+    ++i;
+  }
+  EXPECT_EQ(i, recs.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReaderResetReplays) {
+  const std::string path = tmpPath("reset.mtrace");
+  {
+    TraceWriter w(path);
+    InstrRecord r;
+    r.kind = InstrKind::kLoad;
+    r.vaddr = 42;
+    w.write(r);
+    w.close();
+  }
+  TraceReader rd(path);
+  InstrRecord r;
+  ASSERT_TRUE(rd.next(r));
+  EXPECT_FALSE(rd.next(r));
+  rd.reset();
+  ASSERT_TRUE(rd.next(r));
+  EXPECT_EQ(r.vaddr, 42u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileNotOk) {
+  TraceReader rd("/nonexistent/path/x.mtrace");
+  EXPECT_FALSE(rd.ok());
+  InstrRecord r;
+  EXPECT_FALSE(rd.next(r));
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  const std::string path = tmpPath("bad.mtrace");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const char junk[32] = "this is not a trace file";
+  std::fwrite(junk, 1, sizeof junk, f);
+  std::fclose(f);
+  TraceReader rd(path);
+  EXPECT_FALSE(rd.ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, GeneratorCaptureReplayEquivalence) {
+  // Capture a synthetic stream and verify the replay drives identically.
+  const std::string path = tmpPath("capture.mtrace");
+  const auto wl = workloadByName("eon");
+  const AddressLayout layout;
+  SyntheticTraceGenerator gen(wl, layout, 2000, 11);
+  {
+    TraceWriter w(path);
+    InstrRecord r;
+    while (gen.next(r)) w.write(r);
+    w.close();
+  }
+  gen.reset();
+  TraceReader rd(path);
+  ASSERT_TRUE(rd.ok());
+  InstrRecord a, b;
+  while (gen.next(a)) {
+    ASSERT_TRUE(rd.next(b));
+    EXPECT_EQ(a.vaddr, b.vaddr);
+    EXPECT_EQ(a.seq, b.seq);
+  }
+  EXPECT_FALSE(rd.next(b));
+  std::remove(path.c_str());
+}
+
+TEST(VectorTraceSource, ServesAndResets) {
+  std::vector<InstrRecord> v(3);
+  v[0].vaddr = 1;
+  v[1].vaddr = 2;
+  v[2].vaddr = 3;
+  VectorTraceSource src(v);
+  InstrRecord r;
+  EXPECT_TRUE(src.next(r));
+  EXPECT_EQ(r.vaddr, 1u);
+  const auto rest = drain(src);
+  EXPECT_EQ(rest.size(), 2u);
+  src.reset();
+  EXPECT_EQ(drain(src).size(), 3u);
+}
+
+}  // namespace
+}  // namespace malec::trace

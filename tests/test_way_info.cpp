@@ -1,0 +1,95 @@
+#include "waydet/way_info.h"
+
+#include <gtest/gtest.h>
+
+namespace malec::waydet {
+namespace {
+
+constexpr std::uint32_t kBanks = 4;
+constexpr std::uint32_t kAssoc = 4;
+
+TEST(WayInfo, ExcludedWayRotatesEveryFourLines) {
+  // Paper Sec. V (salt 0): lines 0..3 exclude way 0, 4..7 way 1, ...
+  EXPECT_EQ(excludedWay(0, 0, kBanks, kAssoc), 0u);
+  EXPECT_EQ(excludedWay(3, 0, kBanks, kAssoc), 0u);
+  EXPECT_EQ(excludedWay(4, 0, kBanks, kAssoc), 1u);
+  EXPECT_EQ(excludedWay(8, 0, kBanks, kAssoc), 2u);
+  EXPECT_EQ(excludedWay(12, 0, kBanks, kAssoc), 3u);
+  EXPECT_EQ(excludedWay(16, 0, kBanks, kAssoc), 0u);
+  EXPECT_EQ(excludedWay(63, 0, kBanks, kAssoc), 3u);
+}
+
+TEST(WayInfo, PageSaltRotatesExclusion) {
+  for (std::uint32_t salt = 0; salt < 8; ++salt)
+    EXPECT_EQ(excludedWay(0, salt, kBanks, kAssoc), salt % kAssoc);
+}
+
+TEST(WayInfo, ExcludedWayEncodesAsUnknown) {
+  EXPECT_EQ(encodeWay(0, 0, kAssoc), kCodeUnknown);
+  EXPECT_EQ(encodeWay(2, 2, kAssoc), kCodeUnknown);
+}
+
+TEST(WayInfo, UnknownDecodesToUnknown) {
+  EXPECT_EQ(decodeWay(kCodeUnknown, 0, kAssoc), kWayUnknown);
+  EXPECT_EQ(decodeWay(kCodeUnknown, 3, kAssoc), kWayUnknown);
+}
+
+TEST(WayInfo, ThreeRepresentableWaysPerExclusion) {
+  // With way 1 excluded, codes 1..3 must cover ways {0, 2, 3}.
+  EXPECT_EQ(decodeWay(1, 1, kAssoc), 0);
+  EXPECT_EQ(decodeWay(2, 1, kAssoc), 2);
+  EXPECT_EQ(decodeWay(3, 1, kAssoc), 3);
+}
+
+TEST(WayInfo, CodesFitInTwoBits) {
+  for (std::uint32_t excl = 0; excl < kAssoc; ++excl)
+    for (std::uint32_t way = 0; way < kAssoc; ++way)
+      EXPECT_LT(encodeWay(way, excl, kAssoc), 4u);
+}
+
+// Property: encode/decode round-trips for every (way, excluded) pair except
+// the excluded way itself, which must degrade to unknown — the exact
+// invariant the 2-bit combined format relies on (Sec. V).
+class WayCodeRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WayCodeRoundTrip, EncodeDecodeConsistent) {
+  const auto [way_i, excl_i] = GetParam();
+  const auto way = static_cast<std::uint32_t>(way_i);
+  const auto excl = static_cast<std::uint32_t>(excl_i);
+  const WayCode code = encodeWay(way, excl, kAssoc);
+  if (way == excl) {
+    EXPECT_EQ(code, kCodeUnknown);
+  } else {
+    ASSERT_NE(code, kCodeUnknown);
+    EXPECT_EQ(decodeWay(code, excl, kAssoc),
+              static_cast<WayIdx>(way));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, WayCodeRoundTrip,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(0, 4)));
+
+// Property: distinct representable ways get distinct codes.
+TEST(WayInfo, EncodingIsInjective) {
+  for (std::uint32_t excl = 0; excl < kAssoc; ++excl) {
+    bool seen[4] = {};
+    for (std::uint32_t way = 0; way < kAssoc; ++way) {
+      if (way == excl) continue;
+      const WayCode c = encodeWay(way, excl, kAssoc);
+      EXPECT_FALSE(seen[c]) << "duplicate code " << int(c);
+      seen[c] = true;
+    }
+  }
+}
+
+TEST(WayInfo, TwoWayAssociativityWorksToo) {
+  // 2-way cache: 1 bit of way information, one excluded way.
+  EXPECT_EQ(encodeWay(0, 0, 2), kCodeUnknown);
+  const WayCode c = encodeWay(1, 0, 2);
+  EXPECT_EQ(decodeWay(c, 0, 2), 1);
+}
+
+}  // namespace
+}  // namespace malec::waydet

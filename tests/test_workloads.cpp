@@ -1,0 +1,96 @@
+#include "trace/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/address.h"
+
+namespace malec::trace {
+namespace {
+
+TEST(Workloads, PaperBenchmarkCount) {
+  // 12 SPEC-INT + 14 SPEC-FP + 12 MediaBench2 (Fig. 4 x-axes).
+  EXPECT_EQ(allWorkloads().size(), 38u);
+  EXPECT_EQ(workloadsForSuite("SPEC-INT").size(), 12u);
+  EXPECT_EQ(workloadsForSuite("SPEC-FP").size(), 14u);
+  EXPECT_EQ(workloadsForSuite("MediaBench2").size(), 12u);
+}
+
+TEST(Workloads, NamesUnique) {
+  std::set<std::string> names;
+  for (const auto& w : allWorkloads()) names.insert(w.name);
+  EXPECT_EQ(names.size(), allWorkloads().size());
+}
+
+TEST(Workloads, LookupByName) {
+  EXPECT_TRUE(hasWorkload("mcf"));
+  EXPECT_TRUE(hasWorkload("djpeg"));
+  EXPECT_FALSE(hasWorkload("notabenchmark"));
+  EXPECT_EQ(workloadByName("gap").suite, "SPEC-INT");
+  EXPECT_EQ(workloadByName("equake").suite, "SPEC-FP");
+  EXPECT_EQ(workloadByName("h263dec").suite, "MediaBench2");
+}
+
+TEST(Workloads, SuiteNamesOrdered) {
+  const auto& s = suiteNames();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], "SPEC-INT");
+  EXPECT_EQ(s[1], "SPEC-FP");
+  EXPECT_EQ(s[2], "MediaBench2");
+}
+
+TEST(Workloads, PaperAnchorGapHasHighLoadDensity) {
+  // Paper VI-B: gap executes 37 % loads of ALL instructions.
+  const auto& gap = workloadByName("gap");
+  EXPECT_NEAR(gap.mem_fraction * gap.load_share, 0.37, 0.02);
+}
+
+TEST(Workloads, PaperAnchorStreamingBenchmarks) {
+  // mcf and art have working sets far exceeding L1+L2 reach.
+  EXPECT_GT(workloadByName("mcf").ws_pages, 8000u);
+  EXPECT_GT(workloadByName("art").ws_pages, 8000u);
+  EXPECT_LT(workloadByName("eon").ws_pages, 2000u);
+}
+
+TEST(Workloads, PaperAnchorMergeExtremes) {
+  // equake/gap have the highest intra-line load locality, mgrid the lowest
+  // (merged-load contributions 66 %/56 % vs < 2 %, paper VI-B).
+  const double mgrid = workloadByName("mgrid").p_same_line;
+  for (const char* name : {"equake", "gap"})
+    EXPECT_GT(workloadByName(name).p_same_line, mgrid + 0.1) << name;
+}
+
+TEST(Workloads, SuiteMemoryDensityOrdering) {
+  // Paper VI-B: SPEC-INT 45 %, SPEC-FP 40 %, MediaBench2 37 %.
+  auto mean = [](const std::vector<WorkloadProfile>& v) {
+    double s = 0;
+    for (const auto& w : v) s += w.mem_fraction;
+    return s / static_cast<double>(v.size());
+  };
+  const double spec_int = mean(workloadsForSuite("SPEC-INT"));
+  const double spec_fp = mean(workloadsForSuite("SPEC-FP"));
+  const double mb2 = mean(workloadsForSuite("MediaBench2"));
+  EXPECT_NEAR(spec_int, 0.45, 0.02);
+  EXPECT_NEAR(spec_fp, 0.40, 0.02);
+  EXPECT_NEAR(mb2, 0.37, 0.02);
+}
+
+TEST(Workloads, AllParametersSane) {
+  for (const auto& w : allWorkloads()) {
+    EXPECT_GT(w.mem_fraction, 0.2) << w.name;
+    EXPECT_LT(w.mem_fraction, 0.6) << w.name;
+    EXPECT_GT(w.load_share, 0.5) << w.name;
+    EXPECT_LE(w.p_same_page, 1.0) << w.name;
+    EXPECT_GE(w.streams, 1u) << w.name;
+    EXPECT_GE(w.ws_pages, w.hot_pages) << w.name;
+    EXPECT_TRUE(isPow2(w.access_size)) << w.name;
+  }
+}
+
+TEST(WorkloadsDeath, UnknownNameAborts) {
+  EXPECT_DEATH((void)workloadByName("bogus"), "unknown workload");
+}
+
+}  // namespace
+}  // namespace malec::trace
