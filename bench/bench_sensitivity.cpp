@@ -4,6 +4,10 @@
 //   * result buses available per cycle;
 //   * streaming workloads (mcf-like) where Page-Based Way Determination
 //     shows negative energy benefit.
+//
+// Each table's full (benchmark x configuration) cross product is dispatched
+// as ONE parallel batch (runManyParallel / MALEC_JOBS), so the whole worker
+// pool stays busy instead of being capped at one table row's config count.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -13,8 +17,27 @@
 #include "sim/reporting.h"
 #include "trace/workloads.h"
 
+namespace {
+
+using namespace malec;
+
+/// Run every (benchmark, config) pair as one parallel batch; result is
+/// indexed [benchmark][config] in input order. One stderr dot per table
+/// keeps a minimal progress signal.
+std::vector<std::vector<sim::RunOutput>> sweep(
+    const std::vector<std::string>& benches,
+    const std::vector<core::InterfaceConfig>& cfgs, std::uint64_t n) {
+  std::vector<trace::WorkloadProfile> wls;
+  wls.reserve(benches.size());
+  for (const auto& bench : benches) wls.push_back(trace::workloadByName(bench));
+  auto all = sim::runMatrixParallel(wls, cfgs, n, 1);
+  std::fprintf(stderr, ".");
+  return all;
+}
+
+}  // namespace
+
 int main() {
-  using namespace malec;
   const std::uint64_t n = sim::instructionBudget(80'000);
   const std::vector<std::string> picks = {"gcc", "gap", "mcf", "djpeg",
                                           "swim"};
@@ -37,15 +60,14 @@ int main() {
     }
     sim::Table t("Execution time [%] vs L1 latency (MALEC_2cyc = 100)",
                  cols);
-    for (const auto& name : picks) {
-      const auto outs =
-          sim::runConfigs(trace::workloadByName(name), cfgs, n, 1);
+    const auto all = sweep(picks, cfgs, n);
+    for (std::size_t b = 0; b < picks.size(); ++b) {
+      const auto& outs = all[b];
       const double ref = static_cast<double>(outs[2].cycles);  // MALEC 2cyc
       std::vector<double> row;
       for (const auto& o : outs)
         row.push_back(100.0 * static_cast<double>(o.cycles) / ref);
-      t.addRow(name, row);
-      std::fprintf(stderr, ".");
+      t.addRow(picks[b], row);
     }
     t.addOverallGeomeanRow("geo.mean");
     std::printf("%s\n", t.render(1).c_str());
@@ -64,15 +86,14 @@ int main() {
     }
     sim::Table t("Execution time [%] vs Input Buffer carry slots "
                  "(carry2 = 100)", cols);
-    for (const auto& name : picks) {
-      const auto outs =
-          sim::runConfigs(trace::workloadByName(name), cfgs, n, 1);
+    const auto all = sweep(picks, cfgs, n);
+    for (std::size_t b = 0; b < picks.size(); ++b) {
+      const auto& outs = all[b];
       const double ref = static_cast<double>(outs[2].cycles);
       std::vector<double> row;
       for (const auto& o : outs)
         row.push_back(100.0 * static_cast<double>(o.cycles) / ref);
-      t.addRow(name, row);
-      std::fprintf(stderr, ".");
+      t.addRow(picks[b], row);
     }
     t.addOverallGeomeanRow("geo.mean");
     std::printf("%s\n", t.render(1).c_str());
@@ -90,15 +111,14 @@ int main() {
       cols.push_back(m.name);
     }
     sim::Table t("Execution time [%] vs result buses (bus3 = 100)", cols);
-    for (const auto& name : picks) {
-      const auto outs =
-          sim::runConfigs(trace::workloadByName(name), cfgs, n, 1);
+    const auto all = sweep(picks, cfgs, n);
+    for (std::size_t b = 0; b < picks.size(); ++b) {
+      const auto& outs = all[b];
       const double ref = static_cast<double>(outs[2].cycles);
       std::vector<double> row;
       for (const auto& o : outs)
         row.push_back(100.0 * static_cast<double>(o.cycles) / ref);
-      t.addRow(name, row);
-      std::fprintf(stderr, ".");
+      t.addRow(picks[b], row);
     }
     t.addOverallGeomeanRow("geo.mean");
     std::printf("%s\n", t.render(1).c_str());
@@ -110,12 +130,11 @@ int main() {
                  {"dyn ratio %", "coverage %"});
     const auto cfgs = std::vector<core::InterfaceConfig>{
         sim::presetMalec(), sim::presetMalecNoWaydet()};
-    for (const auto& name : picks) {
-      const auto outs =
-          sim::runConfigs(trace::workloadByName(name), cfgs, n, 1);
-      t.addRow(name, {100.0 * outs[1].dynamic_pj / outs[0].dynamic_pj,
-                      100.0 * outs[0].way_coverage});
-      std::fprintf(stderr, ".");
+    const auto all = sweep(picks, cfgs, n);
+    for (std::size_t b = 0; b < picks.size(); ++b) {
+      const auto& outs = all[b];
+      t.addRow(picks[b], {100.0 * outs[1].dynamic_pj / outs[0].dynamic_pj,
+                          100.0 * outs[0].way_coverage});
     }
     std::printf("%s", t.render(1).c_str());
     std::printf("(ratios < 100 mean way determination loses energy — "
@@ -127,13 +146,12 @@ int main() {
                  {"adaptive E%", "plain cover%", "adaptive cover%"});
     const auto cfgs = std::vector<core::InterfaceConfig>{
         sim::presetMalec(), sim::presetMalecAdaptive()};
-    for (const auto& name : picks) {
-      const auto outs =
-          sim::runConfigs(trace::workloadByName(name), cfgs, n, 1);
-      t.addRow(name, {100.0 * outs[1].total_pj / outs[0].total_pj,
-                      100.0 * outs[0].way_coverage + 1e-6,
-                      100.0 * outs[1].way_coverage + 1e-6});
-      std::fprintf(stderr, ".");
+    const auto all = sweep(picks, cfgs, n);
+    for (std::size_t b = 0; b < picks.size(); ++b) {
+      const auto& outs = all[b];
+      t.addRow(picks[b], {100.0 * outs[1].total_pj / outs[0].total_pj,
+                          100.0 * outs[0].way_coverage + 1e-6,
+                          100.0 * outs[1].way_coverage + 1e-6});
     }
     std::printf("\n%s", t.render(1).c_str());
     std::printf("(the coverage guard keeps the bypass off whenever way\n"
@@ -150,14 +168,13 @@ int main() {
     const auto cfgs = std::vector<core::InterfaceConfig>{
         sim::presetMalec(), sim::presetMalec4ld2st(),
         sim::presetBase2ld1st()};
-    for (const auto& name : picks) {
-      const auto outs =
-          sim::runConfigs(trace::workloadByName(name), cfgs, n, 1);
+    const auto all = sweep(picks, cfgs, n);
+    for (std::size_t b = 0; b < picks.size(); ++b) {
+      const auto& outs = all[b];
       const double ref = static_cast<double>(outs[0].cycles);
-      t.addRow(name,
+      t.addRow(picks[b],
                {100.0, 100.0 * static_cast<double>(outs[1].cycles) / ref,
                 100.0 * static_cast<double>(outs[2].cycles) / ref});
-      std::fprintf(stderr, ".");
     }
     t.addOverallGeomeanRow("geo.mean");
     std::printf("\n%s", t.render(1).c_str());

@@ -2,12 +2,16 @@
 // simulation parameters) exactly as the presets encode them, plus the
 // mini-CACTI array inventory each configuration implies — the reproduction
 // of the paper's methodology tables.
+// A final section spot-checks each configuration with a short simulation,
+// dispatched as one parallel sweep (runConfigsParallel / MALEC_JOBS).
 #include <cstdio>
 #include <vector>
 
 #include "energy/energy_account.h"
+#include "sim/experiment.h"
 #include "sim/presets.h"
 #include "sim/structures.h"
+#include "trace/workloads.h"
 
 namespace {
 
@@ -78,5 +82,17 @@ int main() {
                   s.est.write_pj, s.est.leak_mw * s.instances);
     }
   }
+
+  // --- configuration spot-check (one parallel sweep) -----------------------
+  const std::uint64_t n = sim::instructionBudget(40'000);
+  const auto outs = sim::runConfigsParallel(
+      trace::workloadByName("gcc"), sim::fig4Configs(), n);
+  std::printf("\nSPOT CHECK — gcc, %llu instructions, %u jobs\n",
+              static_cast<unsigned long long>(n), sim::parallelJobs());
+  std::printf("%-22s %8s %12s %12s\n", "Config", "IPC", "dyn[uJ]",
+              "total[uJ]");
+  for (const auto& o : outs)
+    std::printf("%-22s %8.3f %12.3f %12.3f\n", o.config.c_str(), o.ipc,
+                o.dynamic_pj * 1e-6, o.total_pj * 1e-6);
   return 0;
 }

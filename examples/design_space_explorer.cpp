@@ -3,6 +3,9 @@
 // determination scheme) on one benchmark and print a compact
 // performance/energy Pareto view.
 //
+// The whole variant sweep is dispatched as one runConfigsParallel batch, so
+// wall clock scales with the core count (override with MALEC_JOBS).
+//
 //   ./design_space_explorer [benchmark] [instructions]
 #include <cstdio>
 #include <cstdlib>
@@ -79,11 +82,14 @@ int main(int argc, char** argv) {
   std::printf("%-18s %10s %10s %9s\n", "variant", "time[%]", "energy[%]",
               "cover[%]");
 
+  // One parallel batch over the whole design space (results in input order).
+  const auto outs = sim::runConfigsParallel(wl, variants, n);
+
   std::vector<Point> points;
-  for (const auto& cfg : variants) {
-    const auto out = sim::runConfigs(wl, {cfg}, n)[0];
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto& out = outs[i];
     Point p;
-    p.name = cfg.name;
+    p.name = variants[i].name;
     p.time_pct = 100.0 * static_cast<double>(out.cycles) /
                  static_cast<double>(ref.cycles);
     p.energy_pct = 100.0 * out.total_pj / ref.total_pj;

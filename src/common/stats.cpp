@@ -14,8 +14,10 @@ Histogram::Histogram(std::vector<std::uint64_t> edges)
 }
 
 void Histogram::add(std::uint64_t value, std::uint64_t weight) {
-  std::size_t b = 0;
-  while (b < edges_.size() && value > edges_[b]) ++b;
+  // First bucket whose inclusive upper edge holds `value`; binary search —
+  // this runs once per simulated access in the locality analyses.
+  const std::size_t b = static_cast<std::size_t>(
+      std::lower_bound(edges_.begin(), edges_.end(), value) - edges_.begin());
   counts_[b] += weight;
   total_ += weight;
 }
@@ -67,6 +69,7 @@ std::string StatSet::toTable() const {
   std::size_t width = 0;
   for (const auto& [k, v] : values_) width = std::max(width, k.size());
   std::string out;
+  out.reserve(values_.size() * (width + 16));
   char buf[256];
   for (const auto& [k, v] : values_) {
     std::snprintf(buf, sizeof buf, "%-*s  %.6g\n", static_cast<int>(width),

@@ -1,5 +1,7 @@
 #include "core/arbitration_unit.h"
 
+#include <iterator>
+
 #include "common/check.h"
 
 namespace malec::core {
@@ -15,17 +17,30 @@ std::uint64_t ArbitrationUnit::mergeKey(Addr vaddr) const {
 ArbOutcome ArbitrationUnit::arbitrate(
     const std::vector<ArbCandidate>& candidates) const {
   ArbOutcome out;
+  arbitrate(candidates, out);
+  return out;
+}
+
+void ArbitrationUnit::arbitrate(const std::vector<ArbCandidate>& candidates,
+                                ArbOutcome& out) const {
   out.action.assign(candidates.size(), ArbOutcome::Action::kHeld);
   out.winner_of.assign(candidates.size(), 0);
+  out.mbe.reset();
+  out.bank_conflicts = 0;
+  out.bus_rejects = 0;
+  out.compares = 0;
 
-  const std::uint32_t banks = p_.layout.l1Banks();
-  std::vector<bool> bank_used(banks, false);
+  // One bit per single-ported bank; the constructor enforces <= 32 banks.
+  std::uint32_t bank_used = 0;
 
   struct Winner {
     std::size_t cand_index;
     std::uint64_t key;
   };
-  std::vector<Winner> winners;
+  // A group never has more winners than banks; a fixed-size array keeps the
+  // hot path off the heap.
+  Winner winners[32];
+  std::size_t n_winners = 0;
   std::uint32_t buses_used = 0;
 
   for (std::size_t i = 0; i < candidates.size(); ++i) {
@@ -42,7 +57,8 @@ ArbOutcome ArbitrationUnit::arbitrate(
     // consecutive to the winner are compared (Sec. IV).
     bool merged = false;
     if (p_.merge_loads) {
-      for (const Winner& w : winners) {
+      for (std::size_t wi = 0; wi < n_winners; ++wi) {
+        const Winner& w = winners[wi];
         if (i <= w.cand_index || i - w.cand_index > p_.merge_window) continue;
         ++out.compares;
         if (w.key == key) {
@@ -57,13 +73,16 @@ ArbOutcome ArbitrationUnit::arbitrate(
     if (merged) continue;
 
     const BankIdx bank = p_.layout.bankOf(c.vaddr);
-    if (bank_used[bank]) {
+    if ((bank_used & (1u << bank)) != 0) {
       ++out.bank_conflicts;
       continue;  // kHeld — single-ported bank already claimed
     }
-    bank_used[bank] = true;
+    bank_used |= 1u << bank;
     out.action[i] = ArbOutcome::Action::kWinner;
-    winners.push_back(Winner{i, key});
+    // Cannot overflow: each winner claims a distinct bank bit and the
+    // constructor enforces <= 32 banks.
+    MALEC_DCHECK(n_winners < std::size(winners));
+    winners[n_winners++] = Winner{i, key};
     ++buses_used;
   }
 
@@ -71,8 +90,8 @@ ArbOutcome ArbitrationUnit::arbitrate(
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (!candidates[i].is_mbe) continue;
     const BankIdx bank = p_.layout.bankOf(candidates[i].vaddr);
-    if (!bank_used[bank]) {
-      bank_used[bank] = true;
+    if ((bank_used & (1u << bank)) == 0) {
+      bank_used |= 1u << bank;
       out.action[i] = ArbOutcome::Action::kWinner;
       out.mbe = i;
     } else {
@@ -80,8 +99,6 @@ ArbOutcome ArbitrationUnit::arbitrate(
     }
     break;  // at most one MBE per group
   }
-
-  return out;
 }
 
 }  // namespace malec::core

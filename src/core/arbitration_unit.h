@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/address.h"
+#include "common/check.h"
 #include "common/types.h"
 
 namespace malec::core {
@@ -59,12 +60,22 @@ class ArbitrationUnit {
     bool subblocked_pair_read = true;
   };
 
-  explicit ArbitrationUnit(const Params& p) : p_(p) {}
+  explicit ArbitrationUnit(const Params& p) : p_(p) {
+    // arbitrate() tracks port claims in a 32-bit bank mask and a fixed
+    // winner array; enforce the capacity once here, off the hot path.
+    MALEC_CHECK_MSG(p.layout.l1Banks() <= 32,
+                    "ArbitrationUnit supports at most 32 banks");
+  }
 
   /// Arbitrate one page group. `candidates` must be in priority order
   /// (loads oldest-first, MBE last — InputBuffer::group() order).
   [[nodiscard]] ArbOutcome arbitrate(
       const std::vector<ArbCandidate>& candidates) const;
+
+  /// Allocation-free variant for the per-cycle hot path: writes into `out`,
+  /// whose vectors keep their capacity across calls.
+  void arbitrate(const std::vector<ArbCandidate>& candidates,
+                 ArbOutcome& out) const;
 
   [[nodiscard]] const Params& params() const { return p_; }
 

@@ -50,6 +50,7 @@ BaselineInterface::BaselineInterface(const InterfaceConfig& cfg,
     : cfg_(cfg),
       sys_(sys),
       ea_(ea),
+      id_(ea),
       l1_(l1Params(sys)),
       l2_(l2Params(sys)),
       hier_(l1_, l2_, hierParams(sys)),
@@ -60,10 +61,10 @@ BaselineInterface::BaselineInterface(const InterfaceConfig& cfg,
               cfg.kind == InterfaceKind::kBase2Ld1St);
 
   hier_.setFillCallback([this](Addr, WayIdx) {
-    ea_.count("l1.tag_write");
-    ea_.count("l1.line_write");
+    ea_.count(id_.tag_write);
+    ea_.count(id_.line_write);
   });
-  hier_.setEvictCallback([this](Addr) { ea_.count("l1.line_read"); });
+  hier_.setEvictCallback([this](Addr) { ea_.count(id_.line_read); });
 }
 
 std::uint32_t BaselineInterface::loadPortsPerCycle() const {
@@ -114,11 +115,11 @@ Cycle BaselineInterface::accessL1Load([[maybe_unused]] const MemOp& op, Addr pad
                                       Cycle now) {
   ++stats_.load_l1_accesses;
   ++stats_.conventional_accesses;
-  ea_.count("l1.ctrl");
+  ea_.count(id_.ctrl);
   // Conventional access: all tag and all data arrays of the addressed bank
   // fire in parallel; the matching tag selects the data (paper Sec. V).
-  ea_.count("l1.tag_read");
-  ea_.count("l1.data_read", sys_.layout.l1Assoc());
+  ea_.count(id_.tag_read);
+  ea_.count(id_.data_read, sys_.layout.l1Assoc());
   const auto probe = l1_.probe(paddr);
   if (probe.has_value()) {
     ++stats_.load_l1_hits;
@@ -138,18 +139,18 @@ void BaselineInterface::accessL1Write(Addr vaddr, Cycle now) {
   const auto tr = engine_.translate(sys_.layout.pageId(vaddr));
   const Addr paddr =
       sys_.layout.compose(tr.ppage, sys_.layout.pageOffset(vaddr));
-  ea_.count("l1.ctrl");
-  ea_.count("l1.tag_read");
+  ea_.count(id_.ctrl);
+  ea_.count(id_.tag_read);
   const auto probe = l1_.probe(paddr);
   if (probe.has_value()) {
-    ea_.count("l1.data_write");
+    ea_.count(id_.data_write);
     l1_.markDirty(paddr, *probe);
     l1_.touch(paddr, *probe);
     return;
   }
   ++stats_.write_l1_misses;
   (void)hier_.missAccess(paddr, now, /*is_store=*/true);
-  ea_.count("l1.data_write");
+  ea_.count(id_.data_write);
 }
 
 void BaselineInterface::serviceLoads(Cycle now) {

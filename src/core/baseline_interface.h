@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/interface_config.h"
+#include "core/l1_event_ids.h"
 #include "core/mem_interface.h"
 #include "core/translation_engine.h"
 #include "energy/energy_account.h"
@@ -62,6 +63,8 @@ class BaselineInterface final : public MemInterface {
   InterfaceConfig cfg_;
   SystemConfig sys_;
   energy::EnergyAccount& ea_;
+  /// Event handles resolved once at construction (hot path = integer ids).
+  L1EventIds id_;
 
   mem::L1Cache l1_;
   mem::L2Cache l2_;

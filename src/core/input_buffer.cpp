@@ -69,9 +69,16 @@ std::optional<std::size_t> InputBuffer::selectHead(Cycle now) const {
 
 std::vector<std::size_t> InputBuffer::group(std::size_t head,
                                             Cycle now) const {
+  std::vector<std::size_t> g;
+  group(head, now, g);
+  return g;
+}
+
+void InputBuffer::group(std::size_t head, Cycle now,
+                        std::vector<std::size_t>& g) const {
   MALEC_CHECK(head < entries_.size());
   const PageId page = layout_.pageId(entries_[head].op.vaddr);
-  std::vector<std::size_t> g;
+  g.clear();
   g.push_back(head);
   std::uint32_t compared = 0;
   for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -88,7 +95,6 @@ std::vector<std::size_t> InputBuffer::group(std::size_t head,
       return entries_[b].is_mbe;
     return entries_[a].order < entries_[b].order;
   });
-  return g;
 }
 
 void InputBuffer::defer(std::size_t index, Cycle until) {

@@ -55,6 +55,10 @@ class InputBuffer {
   [[nodiscard]] std::vector<std::size_t> group(std::size_t head,
                                                Cycle now) const;
 
+  /// Allocation-free variant for the per-cycle hot path: fills `out`
+  /// (cleared first), which keeps its capacity across calls.
+  void group(std::size_t head, Cycle now, std::vector<std::size_t>& out) const;
+
   /// Defer an entry (TLB access or page walk in flight).
   void defer(std::size_t index, Cycle until);
 

@@ -1,0 +1,32 @@
+// Cached L1-cache energy-event handles shared by every memory interface.
+//
+// Hot path = integer ids, edge = strings: interfaces resolve these once at
+// construction and charge per-access events through the ids. Keeping the
+// name list in one place means the MALEC and baseline interfaces can never
+// drift apart on which events they count.
+#pragma once
+
+#include "energy/energy_account.h"
+
+namespace malec::core {
+
+struct L1EventIds {
+  explicit L1EventIds(energy::EnergyAccount& ea)
+      : ctrl(ea.resolveEvent("l1.ctrl")),
+        tag_read(ea.resolveEvent("l1.tag_read")),
+        tag_write(ea.resolveEvent("l1.tag_write")),
+        data_read(ea.resolveEvent("l1.data_read")),
+        data_write(ea.resolveEvent("l1.data_write")),
+        line_read(ea.resolveEvent("l1.line_read")),
+        line_write(ea.resolveEvent("l1.line_write")) {}
+
+  energy::EnergyAccount::EventId ctrl;
+  energy::EnergyAccount::EventId tag_read;
+  energy::EnergyAccount::EventId tag_write;
+  energy::EnergyAccount::EventId data_read;
+  energy::EnergyAccount::EventId data_write;
+  energy::EnergyAccount::EventId line_read;
+  energy::EnergyAccount::EventId line_write;
+};
+
+}  // namespace malec::core

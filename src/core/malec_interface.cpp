@@ -56,6 +56,7 @@ MalecInterface::MalecInterface(const InterfaceConfig& cfg,
     : cfg_(cfg),
       sys_(sys),
       ea_(ea),
+      id_(ea),
       l1_(l1Params(cfg, sys)),
       l2_(l2Params(sys)),
       hier_(l1_, l2_, hierParams(sys)),
@@ -73,15 +74,15 @@ MalecInterface::MalecInterface(const InterfaceConfig& cfg,
 
   // Line fill/eviction hooks: fill energy, WT validity and WDU maintenance.
   hier_.setFillCallback([this](Addr line_base, WayIdx way) {
-    ea_.count("l1.tag_write");
-    ea_.count("l1.line_write");
+    ea_.count(id_.l1.tag_write);
+    ea_.count(id_.l1.line_write);
     engine_.onLineFill(line_base, way);
     if (wdu_) wdu_->record(sys_.layout.lineAddr(line_base), way);
   });
   hier_.setEvictCallback([this](Addr line_base) {
     // Dirty victims are read out for writeback; the read is charged
     // unconditionally as a conservative model of the eviction sequence.
-    ea_.count("l1.line_read");
+    ea_.count(id_.l1.line_read);
     engine_.onLineEvict(line_base);
     if (wdu_) wdu_->invalidate(sys_.layout.lineAddr(line_base));
   });
@@ -155,7 +156,7 @@ WayIdx MalecInterface::lookupWay(std::uint32_t uwt_slot, Addr vaddr,
       return w;
     }
     case WayDetKind::kWdu: {
-      ea_.count("wdu.search");
+      ea_.count(id_.wdu_search);
       ++stats_.way_lookups;
       const auto w = wdu_->lookup(sys_.layout.lineAddr(paddr));
       if (w.has_value()) {
@@ -178,7 +179,7 @@ void MalecInterface::learnWay(PageId vpage, Addr vaddr, Addr paddr,
       return;
     case WayDetKind::kWdu:
       wdu_->record(sys_.layout.lineAddr(paddr), way);
-      ea_.count("wdu.write");
+      ea_.count(id_.wdu_write);
       return;
   }
 }
@@ -187,7 +188,7 @@ Cycle MalecInterface::accessL1Load(const MemOp& op, PageId vpage, Addr paddr,
                                    std::uint32_t uwt_slot, Cycle now) {
   ++stats_.load_l1_accesses;
   ++window_accesses_;
-  ea_.count("l1.ctrl");
+  ea_.count(id_.l1.ctrl);
   const WayIdx way = lookupWay(uwt_slot, op.vaddr, paddr);
   const auto probe = l1_.probe(paddr);
 
@@ -196,7 +197,7 @@ Cycle MalecInterface::accessL1Load(const MemOp& op, PageId vpage, Addr paddr,
     // Validity maintenance guarantees the hit (paper Sec. V).
     MALEC_CHECK_MSG(probe.has_value() && *probe == way,
                     "way determination produced a wrong way");
-    ea_.count("l1.data_read");
+    ea_.count(id_.l1.data_read);
     ++stats_.reduced_accesses;
     ++stats_.load_l1_hits;
     l1_.touch(paddr, way);
@@ -205,8 +206,8 @@ Cycle MalecInterface::accessL1Load(const MemOp& op, PageId vpage, Addr paddr,
 
   // Conventional access: parallel read of all tag arrays and all data
   // arrays of the bank; the matching tag selects the data (paper Sec. V).
-  ea_.count("l1.tag_read");
-  ea_.count("l1.data_read", sys_.layout.l1Assoc());
+  ea_.count(id_.l1.tag_read);
+  ea_.count(id_.l1.data_read, sys_.layout.l1Assoc());
   ++stats_.conventional_accesses;
   if (probe.has_value()) {
     ++stats_.load_l1_hits;
@@ -227,24 +228,24 @@ void MalecInterface::accessL1Write(const MemOp& op, PageId vpage, Addr paddr,
                                    std::uint32_t uwt_slot, Cycle now) {
   ++stats_.write_l1_accesses;
   ++stats_.mbe_writes;
-  ea_.count("l1.ctrl");
+  ea_.count(id_.l1.ctrl);
   const WayIdx way = lookupWay(uwt_slot, op.vaddr, paddr);
   const auto probe = l1_.probe(paddr);
 
   if (way != kWayUnknown) {
     MALEC_CHECK_MSG(probe.has_value() && *probe == way,
                     "way determination produced a wrong way on write");
-    ea_.count("l1.data_write");
+    ea_.count(id_.l1.data_write);
     ++stats_.reduced_accesses;
     l1_.markDirty(paddr, way);
     l1_.touch(paddr, way);
     return;
   }
 
-  ea_.count("l1.tag_read");
+  ea_.count(id_.l1.tag_read);
   ++stats_.conventional_accesses;
   if (probe.has_value()) {
-    ea_.count("l1.data_write");
+    ea_.count(id_.l1.data_write);
     l1_.markDirty(paddr, *probe);
     l1_.touch(paddr, *probe);
     learnWay(vpage, op.vaddr, paddr, *probe);
@@ -254,7 +255,7 @@ void MalecInterface::accessL1Write(const MemOp& op, PageId vpage, Addr paddr,
   // Write-allocate on MBE miss.
   ++stats_.write_l1_misses;
   (void)hier_.missAccess(paddr, now, /*is_store=*/true);
-  ea_.count("l1.data_write");
+  ea_.count(id_.l1.data_write);
 }
 
 void MalecInterface::complete(SeqNum seq, Cycle ready) {
@@ -276,23 +277,29 @@ void MalecInterface::serviceGroup(Cycle now) {
     return;
   }
 
-  // Form the page group around the head.
-  const std::vector<std::size_t> members = ib_.group(*head, now);
+  // Form the page group around the head. All per-group containers are
+  // member scratch buffers: this runs every cycle, so the steady state must
+  // not allocate.
+  std::vector<std::size_t>& members = group_scratch_;
+  ib_.group(*head, now, members);
   ++stats_.groups;
 
-  std::vector<ArbCandidate> cands;
+  std::vector<ArbCandidate>& cands = cand_scratch_;
+  cands.clear();
   cands.reserve(members.size());
   for (std::size_t ib_idx : members) {
     const InputBuffer::Entry& e = ib_.entries()[ib_idx];
     cands.push_back(ArbCandidate{ib_idx, e.op.vaddr, e.op.size, e.is_mbe});
   }
 
-  const ArbOutcome arb = arb_.arbitrate(cands);
+  const ArbOutcome& arb = arb_scratch_;
+  arb_.arbitrate(cands, arb_scratch_);
   stats_.bank_conflicts += arb.bank_conflicts;
   stats_.bus_rejects += arb.bus_rejects;
 
   // Gather per-winner parties: winner first, merged followers after.
-  std::vector<std::size_t> serviced;  // ib indices to remove
+  std::vector<std::size_t>& serviced = serviced_scratch_;  // ib indices
+  serviced.clear();
 
   for (std::size_t i = 0; i < cands.size(); ++i) {
     if (arb.action[i] != ArbOutcome::Action::kWinner) continue;
@@ -309,7 +316,8 @@ void MalecInterface::serviceGroup(Cycle now) {
     }
 
     // Collect this winner's party (the loads merged onto it).
-    std::vector<std::size_t> party;  // candidate indices, winner first
+    std::vector<std::size_t>& party = party_scratch_;  // cand indices
+    party.clear();
     party.push_back(i);
     for (std::size_t j = 0; j < cands.size(); ++j)
       if (arb.action[j] == ArbOutcome::Action::kMerged &&

@@ -18,6 +18,7 @@
 #include "core/arbitration_unit.h"
 #include "core/input_buffer.h"
 #include "core/interface_config.h"
+#include "core/l1_event_ids.h"
 #include "core/mem_interface.h"
 #include "core/translation_engine.h"
 #include "energy/energy_account.h"
@@ -74,9 +75,22 @@ class MalecInterface final : public MemInterface {
                      std::uint32_t uwt_slot, Cycle now);
   void complete(SeqNum seq, Cycle ready);
 
+  /// Event handles resolved once at construction (hot path = integer ids):
+  /// the shared L1 set plus MALEC's WDU events.
+  struct EventIds {
+    explicit EventIds(energy::EnergyAccount& ea)
+        : l1(ea),
+          wdu_search(ea.resolveEvent("wdu.search")),
+          wdu_write(ea.resolveEvent("wdu.write")) {}
+    L1EventIds l1;
+    energy::EnergyAccount::EventId wdu_search;
+    energy::EnergyAccount::EventId wdu_write;
+  };
+
   InterfaceConfig cfg_;
   SystemConfig sys_;
   energy::EnergyAccount& ea_;
+  EventIds id_;
 
   mem::L1Cache l1_;
   mem::L2Cache l2_;
@@ -90,6 +104,14 @@ class MalecInterface final : public MemInterface {
 
   /// MB eviction waiting for the Input Buffer's MBE slot.
   std::optional<lsq::MergeBuffer::Entry> pending_mbe_;
+
+  // Per-cycle scratch buffers reused across serviceGroup() calls so the
+  // steady state allocates nothing (capacity is retained between cycles).
+  std::vector<std::size_t> group_scratch_;
+  std::vector<ArbCandidate> cand_scratch_;
+  ArbOutcome arb_scratch_;
+  std::vector<std::size_t> serviced_scratch_;
+  std::vector<std::size_t> party_scratch_;
 
   using Ready = std::pair<Cycle, SeqNum>;
   std::priority_queue<Ready, std::vector<Ready>, std::greater<>> completions_;

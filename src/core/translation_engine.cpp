@@ -25,10 +25,21 @@ tlb::Tlb::Params tlbParams(const TranslationEngine::Params& p) {
 }
 }  // namespace
 
+TranslationEngine::EventIds::EventIds(energy::EnergyAccount& ea)
+    : utlb_search(ea.resolveEvent("utlb.search")),
+      tlb_search(ea.resolveEvent("tlb.search")),
+      utlb_psearch(ea.resolveEvent("utlb.psearch")),
+      tlb_psearch(ea.resolveEvent("tlb.psearch")),
+      uwt_read(ea.resolveEvent("uwt.read")),
+      uwt_write(ea.resolveEvent("uwt.write")),
+      wt_read(ea.resolveEvent("wt.read")),
+      wt_write(ea.resolveEvent("wt.write")) {}
+
 TranslationEngine::TranslationEngine(const Params& p,
                                      energy::EnergyAccount& ea)
     : p_(p),
       ea_(ea),
+      id_(ea),
       pt_(/*phys_pages=*/65536, p.seed * 7 + 3),
       utlb_(utlbParams(p)),
       tlb_(tlbParams(p)),
@@ -46,7 +57,7 @@ TranslationEngine::TranslationEngine(const Params& p,
     const PageId vpage = utlb_.entry(slot).vpage;
     if (auto tlb_slot = tlb_.probeV(vpage); tlb_slot.has_value()) {
       wt_.setEntryCodes(*tlb_slot, uwt_.entryCodes(slot));
-      ea_.count("wt.write");
+      ea_.count(id_.wt_write);
     }
     uwt_.invalidateSlot(slot);
   });
@@ -74,27 +85,27 @@ void TranslationEngine::installIntoUtlb(PageId vpage, PageId ppage,
   } else {
     // Copy the WT entry alongside the translation (Fig. 3 note 1).
     uwt_.setEntryCodes(uslot, wt_.entryCodes(tlb_slot));
-    ea_.count("wt.read");
-    ea_.count("uwt.write");
+    ea_.count(id_.wt_read);
+    ea_.count(id_.uwt_write);
   }
 }
 
 TranslationEngine::Result TranslationEngine::translate(PageId vpage) {
   Result r;
-  ea_.count("utlb.search");
+  ea_.count(id_.utlb_search);
   if (auto uslot = utlb_.lookupV(vpage); uslot.has_value()) {
     r.utlb_hit = true;
     r.ppage = utlb_.entry(*uslot).ppage;
     r.uwt_slot = *uslot;
     r.extra_latency = 0;
     if (p_.way_tables && !suspended_) {
-      ea_.count("uwt.read");
+      ea_.count(id_.uwt_read);
       last_entry_.push(*uslot, vpage);
     }
     return r;
   }
 
-  ea_.count("tlb.search");
+  ea_.count(id_.tlb_search);
   if (auto tslot = tlb_.lookupV(vpage); tslot.has_value()) {
     r.tlb_hit = true;
     r.ppage = tlb_.entry(*tslot).ppage;
@@ -156,7 +167,7 @@ void TranslationEngine::feedbackConventionalHit(PageId vpage, Addr vaddr,
   if (!e.valid || e.vpage != vpage) return;
   uwt_.record(*slot, p_.layout.lineInPage(vaddr), e.ppage,
               static_cast<std::uint32_t>(way));
-  ea_.count("uwt.write");
+  ea_.count(id_.uwt_write);
   ++feedbacks_;
 }
 
@@ -166,16 +177,16 @@ void TranslationEngine::onLineFill(Addr paddr_line_base, WayIdx way) {
   const PageId ppage = p_.layout.pageId(paddr_line_base);
   const std::uint32_t line = p_.layout.lineInPage(paddr_line_base);
   // "The WT is only updated if no corresponding uWT entry was found."
-  ea_.count("utlb.psearch");
+  ea_.count(id_.utlb_psearch);
   if (auto uslot = utlb_.lookupP(ppage); uslot.has_value()) {
     uwt_.record(*uslot, line, ppage, static_cast<std::uint32_t>(way));
-    ea_.count("uwt.write");
+    ea_.count(id_.uwt_write);
     return;
   }
-  ea_.count("tlb.psearch");
+  ea_.count(id_.tlb_psearch);
   if (auto tslot = tlb_.lookupP(ppage); tslot.has_value()) {
     wt_.record(*tslot, line, ppage, static_cast<std::uint32_t>(way));
-    ea_.count("wt.write");
+    ea_.count(id_.wt_write);
   }
 }
 
@@ -183,16 +194,16 @@ void TranslationEngine::onLineEvict(Addr paddr_line_base) {
   if (!p_.way_tables || suspended_) return;
   const PageId ppage = p_.layout.pageId(paddr_line_base);
   const std::uint32_t line = p_.layout.lineInPage(paddr_line_base);
-  ea_.count("utlb.psearch");
+  ea_.count(id_.utlb_psearch);
   if (auto uslot = utlb_.lookupP(ppage); uslot.has_value()) {
     uwt_.clearLine(*uslot, line);
-    ea_.count("uwt.write");
+    ea_.count(id_.uwt_write);
     return;
   }
-  ea_.count("tlb.psearch");
+  ea_.count(id_.tlb_psearch);
   if (auto tslot = tlb_.lookupP(ppage); tslot.has_value()) {
     wt_.clearLine(*tslot, line);
-    ea_.count("wt.write");
+    ea_.count(id_.wt_write);
   }
 }
 

@@ -90,8 +90,22 @@ class TranslationEngine {
   void installIntoUtlb(PageId vpage, PageId ppage, std::uint32_t tlb_slot,
                        bool tlb_entry_fresh);
 
+  /// Event handles resolved once at construction (hot path = integer ids).
+  struct EventIds {
+    explicit EventIds(energy::EnergyAccount& ea);
+    energy::EnergyAccount::EventId utlb_search;
+    energy::EnergyAccount::EventId tlb_search;
+    energy::EnergyAccount::EventId utlb_psearch;
+    energy::EnergyAccount::EventId tlb_psearch;
+    energy::EnergyAccount::EventId uwt_read;
+    energy::EnergyAccount::EventId uwt_write;
+    energy::EnergyAccount::EventId wt_read;
+    energy::EnergyAccount::EventId wt_write;
+  };
+
   Params p_;
   energy::EnergyAccount& ea_;
+  EventIds id_;
   tlb::PageTable pt_;
   tlb::Tlb utlb_;
   tlb::Tlb tlb_;

@@ -1,12 +1,33 @@
 #include "energy/energy_account.h"
 
-#include "common/check.h"
-
 namespace malec::energy {
 
-void EnergyAccount::defineEvent(const std::string& name, double pj_per_event) {
+namespace {
+
+/// Abort with a message that owns the event name (a raw c_str() of a caller
+/// temporary must not be handed to the failure path).
+[[noreturn]] void unknownEventFailure(const std::string& name) {
+  const std::string msg = "unknown energy event '" + name + "'";
+  detail::checkFailed("hasEvent(name)", __FILE__, __LINE__, msg.c_str());
+}
+
+}  // namespace
+
+EnergyAccount::EventId EnergyAccount::defineEvent(const std::string& name,
+                                                  double pj_per_event) {
   MALEC_CHECK_MSG(pj_per_event >= 0.0, "event energy must be non-negative");
-  events_[name].pj = pj_per_event;
+  const EventId id = resolveEvent(name);
+  events_[id].pj = pj_per_event;
+  return id;
+}
+
+EnergyAccount::EventId EnergyAccount::resolveEvent(const std::string& name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const EventId id = static_cast<EventId>(events_.size());
+  events_.push_back(Event{});
+  index_.emplace(name, id);
+  return id;
 }
 
 void EnergyAccount::defineLeakage(const std::string& structure, double mw) {
@@ -15,29 +36,33 @@ void EnergyAccount::defineLeakage(const std::string& structure, double mw) {
 }
 
 void EnergyAccount::count(const std::string& name, std::uint64_t n) {
-  auto it = events_.find(name);
-  MALEC_CHECK_MSG(it != events_.end(), name.c_str());
-  it->second.count += n;
+  const auto it = index_.find(name);
+  if (it == index_.end()) unknownEventFailure(name);
+  events_[it->second].count += n;
 }
 
 std::uint64_t EnergyAccount::eventCount(const std::string& name) const {
-  auto it = events_.find(name);
-  return it == events_.end() ? 0 : it->second.count;
+  const auto it = index_.find(name);
+  return it == index_.end() ? 0 : events_[it->second].count;
 }
 
 double EnergyAccount::eventEnergyPj(const std::string& name) const {
-  auto it = events_.find(name);
-  return it == events_.end() ? 0.0 : it->second.pj;
+  const auto it = index_.find(name);
+  return it == index_.end() ? 0.0 : events_[it->second].pj;
 }
 
 bool EnergyAccount::hasEvent(const std::string& name) const {
-  return events_.count(name) != 0;
+  return index_.count(name) != 0;
 }
 
 double EnergyAccount::dynamicPj() const {
+  // Sum in name order (not id order) so the value is bit-identical no matter
+  // in which order components resolved their ids.
   double sum = 0.0;
-  for (const auto& [name, ev] : events_)
+  for (const auto& [name, id] : index_) {
+    const Event& ev = events_[id];
     sum += ev.pj * static_cast<double>(ev.count);
+  }
   return sum;
 }
 
@@ -60,9 +85,11 @@ double EnergyAccount::totalPj(Cycle cycles, double clock_ghz) const {
 
 double EnergyAccount::dynamicPjFor(const std::string& prefix) const {
   double sum = 0.0;
-  for (const auto& [name, ev] : events_)
-    if (name.rfind(prefix, 0) == 0)
+  for (const auto& [name, id] : index_)
+    if (name.rfind(prefix, 0) == 0) {
+      const Event& ev = events_[id];
       sum += ev.pj * static_cast<double>(ev.count);
+    }
   return sum;
 }
 
@@ -75,7 +102,8 @@ double EnergyAccount::leakageMwFor(const std::string& prefix) const {
 
 StatSet EnergyAccount::report(Cycle cycles, double clock_ghz) const {
   StatSet s;
-  for (const auto& [name, ev] : events_) {
+  for (const auto& [name, id] : index_) {
+    const Event& ev = events_[id];
     s.set("count." + name, static_cast<double>(ev.count));
     s.set("dyn_pj." + name, ev.pj * static_cast<double>(ev.count));
   }
@@ -88,7 +116,7 @@ StatSet EnergyAccount::report(Cycle cycles, double clock_ghz) const {
 }
 
 void EnergyAccount::clearCounts() {
-  for (auto& [name, ev] : events_) ev.count = 0;
+  for (Event& ev : events_) ev.count = 0;
 }
 
 }  // namespace malec::energy

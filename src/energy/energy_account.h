@@ -4,12 +4,21 @@
 // access statistics; those are combined with per-access energies from the
 // mini-CACTI array model plus per-structure leakage powers integrated over
 // the run's wall-clock (cycles / clock).
+//
+// Hot path = integer ids, edge = strings: every simulated access charges one
+// or more events per cycle, so counting must not touch strings or tree-based
+// containers. defineEvent()/resolveEvent() hand out dense EventId handles;
+// counts live in a flat vector indexed by id, and count(EventId) is a
+// bounds-checked array increment. The string-keyed API survives as a
+// resolve-once wrapper for definition, tests and reporting.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "common/check.h"
 #include "common/stats.h"
 #include "common/types.h"
 
@@ -20,19 +29,47 @@ namespace malec::energy {
 /// "l1.tag_read", "utlb.search", "wt.write".
 class EnergyAccount {
  public:
-  /// Register an event type with its per-occurrence energy. Re-defining an
-  /// event overwrites its energy (used when sweeping technologies).
-  void defineEvent(const std::string& name, double pj_per_event);
+  /// Dense handle for one event type; valid for the account's lifetime.
+  using EventId = std::uint32_t;
+
+  /// Register an event type with its per-occurrence energy and return its
+  /// handle. Re-defining an event overwrites its energy but keeps its id and
+  /// count (used when sweeping technologies).
+  EventId defineEvent(const std::string& name, double pj_per_event);
+
+  /// Resolve a name to its handle for construction-time caching, defining
+  /// the event with 0 pJ if it does not exist yet. Components call this once
+  /// in their constructors; the energy tables (defineEnergies) may attach
+  /// the real per-event energies before or after.
+  EventId resolveEvent(const std::string& name);
 
   /// Register a structure's static leakage power.
   void defineLeakage(const std::string& structure, double mw);
 
+  /// Record `n` occurrences of event `id` — the per-access hot path.
+  void count(EventId id, std::uint64_t n = 1) {
+    MALEC_CHECK(id < events_.size());
+    events_[id].count += n;
+  }
+
   /// Record `n` occurrences of `name`. The event must have been defined.
+  /// Reporting-edge convenience; resolves through the name index per call.
   void count(const std::string& name, std::uint64_t n = 1);
 
   [[nodiscard]] std::uint64_t eventCount(const std::string& name) const;
   [[nodiscard]] double eventEnergyPj(const std::string& name) const;
   [[nodiscard]] bool hasEvent(const std::string& name) const;
+
+  [[nodiscard]] std::uint64_t eventCount(EventId id) const {
+    MALEC_CHECK(id < events_.size());
+    return events_[id].count;
+  }
+  [[nodiscard]] double eventEnergyPj(EventId id) const {
+    MALEC_CHECK(id < events_.size());
+    return events_[id].pj;
+  }
+  /// Number of defined events (== one past the largest valid EventId).
+  [[nodiscard]] std::size_t eventTypes() const { return events_.size(); }
 
   /// Total dynamic energy in pJ.
   [[nodiscard]] double dynamicPj() const;
@@ -56,7 +93,7 @@ class EnergyAccount {
   /// leakage, dynamic/leakage/total rollups.
   [[nodiscard]] StatSet report(Cycle cycles, double clock_ghz) const;
 
-  /// Reset counts (keeps event/leakage definitions).
+  /// Reset counts (keeps event/leakage definitions and ids).
   void clearCounts();
 
  private:
@@ -64,7 +101,11 @@ class EnergyAccount {
     double pj = 0.0;
     std::uint64_t count = 0;
   };
-  std::map<std::string, Event> events_;
+  /// Flat storage indexed by EventId — the only state the hot path touches.
+  std::vector<Event> events_;
+  /// Name -> id, ordered so that reports and prefix rollups iterate in the
+  /// same (sorted) order as the original map-based implementation.
+  std::map<std::string, EventId> index_;
   std::map<std::string, double> leakage_mw_;
 };
 

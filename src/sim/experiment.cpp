@@ -1,6 +1,8 @@
 #include "sim/experiment.h"
 
+#include <atomic>
 #include <cstdlib>
+#include <thread>
 
 #include "energy/energy_account.h"
 #include "sim/presets.h"
@@ -47,12 +49,16 @@ RunOutput runOne(const RunConfig& rc) {
   return out;
 }
 
-std::vector<RunOutput> runConfigs(
+namespace {
+
+/// Shared batch assembly for the serial and parallel sweep entry points,
+/// so the two can never diverge in how a run is configured.
+std::vector<RunConfig> buildRunConfigs(
     const trace::WorkloadProfile& wl,
     const std::vector<core::InterfaceConfig>& cfgs,
     std::uint64_t instructions, std::uint64_t seed) {
-  std::vector<RunOutput> outs;
-  outs.reserve(cfgs.size());
+  std::vector<RunConfig> rcs;
+  rcs.reserve(cfgs.size());
   for (const auto& cfg : cfgs) {
     RunConfig rc;
     rc.workload = wl;
@@ -60,9 +66,77 @@ std::vector<RunOutput> runConfigs(
     rc.system = defaultSystem();
     rc.instructions = instructions;
     rc.seed = seed;
-    outs.push_back(runOne(rc));
+    rcs.push_back(std::move(rc));
   }
+  return rcs;
+}
+
+}  // namespace
+
+std::vector<RunOutput> runConfigs(
+    const trace::WorkloadProfile& wl,
+    const std::vector<core::InterfaceConfig>& cfgs,
+    std::uint64_t instructions, std::uint64_t seed) {
+  return runManyParallel(buildRunConfigs(wl, cfgs, instructions, seed),
+                         /*jobs=*/1);
+}
+
+std::vector<RunOutput> runManyParallel(const std::vector<RunConfig>& rcs,
+                                       unsigned jobs) {
+  if (jobs == 0) jobs = parallelJobs();
+  std::vector<RunOutput> outs(rcs.size());
+  if (rcs.empty()) return outs;
+
+  if (jobs <= 1 || rcs.size() == 1) {
+    for (std::size_t i = 0; i < rcs.size(); ++i) outs[i] = runOne(rcs[i]);
+    return outs;
+  }
+
+  // Work-stealing over an atomic index: each run owns its EnergyAccount,
+  // trace generator and interface, so no simulator state is shared; the
+  // output slot is fixed by the input index, keeping result order (and every
+  // value in it) identical to the serial loop.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= rcs.size()) return;
+      outs[i] = runOne(rcs[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  const unsigned n_threads =
+      static_cast<unsigned>(std::min<std::size_t>(jobs, rcs.size()));
+  pool.reserve(n_threads);
+  for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+  for (std::thread& th : pool) th.join();
   return outs;
+}
+
+std::vector<RunOutput> runConfigsParallel(
+    const trace::WorkloadProfile& wl,
+    const std::vector<core::InterfaceConfig>& cfgs,
+    std::uint64_t instructions, std::uint64_t seed, unsigned jobs) {
+  return runManyParallel(buildRunConfigs(wl, cfgs, instructions, seed), jobs);
+}
+
+std::vector<std::vector<RunOutput>> runMatrixParallel(
+    const std::vector<trace::WorkloadProfile>& wls,
+    const std::vector<core::InterfaceConfig>& cfgs,
+    std::uint64_t instructions, std::uint64_t seed, unsigned jobs) {
+  std::vector<RunConfig> rcs;
+  rcs.reserve(wls.size() * cfgs.size());
+  for (const auto& wl : wls) {
+    auto row = buildRunConfigs(wl, cfgs, instructions, seed);
+    for (auto& rc : row) rcs.push_back(std::move(rc));
+  }
+  const auto flat = runManyParallel(rcs, jobs);
+  std::vector<std::vector<RunOutput>> by_wl(wls.size());
+  for (std::size_t w = 0; w < wls.size(); ++w)
+    by_wl[w].assign(flat.begin() + static_cast<std::ptrdiff_t>(w * cfgs.size()),
+                    flat.begin() +
+                        static_cast<std::ptrdiff_t>((w + 1) * cfgs.size()));
+  return by_wl;
 }
 
 std::uint64_t instructionBudget(std::uint64_t dflt) {
@@ -71,6 +145,16 @@ std::uint64_t instructionBudget(std::uint64_t dflt) {
     if (v > 0) return static_cast<std::uint64_t>(v);
   }
   return dflt;
+}
+
+unsigned parallelJobs(unsigned dflt) {
+  if (const char* env = std::getenv("MALEC_JOBS"); env != nullptr) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  if (dflt > 0) return dflt;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
 }
 
 }  // namespace malec::sim

@@ -52,8 +52,37 @@ struct RunOutput {
     const std::vector<core::InterfaceConfig>& cfgs,
     std::uint64_t instructions, std::uint64_t seed = 1);
 
+/// Run a batch of arbitrary configurations across a std::thread pool.
+/// Every run is fully independent (own EnergyAccount, trace generator and
+/// RNG state seeded from its RunConfig), so outputs are bit-identical to a
+/// serial loop over runOne(); results come back in input order. `jobs` = 0
+/// uses parallelJobs().
+[[nodiscard]] std::vector<RunOutput> runManyParallel(
+    const std::vector<RunConfig>& rcs, unsigned jobs = 0);
+
+/// Parallel counterpart of runConfigs(): same outputs, sweep spread over
+/// `jobs` worker threads.
+[[nodiscard]] std::vector<RunOutput> runConfigsParallel(
+    const trace::WorkloadProfile& wl,
+    const std::vector<core::InterfaceConfig>& cfgs,
+    std::uint64_t instructions, std::uint64_t seed = 1, unsigned jobs = 0);
+
+/// Full (workload x configuration) cross product as ONE parallel batch —
+/// the whole pool stays busy instead of being capped at one row's config
+/// count. Result is indexed [workload][config], each row identical to
+/// runConfigs() for that workload.
+[[nodiscard]] std::vector<std::vector<RunOutput>> runMatrixParallel(
+    const std::vector<trace::WorkloadProfile>& wls,
+    const std::vector<core::InterfaceConfig>& cfgs,
+    std::uint64_t instructions, std::uint64_t seed = 1, unsigned jobs = 0);
+
 /// Instruction budget honouring the MALEC_INSTR environment override
 /// (lets CI shrink runs; benches default to `dflt`).
 [[nodiscard]] std::uint64_t instructionBudget(std::uint64_t dflt);
+
+/// Worker-thread count for parallel sweeps, honouring the MALEC_JOBS
+/// environment override (alongside MALEC_INSTR; see instructionBudget).
+/// Defaults to the hardware concurrency, never less than 1.
+[[nodiscard]] unsigned parallelJobs(unsigned dflt = 0);
 
 }  // namespace malec::sim

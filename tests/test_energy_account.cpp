@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 namespace malec::energy {
 namespace {
 
@@ -85,9 +88,77 @@ TEST(EnergyAccount, ReportContainsRollups) {
   EXPECT_DOUBLE_EQ(r.get("total.energy_pj"), 210.0);
 }
 
+TEST(EnergyAccount, EventIdCountingMatchesStringCounting) {
+  // Two accounts with identical definitions, one counted through cached
+  // ids, one through the string API: report() must be byte-identical.
+  EnergyAccount by_id;
+  EnergyAccount by_name;
+  const char* names[] = {"l1.ctrl", "l1.tag_read", "utlb.search", "wt.write"};
+  std::vector<EnergyAccount::EventId> ids;
+  double pj = 0.5;
+  for (const char* n : names) {
+    ids.push_back(by_id.defineEvent(n, pj));
+    by_name.defineEvent(n, pj);
+    pj += 1.25;
+  }
+  by_id.defineLeakage("l1.tag", 0.75);
+  by_name.defineLeakage("l1.tag", 0.75);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    by_id.count(ids[i], i + 1);
+    by_name.count(names[i], i + 1);
+  }
+  by_id.count(ids[0]);
+  by_name.count(names[0]);
+  EXPECT_EQ(by_id.report(1234, 2.0).toTable(),
+            by_name.report(1234, 2.0).toTable());
+  EXPECT_EQ(by_id.dynamicPj(), by_name.dynamicPj());
+}
+
+TEST(EnergyAccount, DefineEventReturnsStableDenseIds) {
+  EnergyAccount ea;
+  const auto a = ea.defineEvent("a", 1.0);
+  const auto b = ea.defineEvent("b", 2.0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ea.eventTypes(), 2u);
+  // Redefinition keeps the id and the count, overwrites the energy.
+  ea.count(a, 3);
+  EXPECT_EQ(ea.defineEvent("a", 5.0), a);
+  EXPECT_EQ(ea.eventCount(a), 3u);
+  EXPECT_DOUBLE_EQ(ea.eventEnergyPj(a), 5.0);
+  EXPECT_EQ(ea.eventTypes(), 2u);
+}
+
+TEST(EnergyAccount, ResolveEventDefinesZeroEnergyPlaceholder) {
+  // Components resolve their ids at construction; the energy tables may
+  // attach the real per-event energies afterwards.
+  EnergyAccount ea;
+  const auto id = ea.resolveEvent("l1.ctrl");
+  EXPECT_TRUE(ea.hasEvent("l1.ctrl"));
+  EXPECT_DOUBLE_EQ(ea.eventEnergyPj(id), 0.0);
+  ea.count(id, 7);
+  EXPECT_EQ(ea.defineEvent("l1.ctrl", 0.45), id);
+  EXPECT_EQ(ea.eventCount("l1.ctrl"), 7u);
+  EXPECT_DOUBLE_EQ(ea.dynamicPj(), 7 * 0.45);
+}
+
 TEST(EnergyAccountDeath, CountingUndefinedEventAborts) {
   EnergyAccount ea;
   EXPECT_DEATH(ea.count("nope"), "nope");
+}
+
+TEST(EnergyAccountDeath, UnknownEventMessageNamesTheEvent) {
+  EnergyAccount ea;
+  ea.defineEvent("real.event", 1.0);
+  // The failure message must carry the offending name (built from storage
+  // owned by the failure path, not a dangling c_str of a temporary).
+  EXPECT_DEATH(ea.count(std::string("bogus.") + "name"),
+               "unknown energy event 'bogus.name'");
+}
+
+TEST(EnergyAccountDeath, OutOfRangeEventIdAborts) {
+  EnergyAccount ea;
+  ea.defineEvent("only", 1.0);
+  EXPECT_DEATH(ea.count(static_cast<EnergyAccount::EventId>(99)), "events_");
 }
 
 }  // namespace

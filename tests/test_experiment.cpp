@@ -84,6 +84,52 @@ TEST(Experiment, InstructionBudgetEnvOverride) {
   EXPECT_EQ(instructionBudget(999), 999u);
 }
 
+TEST(Experiment, ParallelMatchesSerialBitForBit) {
+  const auto wl = trace::workloadByName("gcc");
+  const auto cfgs = fig4Configs();
+  const auto serial = runConfigs(wl, cfgs, 10'000, 3);
+  const auto parallel = runConfigsParallel(wl, cfgs, 10'000, 3, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].config, parallel[i].config) << i;
+    EXPECT_EQ(serial[i].cycles, parallel[i].cycles) << i;
+    EXPECT_EQ(serial[i].instructions, parallel[i].instructions) << i;
+    // Bit-identical doubles, not just approximately equal: every run owns
+    // its accounting, so parallel execution must not perturb a single bit.
+    EXPECT_EQ(serial[i].ipc, parallel[i].ipc) << i;
+    EXPECT_EQ(serial[i].dynamic_pj, parallel[i].dynamic_pj) << i;
+    EXPECT_EQ(serial[i].leakage_pj, parallel[i].leakage_pj) << i;
+    EXPECT_EQ(serial[i].total_pj, parallel[i].total_pj) << i;
+    EXPECT_EQ(serial[i].way_coverage, parallel[i].way_coverage) << i;
+    EXPECT_EQ(serial[i].energy_detail.toTable(),
+              parallel[i].energy_detail.toTable())
+        << i;
+  }
+}
+
+TEST(Experiment, RunManyParallelKeepsInputOrder) {
+  std::vector<RunConfig> rcs;
+  for (const char* bench : {"gcc", "eon", "gap", "mcf"})
+    rcs.push_back(quickRun(bench, presetMalec(), 5'000));
+  const auto outs = runManyParallel(rcs, 3);
+  ASSERT_EQ(outs.size(), 4u);
+  EXPECT_EQ(outs[0].benchmark, "gcc");
+  EXPECT_EQ(outs[1].benchmark, "eon");
+  EXPECT_EQ(outs[2].benchmark, "gap");
+  EXPECT_EQ(outs[3].benchmark, "mcf");
+  for (const auto& o : outs) EXPECT_EQ(o.instructions, 5'000u);
+}
+
+TEST(Experiment, ParallelJobsEnvOverride) {
+  ::setenv("MALEC_JOBS", "7", 1);
+  EXPECT_EQ(parallelJobs(), 7u);
+  ::setenv("MALEC_JOBS", "notanumber", 1);
+  EXPECT_EQ(parallelJobs(3), 3u);
+  ::unsetenv("MALEC_JOBS");
+  EXPECT_GE(parallelJobs(), 1u);
+  EXPECT_EQ(parallelJobs(2), 2u);
+}
+
 TEST(Experiment, EnergyDetailExported) {
   const auto out = runOne(quickRun("eon", presetMalec()));
   EXPECT_GT(out.energy_detail.get("total.dynamic_pj"), 0.0);
