@@ -1,53 +1,6 @@
-// Reproduces the Sec. IV arbitration-window claim: restricting the
-// same-line merge comparison to the three loads consecutive to the initial
-// Input Buffer entry costs less than 0.5 % performance compared to an
-// unrestricted comparison, while keeping the comparators narrow and cheap.
-// Sweeps the window from 0 (no merging possible) to 7 (effectively
-// unlimited for this input-buffer size).
-#include <cstdio>
-#include <vector>
+// Thin compat wrapper: the Sec. IV merge-window sweep is the
+// "arbitration_window" experiment spec (specs.cpp); prefer
+// `malec_bench --suite arbitration_window`.
+#include "sim/suite.h"
 
-#include "sim/experiment.h"
-#include "sim/presets.h"
-#include "sim/reporting.h"
-#include "trace/workloads.h"
-
-int main() {
-  using namespace malec;
-  const std::uint64_t n = sim::instructionBudget(80'000);
-  const std::vector<std::uint32_t> windows = {0, 1, 2, 3, 5, 7};
-
-  std::vector<core::InterfaceConfig> cfgs;
-  std::vector<std::string> cols;
-  for (std::uint32_t w : windows) {
-    core::InterfaceConfig c = sim::presetMalec();
-    c.merge_window = w;
-    c.merge_loads = w > 0;
-    c.name = "win" + std::to_string(w);
-    cfgs.push_back(c);
-    cols.push_back(c.name);
-  }
-
-  sim::Table t("Execution time [%] vs merge window (win7 = 100)", cols);
-
-  // A representative subset keeps this sweep fast; the paper's claim is an
-  // average, so we use one benchmark per behaviour class.
-  const std::vector<std::string> picks = {"gcc",    "gap",  "equake",
-                                          "mgrid",  "mcf",  "djpeg",
-                                          "h264enc"};
-  for (const auto& name : picks) {
-    const auto outs =
-        sim::runConfigs(trace::workloadByName(name), cfgs, n, /*seed=*/1);
-    const double ref = static_cast<double>(outs.back().cycles);
-    std::vector<double> row;
-    for (const auto& o : outs)
-      row.push_back(100.0 * static_cast<double>(o.cycles) / ref);
-    t.addRow(name, row);
-    std::fprintf(stderr, ".");
-  }
-  t.addOverallGeomeanRow("geo.mean");
-  std::fprintf(stderr, "\n");
-  std::printf("%s\n", t.render(2).c_str());
-  std::printf("Paper: window=3 within 0.5%% of unrestricted comparison\n");
-  return 0;
-}
+int main() { return malec::sim::benchCompatMain("arbitration_window"); }

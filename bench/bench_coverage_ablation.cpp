@@ -1,37 +1,6 @@
-// Reproduces the Sec. V update-mechanism ablation: the last-entry register
-// feeds way information discovered by conventional hits (after a "way
-// unknown" answer) back into the uWT without a uTLB lookup. The paper
-// reports this raises Page-Based Way Determination coverage from 75 % to
-// 94 %.
-#include <cstdio>
-#include <vector>
+// Thin compat wrapper: the Sec. V feedback ablation is the
+// "coverage_ablation" experiment spec (specs.cpp); prefer
+// `malec_bench --suite coverage_ablation`.
+#include "sim/suite.h"
 
-#include "sim/experiment.h"
-#include "sim/presets.h"
-#include "sim/reporting.h"
-#include "trace/workloads.h"
-
-int main() {
-  using namespace malec;
-  const std::uint64_t n = sim::instructionBudget(100'000);
-
-  const std::vector<core::InterfaceConfig> cfgs = {
-      sim::presetMalecNoFeedback(), sim::presetMalec()};
-
-  sim::Table t("WT coverage [%] without / with last-entry feedback",
-               {"no feedback", "feedback", "energy no-fb %"});
-
-  for (const auto& wl : trace::allWorkloads()) {
-    const auto outs = sim::runConfigs(wl, cfgs, n, /*seed=*/1);
-    t.addRow(wl.name,
-             {100.0 * outs[0].way_coverage, 100.0 * outs[1].way_coverage,
-              100.0 * outs[0].total_pj / outs[1].total_pj});
-    std::fprintf(stderr, ".");
-  }
-  t.addOverallGeomeanRow("geo.mean");
-  std::fprintf(stderr, "\n");
-  std::printf("%s\n", t.render(1).c_str());
-  std::printf("Paper: 75%% coverage without the update mechanism, 94%% "
-              "with it\n");
-  return 0;
-}
+int main() { return malec::sim::benchCompatMain("coverage_ablation"); }

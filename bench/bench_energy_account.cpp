@@ -1,80 +1,20 @@
-// Micro-benchmark for the energy-accounting hot path: events/sec through
-// the legacy string-keyed count() (per-call name resolution through the
-// sorted index) versus the interned EventId count() (bounds-checked array
-// increment). The event mix mirrors the simulator's real per-access pattern
-// (L1 control + tag + data, translation searches, way-table traffic).
+// Thin compat wrapper: the energy-accounting throughput microbenchmark is
+// the "energy_account" experiment spec (specs.cpp); prefer
+// `malec_bench --suite energy_account --instr <counts>`.
 //
 //   ./bench_energy_account [iterations]
-#include <chrono>
-#include <cstdio>
 #include <cstdlib>
-#include <iterator>
-#include <string>
-#include <vector>
 
-#include "energy/energy_account.h"
-
-namespace {
-
-using malec::energy::EnergyAccount;
-
-const char* const kEventNames[] = {
-    "l1.ctrl",      "l1.tag_read",   "l1.data_read", "l1.data_write",
-    "l1.tag_write", "l1.line_write", "l1.line_read", "utlb.search",
-    "tlb.search",   "utlb.psearch",  "tlb.psearch",  "uwt.read",
-    "uwt.write",    "wt.read",       "wt.write",     "wdu.search",
-};
-constexpr std::size_t kNumEvents = std::size(kEventNames);
-
-double secondsSince(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-}  // namespace
+#include "sim/suite.h"
 
 int main(int argc, char** argv) {
-  std::uint64_t iters =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20'000'000;
-  // Round down to a whole number of passes over the event mix so the
-  // per-event sanity check below holds for any requested count.
-  iters -= iters % kNumEvents;
-  if (iters == 0) iters = kNumEvents;
-
-  EnergyAccount ea;
-  std::vector<EnergyAccount::EventId> ids;
-  for (const char* name : kEventNames)
-    ids.push_back(ea.defineEvent(name, 1.0));
-
-  // String path: what every count() call site paid before interning.
-  const auto t_str = std::chrono::steady_clock::now();
-  for (std::uint64_t i = 0; i < iters; ++i)
-    ea.count(kEventNames[i % kNumEvents]);
-  const double s_str = secondsSince(t_str);
-
-  // EventId path: resolve once (done above), then array increments.
-  const auto t_id = std::chrono::steady_clock::now();
-  for (std::uint64_t i = 0; i < iters; ++i)
-    ea.count(ids[i % kNumEvents]);
-  const double s_id = secondsSince(t_id);
-
-  // Keep the optimiser honest and sanity-check both paths counted equally.
-  const std::uint64_t per_event = 2 * iters / kNumEvents;
-  for (const char* name : kEventNames) {
-    if (ea.eventCount(name) != per_event) {
-      std::fprintf(stderr, "count mismatch on %s: %llu != %llu\n", name,
-                   static_cast<unsigned long long>(ea.eventCount(name)),
-                   static_cast<unsigned long long>(per_event));
-      return 1;
-    }
+  // The legacy binary always ran 20M counts (or the argv override) and
+  // never read MALEC_INSTR — keep that: a CI-shrunk budget would turn the
+  // timing windows into noise. An explicit 0 still means the minimal run.
+  std::uint64_t iters = 20'000'000;
+  if (argc > 1) {
+    iters = std::strtoull(argv[1], nullptr, 10);
+    if (iters == 0) iters = 1;  // the spec rounds up to one event pass
   }
-
-  const double mps_str = static_cast<double>(iters) / s_str / 1e6;
-  const double mps_id = static_cast<double>(iters) / s_id / 1e6;
-  std::printf("events: %zu types, %llu counts per path\n", kNumEvents,
-              static_cast<unsigned long long>(iters));
-  std::printf("string API : %8.1f Mevents/s  (%.3f s)\n", mps_str, s_str);
-  std::printf("EventId API: %8.1f Mevents/s  (%.3f s)\n", mps_id, s_id);
-  std::printf("speedup    : %8.1fx\n", mps_id / mps_str);
-  return 0;
+  return malec::sim::benchCompatMain("energy_account", iters);
 }

@@ -1,90 +1,5 @@
-// Reproduces Fig. 1 (paper Sec. III): the number of consecutive read
-// accesses to the same page, allowing 0/1/2/3/4/8 intermediate accesses to
-// a different page, as group-size fractions per suite — plus the headline
-// motivation numbers: 70 % of loads directly followed by a same-page load
-// (85/90/92 % with 1/2/3 intermediates) and 46 % same-line follow rate.
-#include <cstdio>
-#include <map>
-#include <vector>
+// Thin compat wrapper: the Fig. 1 locality analysis is the "fig1"
+// experiment spec (specs.cpp); prefer `malec_bench --suite fig1`.
+#include "sim/suite.h"
 
-#include "sim/experiment.h"
-#include "sim/reporting.h"
-#include "trace/locality_analyzer.h"
-#include "trace/synth_generator.h"
-#include "trace/workloads.h"
-
-int main() {
-  using namespace malec;
-  const std::uint64_t n = sim::instructionBudget(120'000);
-  const AddressLayout layout;
-  const std::vector<std::uint32_t> allowances = {0, 1, 2, 3, 4, 8};
-
-  std::printf("Fig. 1 — consecutive accesses to the same page\n");
-  std::printf("(group-size fractions of all loads, x = allowed intermediate"
-              " accesses to a different page)\n\n");
-
-  struct SuiteAcc {
-    std::map<std::uint32_t, std::vector<double>> followed;  // x -> values
-    std::vector<double> same_line;
-    std::vector<double> store_page;
-  };
-  std::map<std::string, SuiteAcc> suites;
-  SuiteAcc overall;
-
-  sim::Table t("Fig.1 bar segments at x=0 (fraction of loads, %)",
-               {"grp=1", "grp=2", "grp3-4", "grp5-8", "grp>8", "followed"});
-
-  for (const auto& wl : trace::allWorkloads()) {
-    trace::SyntheticTraceGenerator gen(wl, layout, n, /*seed=*/42);
-    trace::LocalityAnalyzer an(layout, allowances);
-    trace::InstrRecord r;
-    while (gen.next(r)) an.observe(r);
-
-    const auto groups = an.pageGroups();
-    const auto& g0 = groups[0];
-    t.addRow(wl.name, {100 * g0.frac_group_1, 100 * g0.frac_group_2,
-                       100 * g0.frac_group_3to4, 100 * g0.frac_group_5to8,
-                       100 * g0.frac_group_gt8, 100 * g0.frac_followed});
-
-    SuiteAcc& sa = suites[wl.suite];
-    for (const auto& g : groups) {
-      sa.followed[g.allowed_intermediates].push_back(g.frac_followed);
-      overall.followed[g.allowed_intermediates].push_back(g.frac_followed);
-    }
-    sa.same_line.push_back(an.sameLineFollowedFraction());
-    overall.same_line.push_back(an.sameLineFollowedFraction());
-    sa.store_page.push_back(an.storeSamePageFollowedFraction());
-    overall.store_page.push_back(an.storeSamePageFollowedFraction());
-  }
-  t.addOverallGeomeanRow("geo. mean");
-  std::printf("%s\n", t.render(1).c_str());
-  t.maybeWriteCsv("fig1_groups");
-
-  std::printf("Loads followed by >=1 same-page load, by allowance x"
-              " (arith. mean, %%):\n");
-  std::printf("%-14s", "suite");
-  for (std::uint32_t x : allowances) std::printf("  x=%-5u", x);
-  std::printf("\n");
-  auto meanOf = [](const std::vector<double>& v) {
-    double s = 0;
-    for (double d : v) s += d;
-    return v.empty() ? 0.0 : s / static_cast<double>(v.size());
-  };
-  for (const auto& suite : trace::suiteNames()) {
-    std::printf("%-14s", suite.c_str());
-    for (std::uint32_t x : allowances)
-      std::printf("  %6.1f", 100 * meanOf(suites[suite].followed[x]));
-    std::printf("\n");
-  }
-  std::printf("%-14s", "Overall");
-  for (std::uint32_t x : allowances)
-    std::printf("  %6.1f", 100 * meanOf(overall.followed[x]));
-  std::printf("\n\n");
-
-  std::printf("Paper anchors: x=0 ~70%%, x=1 ~85%%, x=2 ~90%%, x=3 ~92%%\n");
-  std::printf("Same-line follow rate (paper ~46%%):   %.1f%%\n",
-              100 * meanOf(overall.same_line));
-  std::printf("Store same-page follow (higher than loads): %.1f%%\n",
-              100 * meanOf(overall.store_page));
-  return 0;
-}
+int main() { return malec::sim::benchCompatMain("fig1"); }

@@ -1,50 +1,6 @@
-// Reproduces Fig. 4a: execution time of Base1ldst, Base2ld1st_1cycleL1,
-// Base2ld1st, MALEC and MALEC_3cycleL1, normalised to Base1ldst (= 100 %),
-// per benchmark with suite and overall geometric means.
-//
-// Paper anchors: MALEC −14 % overall (−10 % at 3-cycle L1); Base2ld1st
-// −15 % (−20 % at 1-cycle); per suite −14/−12/−21 %; outliers mcf & art
-// (almost no gain), djpeg & h263dec (~−30 %), gap (~−17 %).
-#include <cstdio>
-#include <string>
-#include <vector>
+// Thin compat wrapper: Fig. 4a is the "fig4a" experiment spec (specs.cpp),
+// executed by the declarative suite layer as one runMatrixParallel batch —
+// prefer `malec_bench --suite fig4a`, which adds --filter/--sink/--jobs.
+#include "sim/suite.h"
 
-#include "sim/experiment.h"
-#include "sim/presets.h"
-#include "sim/reporting.h"
-#include "trace/workloads.h"
-
-int main() {
-  using namespace malec;
-  const std::uint64_t n = sim::instructionBudget(120'000);
-  const auto cfgs = sim::fig4Configs();
-
-  std::vector<std::string> cols;
-  for (const auto& c : cfgs) cols.push_back(c.name);
-  sim::Table t("Fig. 4a — normalized execution time [%] (Base1ldst = 100)",
-               cols);
-
-  std::string current_suite;
-  for (const auto& wl : trace::allWorkloads()) {
-    if (!current_suite.empty() && wl.suite != current_suite)
-      t.addGeomeanRow("geo.mean " + current_suite);
-    current_suite = wl.suite;
-
-    const auto outs = sim::runConfigs(wl, cfgs, n, /*seed=*/1);
-    const double base = static_cast<double>(outs[0].cycles);
-    std::vector<double> row;
-    for (const auto& o : outs)
-      row.push_back(100.0 * static_cast<double>(o.cycles) / base);
-    t.addRow(wl.name, row);
-    std::fprintf(stderr, ".");
-  }
-  t.addGeomeanRow("geo.mean " + current_suite);
-  t.addOverallGeomeanRow("geo.mean Overall");
-  std::fprintf(stderr, "\n");
-  std::printf("%s\n", t.render(1).c_str());
-  if (t.maybeWriteCsv("fig4a_time"))
-    std::printf("(CSV written to $MALEC_CSV_DIR/fig4a_time.csv)\n");
-  std::printf("Paper: MALEC 86 / MALEC_3cyc 90 / Base2ld1st 85 / "
-              "Base2ld1st_1cyc 80 (overall geo.means)\n");
-  return 0;
-}
+int main() { return malec::sim::benchCompatMain("fig4a"); }

@@ -1,60 +1,5 @@
-// Reproduces Fig. 4b: dynamic and total (dynamic + leakage) energy of the
-// L1 data memory subsystem for the five Fig. 4 configurations, normalised
-// to Base1ldst.
-//
-// Paper anchors: Base2ld1st +42 % dynamic / +48 % total; MALEC −33 %
-// dynamic / −22 % total (−48 % relative to Base2ld1st); mcf −51 % dynamic
-// for MALEC thanks to load sharing; latency variants track their parents.
-#include <cstdio>
-#include <string>
-#include <vector>
+// Thin compat wrapper: Fig. 4b is the "fig4b" experiment spec (specs.cpp);
+// prefer `malec_bench --suite fig4b`.
+#include "sim/suite.h"
 
-#include "sim/experiment.h"
-#include "sim/presets.h"
-#include "sim/reporting.h"
-#include "trace/workloads.h"
-
-int main() {
-  using namespace malec;
-  const std::uint64_t n = sim::instructionBudget(120'000);
-  const auto cfgs = sim::fig4Configs();
-
-  std::vector<std::string> cols;
-  for (const auto& c : cfgs) cols.push_back(c.name);
-  sim::Table td("Fig. 4b — normalized dynamic energy [%] (Base1ldst = 100)",
-                cols);
-  sim::Table tt("Fig. 4b — normalized total energy [%] (dynamic + leakage)",
-                cols);
-
-  std::string current_suite;
-  for (const auto& wl : trace::allWorkloads()) {
-    if (!current_suite.empty() && wl.suite != current_suite) {
-      td.addGeomeanRow("geo.mean " + current_suite);
-      tt.addGeomeanRow("geo.mean " + current_suite);
-    }
-    current_suite = wl.suite;
-
-    const auto outs = sim::runConfigs(wl, cfgs, n, /*seed=*/1);
-    std::vector<double> dyn_row, tot_row;
-    for (const auto& o : outs) {
-      dyn_row.push_back(100.0 * o.dynamic_pj / outs[0].dynamic_pj);
-      tot_row.push_back(100.0 * o.total_pj / outs[0].total_pj);
-    }
-    td.addRow(wl.name, dyn_row);
-    tt.addRow(wl.name, tot_row);
-    std::fprintf(stderr, ".");
-  }
-  td.addGeomeanRow("geo.mean " + current_suite);
-  tt.addGeomeanRow("geo.mean " + current_suite);
-  td.addOverallGeomeanRow("geo.mean Overall");
-  tt.addOverallGeomeanRow("geo.mean Overall");
-  std::fprintf(stderr, "\n");
-
-  std::printf("%s\n", td.render(1).c_str());
-  std::printf("%s\n", tt.render(1).c_str());
-  td.maybeWriteCsv("fig4b_dynamic");
-  tt.maybeWriteCsv("fig4b_total");
-  std::printf("Paper: dynamic — Base2ld1st 142, MALEC 67; "
-              "total — Base2ld1st 148, MALEC 78 (overall)\n");
-  return 0;
-}
+int main() { return malec::sim::benchCompatMain("fig4b"); }

@@ -1,48 +1,6 @@
-// Reproduces the Sec. VI-B merged-load analysis: how much of MALEC's
-// speedup over Base1ldst comes from merging loads to the same cache line
-// (the rest comes from accessing multiple banks in parallel).
-//
-// Paper anchors: merging contributes ~21 % of the overall speedup on
-// average; gap 56 % and equake 66 % (very suitable access patterns);
-// mgrid < 2 % (low intra-line locality). mcf flips from −51 % to +5 %
-// dynamic energy without load sharing.
-#include <cstdio>
-#include <vector>
+// Thin compat wrapper: the Sec. VI-B merged-load analysis is the
+// "merge_contribution" experiment spec (specs.cpp); prefer
+// `malec_bench --suite merge_contribution`.
+#include "sim/suite.h"
 
-#include "sim/experiment.h"
-#include "sim/presets.h"
-#include "sim/reporting.h"
-#include "trace/workloads.h"
-
-int main() {
-  using namespace malec;
-  const std::uint64_t n = sim::instructionBudget(100'000);
-
-  const std::vector<core::InterfaceConfig> cfgs = {
-      sim::presetBase1ldst(), sim::presetMalec(), sim::presetMalecNoMerge()};
-
-  sim::Table t("Merged-load contribution to MALEC's speedup",
-               {"speedup %", "speedup noMerge %", "merge contrib %",
-                "merged loads %", "dynE noMerge/merge %"});
-
-  for (const auto& wl : trace::allWorkloads()) {
-    const auto outs = sim::runConfigs(wl, cfgs, n, /*seed=*/1);
-    const double base = static_cast<double>(outs[0].cycles);
-    const double sp_full = base / static_cast<double>(outs[1].cycles) - 1.0;
-    const double sp_nomerge =
-        base / static_cast<double>(outs[2].cycles) - 1.0;
-    const double contrib =
-        sp_full > 1e-9 ? 100.0 * (sp_full - sp_nomerge) / sp_full : 0.0;
-    t.addRow(wl.name,
-             {100.0 * sp_full, 100.0 * sp_nomerge,
-              std::max(0.0, std::min(100.0, contrib)) + 1e-6,
-              100.0 * outs[1].merged_load_fraction + 1e-6,
-              100.0 * outs[2].dynamic_pj / outs[1].dynamic_pj});
-    std::fprintf(stderr, ".");
-  }
-  std::fprintf(stderr, "\n");
-  std::printf("%s\n", t.render(1).c_str());
-  std::printf("Paper: merging contributes ~21%% of MALEC's speedup on "
-              "average (gap 56%%, equake 66%%, mgrid <2%%)\n");
-  return 0;
-}
+int main() { return malec::sim::benchCompatMain("merge_contribution"); }

@@ -1,186 +1,15 @@
-// Sec. VI-D sensitivity analysis:
-//   * L1 latency (1/2/3 cycles) for both MALEC and Base2ld1st;
-//   * Input Buffer carry capacity (how many loads may be held);
-//   * result buses available per cycle;
-//   * streaming workloads (mcf-like) where Page-Based Way Determination
-//     shows negative energy benefit.
-//
-// Each table's full (benchmark x configuration) cross product is dispatched
-// as ONE parallel batch (runManyParallel / MALEC_JOBS), so the whole worker
-// pool stays busy instead of being capped at one table row's config count.
-#include <cstdio>
-#include <string>
-#include <vector>
-
-#include "sim/experiment.h"
-#include "sim/presets.h"
-#include "sim/reporting.h"
-#include "trace/workloads.h"
-
-namespace {
-
-using namespace malec;
-
-/// Run every (benchmark, config) pair as one parallel batch; result is
-/// indexed [benchmark][config] in input order. One stderr dot per table
-/// keeps a minimal progress signal.
-std::vector<std::vector<sim::RunOutput>> sweep(
-    const std::vector<std::string>& benches,
-    const std::vector<core::InterfaceConfig>& cfgs, std::uint64_t n) {
-  std::vector<trace::WorkloadProfile> wls;
-  wls.reserve(benches.size());
-  for (const auto& bench : benches) wls.push_back(trace::workloadByName(bench));
-  auto all = sim::runMatrixParallel(wls, cfgs, n, 1);
-  std::fprintf(stderr, ".");
-  return all;
-}
-
-}  // namespace
+// Thin compat wrapper: the Sec. VI-D sensitivity analysis is six
+// experiment specs (specs.cpp), run here in the legacy order; prefer
+// `malec_bench --suite sensitivity_latency` etc. to run them individually.
+#include "sim/suite.h"
 
 int main() {
-  const std::uint64_t n = sim::instructionBudget(80'000);
-  const std::vector<std::string> picks = {"gcc", "gap", "mcf", "djpeg",
-                                          "swim"};
-
-  // --- L1 latency sweep ----------------------------------------------------
-  {
-    std::vector<core::InterfaceConfig> cfgs;
-    std::vector<std::string> cols;
-    for (Cycle lat : {1u, 2u, 3u}) {
-      core::InterfaceConfig m = sim::presetMalec();
-      m.l1_latency = lat;
-      m.name = "MALEC_" + std::to_string(lat) + "cyc";
-      cfgs.push_back(m);
-      cols.push_back(m.name);
-      core::InterfaceConfig b = sim::presetBase2ld1st();
-      b.l1_latency = lat;
-      b.name = "Base2_" + std::to_string(lat) + "cyc";
-      cfgs.push_back(b);
-      cols.push_back(b.name);
-    }
-    sim::Table t("Execution time [%] vs L1 latency (MALEC_2cyc = 100)",
-                 cols);
-    const auto all = sweep(picks, cfgs, n);
-    for (std::size_t b = 0; b < picks.size(); ++b) {
-      const auto& outs = all[b];
-      const double ref = static_cast<double>(outs[2].cycles);  // MALEC 2cyc
-      std::vector<double> row;
-      for (const auto& o : outs)
-        row.push_back(100.0 * static_cast<double>(o.cycles) / ref);
-      t.addRow(picks[b], row);
-    }
-    t.addOverallGeomeanRow("geo.mean");
-    std::printf("%s\n", t.render(1).c_str());
+  for (const char* name :
+       {"sensitivity_latency", "sensitivity_carry", "sensitivity_buses",
+        "sensitivity_waydet", "sensitivity_adaptive",
+        "sensitivity_scaling"}) {
+    const int rc = malec::sim::benchCompatMain(name);
+    if (rc != 0) return rc;
   }
-
-  // --- Input Buffer carry slots ---------------------------------------------
-  {
-    std::vector<core::InterfaceConfig> cfgs;
-    std::vector<std::string> cols;
-    for (std::uint32_t carry : {0u, 1u, 2u, 4u, 8u}) {
-      core::InterfaceConfig m = sim::presetMalec();
-      m.ib_carry_slots = carry;
-      m.name = "carry" + std::to_string(carry);
-      cfgs.push_back(m);
-      cols.push_back(m.name);
-    }
-    sim::Table t("Execution time [%] vs Input Buffer carry slots "
-                 "(carry2 = 100)", cols);
-    const auto all = sweep(picks, cfgs, n);
-    for (std::size_t b = 0; b < picks.size(); ++b) {
-      const auto& outs = all[b];
-      const double ref = static_cast<double>(outs[2].cycles);
-      std::vector<double> row;
-      for (const auto& o : outs)
-        row.push_back(100.0 * static_cast<double>(o.cycles) / ref);
-      t.addRow(picks[b], row);
-    }
-    t.addOverallGeomeanRow("geo.mean");
-    std::printf("%s\n", t.render(1).c_str());
-  }
-
-  // --- result buses ---------------------------------------------------------
-  {
-    std::vector<core::InterfaceConfig> cfgs;
-    std::vector<std::string> cols;
-    for (std::uint32_t buses : {1u, 2u, 3u, 4u}) {
-      core::InterfaceConfig m = sim::presetMalec();
-      m.result_buses = buses;
-      m.name = "bus" + std::to_string(buses);
-      cfgs.push_back(m);
-      cols.push_back(m.name);
-    }
-    sim::Table t("Execution time [%] vs result buses (bus3 = 100)", cols);
-    const auto all = sweep(picks, cfgs, n);
-    for (std::size_t b = 0; b < picks.size(); ++b) {
-      const auto& outs = all[b];
-      const double ref = static_cast<double>(outs[2].cycles);
-      std::vector<double> row;
-      for (const auto& o : outs)
-        row.push_back(100.0 * static_cast<double>(o.cycles) / ref);
-      t.addRow(picks[b], row);
-    }
-    t.addOverallGeomeanRow("geo.mean");
-    std::printf("%s\n", t.render(1).c_str());
-  }
-
-  // --- streaming workloads: way determination energy benefit ---------------
-  {
-    sim::Table t("Way-table energy benefit [%] (MALEC_noWayDet / MALEC)",
-                 {"dyn ratio %", "coverage %"});
-    const auto cfgs = std::vector<core::InterfaceConfig>{
-        sim::presetMalec(), sim::presetMalecNoWaydet()};
-    const auto all = sweep(picks, cfgs, n);
-    for (std::size_t b = 0; b < picks.size(); ++b) {
-      const auto& outs = all[b];
-      t.addRow(picks[b], {100.0 * outs[1].dynamic_pj / outs[0].dynamic_pj,
-                          100.0 * outs[0].way_coverage});
-    }
-    std::printf("%s", t.render(1).c_str());
-    std::printf("(ratios < 100 mean way determination loses energy — "
-                "expected for streaming mcf/swim, paper VI-D)\n");
-  }
-  // --- adaptive run-time bypass (extension) ---------------------------------
-  {
-    sim::Table t("Adaptive bypass: total energy [%] (plain MALEC = 100)",
-                 {"adaptive E%", "plain cover%", "adaptive cover%"});
-    const auto cfgs = std::vector<core::InterfaceConfig>{
-        sim::presetMalec(), sim::presetMalecAdaptive()};
-    const auto all = sweep(picks, cfgs, n);
-    for (std::size_t b = 0; b < picks.size(); ++b) {
-      const auto& outs = all[b];
-      t.addRow(picks[b], {100.0 * outs[1].total_pj / outs[0].total_pj,
-                          100.0 * outs[0].way_coverage + 1e-6,
-                          100.0 * outs[1].way_coverage + 1e-6});
-    }
-    std::printf("\n%s", t.render(1).c_str());
-    std::printf("(the coverage guard keeps the bypass off whenever way\n"
-                " determination still pays for itself — on these benchmarks\n"
-                " it never engages, i.e. the scheme is strictly no-harm; it\n"
-                " triggers only on coverage-free streams, see the\n"
-                " AdaptiveBypass tests)\n");
-  }
-
-  // --- scaled Fig. 2a configuration (4 ld + 2 st) ---------------------------
-  {
-    sim::Table t("Scaling: execution time [%] (MALEC 3-AGU = 100)",
-                 {"MALEC", "MALEC_4ld2st", "Base2ld1st"});
-    const auto cfgs = std::vector<core::InterfaceConfig>{
-        sim::presetMalec(), sim::presetMalec4ld2st(),
-        sim::presetBase2ld1st()};
-    const auto all = sweep(picks, cfgs, n);
-    for (std::size_t b = 0; b < picks.size(); ++b) {
-      const auto& outs = all[b];
-      const double ref = static_cast<double>(outs[0].cycles);
-      t.addRow(picks[b],
-               {100.0, 100.0 * static_cast<double>(outs[1].cycles) / ref,
-                100.0 * static_cast<double>(outs[2].cycles) / ref});
-    }
-    t.addOverallGeomeanRow("geo.mean");
-    std::printf("\n%s", t.render(1).c_str());
-    std::printf("(Fig. 2a's 4ld+2st MALEC: grouping scales — the energy per\n"
-                " WT evaluation is independent of the reference count)\n");
-  }
-  std::fprintf(stderr, "\n");
   return 0;
 }

@@ -1,98 +1,5 @@
-// Prints Table I (the analysed interface configurations) and Table II (the
-// simulation parameters) exactly as the presets encode them, plus the
-// mini-CACTI array inventory each configuration implies — the reproduction
-// of the paper's methodology tables.
-// A final section spot-checks each configuration with a short simulation,
-// dispatched as one parallel sweep (runConfigsParallel / MALEC_JOBS).
-#include <cstdio>
-#include <vector>
+// Thin compat wrapper: the Table I/II methodology dump is the "tab1_tab2"
+// experiment spec (specs.cpp); prefer `malec_bench --suite tab1_tab2`.
+#include "sim/suite.h"
 
-#include "energy/energy_account.h"
-#include "sim/experiment.h"
-#include "sim/presets.h"
-#include "sim/structures.h"
-#include "trace/workloads.h"
-
-namespace {
-
-void printInterfaceRow(const malec::core::InterfaceConfig& c) {
-  using malec::core::InterfaceKind;
-  const char* addr_comp =
-      c.kind == InterfaceKind::kBase1LdSt   ? "1 ld/st"
-      : c.kind == InterfaceKind::kBase2Ld1St ? "2 ld + 1 st"
-                                             : "1 ld + 2 ld/st";
-  char tlb[32], l1[32];
-  std::snprintf(tlb, sizeof tlb, "1 rd/wt%s",
-                c.tlb_extra_rd_ports ? " + 2 rd" : "");
-  std::snprintf(l1, sizeof l1, "1 rd/wt%s",
-                c.l1_extra_rd_ports ? " + 1 rd" : "");
-  std::printf("%-22s %-16s %-18s %-16s\n", c.name.c_str(), addr_comp, tlb,
-              l1);
-}
-
-}  // namespace
-
-int main() {
-  using namespace malec;
-  const core::SystemConfig sys = sim::defaultSystem();
-
-  std::printf("TABLE I — BASIC CONFIGURATIONS\n");
-  std::printf("%-22s %-16s %-18s %-16s\n", "Config", "Addr.Comp./cycle",
-              "uTLB/TLB ports", "Cache ports");
-  printInterfaceRow(sim::presetBase1ldst());
-  printInterfaceRow(sim::presetBase2ld1st());
-  printInterfaceRow(sim::presetMalec());
-
-  std::printf("\nTABLE II — RELEVANT SIMULATION PARAMETERS\n");
-  std::printf("Processor     single-core out-of-order, %.0f GHz, %u ROB, "
-              "%u-wide fetch/dispatch, %u-wide issue\n",
-              sys.clock_ghz, sys.rob_entries, sys.fetch_width,
-              sys.issue_width);
-  std::printf("L1 interface  %u TLB, %u uTLB, %u LQ, %u SB, %u MB entries, "
-              "%u-bit addresses, %u KByte pages\n",
-              sys.tlb_entries, sys.utlb_entries, sys.lq_entries,
-              sys.sb_entries, sys.mb_entries, sys.layout.addrBits(),
-              sys.layout.pageBytes() / 1024);
-  std::printf("L1 D-cache    %u KByte, %llu cycle latency, %u byte lines, "
-              "%u-way set-assoc., %u banks, PIPT, %u-bit sub-blocks\n",
-              sys.layout.l1Bytes() / 1024,
-              static_cast<unsigned long long>(sim::presetMalec().l1_latency),
-              sys.layout.lineBytes(), sys.layout.l1Assoc(),
-              sys.layout.l1Banks(), sys.layout.subBlockBytes() * 8);
-  std::printf("L2 cache      1 MByte, %llu cycle latency, 16-way set-assoc.\n",
-              static_cast<unsigned long long>(sys.l2_latency));
-  std::printf("DRAM          256 MByte, %llu cycle latency\n",
-              static_cast<unsigned long long>(sys.dram_latency));
-  std::printf("Energy model  mini-CACTI, 32 nm, low-dynamic-power objective, "
-              "LSTP data/tag cells\n");
-
-  std::printf("\nARRAY INVENTORY (mini-CACTI estimates per configuration)\n");
-  for (const auto& cfg : {sim::presetBase1ldst(), sim::presetBase2ld1st(),
-                          sim::presetMalec(), sim::presetMalecWdu(16)}) {
-    energy::EnergyAccount ea;
-    const auto inv = sim::defineEnergies(ea, cfg, sys);
-    std::printf("\n  %s:\n", cfg.name.c_str());
-    std::printf("  %-12s %8s %9s %6s %9s %9s %9s\n", "array", "entries",
-                "bits/row", "inst", "read[pJ]", "write[pJ]", "leak[mW]");
-    for (const auto& s : inv) {
-      std::printf("  %-12s %8llu %9u %6u %9.3f %9.3f %9.3f\n",
-                  s.spec.name.c_str(),
-                  static_cast<unsigned long long>(s.spec.entries),
-                  s.spec.entry_bits, s.instances, s.est.read_pj,
-                  s.est.write_pj, s.est.leak_mw * s.instances);
-    }
-  }
-
-  // --- configuration spot-check (one parallel sweep) -----------------------
-  const std::uint64_t n = sim::instructionBudget(40'000);
-  const auto outs = sim::runConfigsParallel(
-      trace::workloadByName("gcc"), sim::fig4Configs(), n);
-  std::printf("\nSPOT CHECK — gcc, %llu instructions, %u jobs\n",
-              static_cast<unsigned long long>(n), sim::parallelJobs());
-  std::printf("%-22s %8s %12s %12s\n", "Config", "IPC", "dyn[uJ]",
-              "total[uJ]");
-  for (const auto& o : outs)
-    std::printf("%-22s %8.3f %12.3f %12.3f\n", o.config.c_str(), o.ipc,
-                o.dynamic_pj * 1e-6, o.total_pj * 1e-6);
-  return 0;
-}
+int main() { return malec::sim::benchCompatMain("tab1_tab2"); }

@@ -1,84 +1,6 @@
-// Reproduces the Sec. V way-encoding analysis:
-//   1. the combined 2-bit validity+way format stores 128 bits per WT entry
-//      vs 192 bits for the naive separate-fields format — one third less
-//      WT area and leakage;
-//   2. restricting each line to the three encodable ways causes no
-//      measurable L1 miss-rate increase (working sets still use all four
-//      ways because the excluded way rotates with line index and page).
-#include <cstdio>
-#include <vector>
+// Thin compat wrapper: the Sec. V way-encoding analysis is the
+// "way_encoding" experiment spec (specs.cpp); prefer
+// `malec_bench --suite way_encoding`.
+#include "sim/suite.h"
 
-#include "energy/array_model.h"
-#include "sim/experiment.h"
-#include "sim/presets.h"
-#include "sim/reporting.h"
-#include "trace/workloads.h"
-#include "waydet/segmented_wt.h"
-#include "waydet/way_table.h"
-
-int main() {
-  using namespace malec;
-  const core::SystemConfig sys = sim::defaultSystem();
-
-  // --- storage and leakage of the two entry formats -----------------------
-  waydet::WayTable wt(sys.tlb_entries, sys.layout.linesPerPage(),
-                      sys.layout.l1Banks(), sys.layout.l1Assoc());
-  std::printf("WT entry: combined format %u bits, naive format %u bits "
-              "(-%.0f%%)\n",
-              wt.entryBits(), wt.naiveEntryBits(),
-              100.0 * (1.0 - static_cast<double>(wt.entryBits()) /
-                                 wt.naiveEntryBits()));
-
-  const auto tech = energy::tech32nm();
-  for (const char* fmt : {"combined", "naive"}) {
-    energy::SramArraySpec s;
-    s.name = fmt;
-    s.entries = sys.tlb_entries;
-    s.entry_bits =
-        fmt == std::string("combined") ? wt.entryBits() : wt.naiveEntryBits();
-    s.read_bits = 16;
-    const auto est = energy::SramArrayModel::estimate(s, tech);
-    std::printf("  %-9s WT: leak %.4f mW, area %.5f mm2\n", fmt, est.leak_mw,
-                est.area_mm2);
-  }
-
-  // --- segmented WT for wide pages (Sec. VI-D extension) -------------------
-  std::printf("\nSegmented WT (wide pages, Sec. VI-D): storage vs flat\n");
-  std::printf("  %-10s %-8s %12s %12s\n", "page", "chunks", "seg bits",
-              "flat bits");
-  for (std::uint32_t page_kb : {4u, 16u, 64u}) {
-    const std::uint32_t lines = page_kb * 1024 / sys.layout.lineBytes();
-    for (std::uint32_t chunks : {64u, 128u}) {
-      waydet::SegmentedWayTable::Params sp;
-      sp.slots = sys.tlb_entries;
-      sp.lines_per_page = lines;
-      sp.lines_per_chunk = 16;
-      sp.chunks = chunks;
-      waydet::SegmentedWayTable seg(sp);
-      std::printf("  %6u KB %8u %12u %12u\n", page_kb, chunks,
-                  seg.storageBits(), seg.flatStorageBits());
-    }
-  }
-
-  // --- L1 miss-rate effect of the 3-way allocation restriction -----------
-  const std::uint64_t n = sim::instructionBudget(100'000);
-  core::InterfaceConfig with = sim::presetMalec();
-  core::InterfaceConfig without = sim::presetMalec();
-  without.waydet = core::WayDetKind::kNone;  // no allocation restriction
-  without.name = "MALEC_unrestricted";
-
-  sim::Table t("L1 load miss rate [%]: 3-way-restricted vs unrestricted",
-               {"restricted", "unrestricted"});
-  for (const auto& wl : trace::allWorkloads()) {
-    const auto outs = sim::runConfigs(wl, {with, without}, n, /*seed=*/1);
-    t.addRow(wl.name, {100.0 * outs[0].l1_load_miss_rate + 1e-6,
-                       100.0 * outs[1].l1_load_miss_rate + 1e-6});
-    std::fprintf(stderr, ".");
-  }
-  t.addOverallGeomeanRow("geo.mean");
-  std::fprintf(stderr, "\n");
-  std::printf("\n%s\n", t.render(2).c_str());
-  std::printf("Paper: no measurable L1 miss-rate increase from the 3-way "
-              "limitation\n");
-  return 0;
-}
+int main() { return malec::sim::benchCompatMain("way_encoding"); }

@@ -1,52 +1,5 @@
-// Reproduces Sec. VI-C's comparison of Page-Based Way Determination (Way
-// Tables) against Nicolaescu et al.'s validity-extended Way Determination
-// Unit with 8, 16 and 32 entries, on the same MALEC pipeline.
-//
-// Paper anchors: WDU coverage 68/76/78 % (8/16/32 entries) vs 94 % for the
-// WT; substituting the WT with a WDU costs +4/+5/+8 % energy — the WDU
-// needs four fully-associative tag-sized lookup ports, while the WT is
-// single-ported and lookup-free (indexed by the TLB hit).
-#include <cstdio>
-#include <vector>
+// Thin compat wrapper: the Sec. VI-C WDU comparison is the "wdu_vs_wt"
+// experiment spec (specs.cpp); prefer `malec_bench --suite wdu_vs_wt`.
+#include "sim/suite.h"
 
-#include "sim/experiment.h"
-#include "sim/presets.h"
-#include "sim/reporting.h"
-#include "trace/workloads.h"
-
-int main() {
-  using namespace malec;
-  const std::uint64_t n = sim::instructionBudget(100'000);
-
-  const std::vector<core::InterfaceConfig> cfgs = {
-      sim::presetMalec(), sim::presetMalecWdu(8), sim::presetMalecWdu(16),
-      sim::presetMalecWdu(32)};
-
-  sim::Table tc("Way-determination coverage [%]",
-                {"WT", "WDU8", "WDU16", "WDU32"});
-  sim::Table te("Total energy relative to MALEC with Way Tables [%]",
-                {"WT", "WDU8", "WDU16", "WDU32"});
-
-  for (const auto& wl : trace::allWorkloads()) {
-    const auto outs = sim::runConfigs(wl, cfgs, n, /*seed=*/1);
-    std::vector<double> cov, en;
-    for (const auto& o : outs) {
-      cov.push_back(100.0 * o.way_coverage);
-      en.push_back(100.0 * o.total_pj / outs[0].total_pj);
-    }
-    tc.addRow(wl.name, cov);
-    te.addRow(wl.name, en);
-    std::fprintf(stderr, ".");
-  }
-  tc.addOverallGeomeanRow("geo.mean");
-  te.addOverallGeomeanRow("geo.mean");
-  std::fprintf(stderr, "\n");
-
-  std::printf("%s\n", tc.render(1).c_str());
-  std::printf("%s\n", te.render(1).c_str());
-  tc.maybeWriteCsv("wdu_coverage");
-  te.maybeWriteCsv("wdu_energy");
-  std::printf("Paper: coverage 94 (WT) vs 68/76/78 (WDU 8/16/32); energy "
-              "+4/+5/+8%% for the WDU variants\n");
-  return 0;
-}
+int main() { return malec::sim::benchCompatMain("wdu_vs_wt"); }

@@ -1,0 +1,180 @@
+// The one experiment driver: runs any registered experiment spec through
+// the declarative suite layer, replacing the per-figure bench binaries.
+//
+//   malec_bench --list                      enumerate registered specs
+//   malec_bench --suite fig4a               run one suite (repeatable)
+//   malec_bench --all                       run every registered suite
+//   malec_bench --filter gcc                only workloads matching substring
+//   malec_bench --sink table|csv|json       select sinks (repeatable)
+//   malec_bench --csv-dir DIR               CSV output directory
+//   malec_bench --json PATH                 JSON-lines output file ('-' = stdout)
+//   malec_bench --instr N --seed N --jobs N budget / seed / worker overrides
+//
+// Defaults: console table sink; a CSV sink is added when MALEC_CSV_DIR is
+// set (the legacy behaviour, now just one sink among several); MALEC_INSTR
+// and MALEC_JOBS keep working unless --instr / --jobs override them.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/suite.h"
+
+namespace {
+
+using namespace malec;
+
+int usage(const char* argv0, int code) {
+  std::fprintf(stderr,
+               "usage: %s [--list] [--suite NAME]... [--all] [--filter SUB]\n"
+               "          [--sink table|csv|json]... [--csv-dir DIR]\n"
+               "          [--json PATH] [--instr N] [--seed N] [--jobs N]\n",
+               argv0);
+  return code;
+}
+
+void listSpecs() {
+  const auto& reg = sim::specRegistry();
+  std::printf("registered experiment specs (%zu):\n", reg.size());
+  for (const auto& name : reg.names()) {
+    const sim::ExperimentSpec& spec = reg.get(name);
+    std::printf("  %-22s %s\n", name.c_str(), spec.title.c_str());
+  }
+  std::printf(
+      "\nworkloads: %zu registered, presets: %zu registered "
+      "(see sim/registry.h)\n",
+      sim::workloadRegistry().size(), sim::presetRegistry().size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list = false, all = false;
+  bool want_table = false, want_csv = false, want_json = false;
+  std::string csv_dir, json_path;
+  std::vector<std::string> suites;
+  sim::SuiteOptions opts;
+
+  auto needValue = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", argv[i]);
+      std::exit(usage(argv[0], 2));
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--suite") {
+      suites.push_back(needValue(i));
+    } else if (arg == "--filter") {
+      opts.workload_filter = needValue(i);
+    } else if (arg == "--sink") {
+      const std::string kind = needValue(i);
+      if (kind == "table") want_table = true;
+      else if (kind == "csv") want_csv = true;
+      else if (kind == "json") want_json = true;
+      else {
+        std::fprintf(stderr, "unknown sink '%s' (table|csv|json)\n",
+                     kind.c_str());
+        return usage(argv[0], 2);
+      }
+    } else if (arg == "--csv-dir") {
+      csv_dir = needValue(i);
+      want_csv = true;
+    } else if (arg == "--json") {
+      json_path = needValue(i);
+      want_json = true;
+    } else if (arg == "--instr") {
+      opts.instructions = std::strtoull(needValue(i), nullptr, 10);
+    } else if (arg == "--seed") {
+      opts.seed = std::strtoull(needValue(i), nullptr, 10);
+    } else if (arg == "--jobs") {
+      opts.jobs = static_cast<unsigned>(
+          std::strtoul(needValue(i), nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return usage(argv[0], 2);
+    }
+  }
+
+  if (list) {
+    listSpecs();
+    return 0;
+  }
+  if (all)
+    suites = sim::specRegistry().names();
+  if (suites.empty()) {
+    std::fprintf(stderr, "nothing to do: pass --list, --suite NAME or --all\n");
+    return usage(argv[0], 2);
+  }
+
+  // Resolve every suite name up front so a typo fails before hours of
+  // simulation, with the full inventory in the message.
+  for (const auto& name : suites) {
+    if (sim::specRegistry().tryGet(name) == nullptr) {
+      std::fprintf(stderr, "unknown suite '%s' — registered suites:\n",
+                   name.c_str());
+      for (const auto& known : sim::specRegistry().names())
+        std::fprintf(stderr, "  %s\n", known.c_str());
+      return 1;
+    }
+  }
+
+  // --- sink assembly --------------------------------------------------------
+  // No explicit --sink selection = legacy behaviour: console table plus a
+  // CSV sink when MALEC_CSV_DIR is set.
+  if (!want_table && !want_csv && !want_json) {
+    want_table = true;
+    if (const char* dir = std::getenv("MALEC_CSV_DIR");
+        dir != nullptr && dir[0] != '\0') {
+      want_csv = true;
+      csv_dir = dir;
+    }
+  }
+  if (want_csv && csv_dir.empty()) {
+    if (const char* dir = std::getenv("MALEC_CSV_DIR");
+        dir != nullptr && dir[0] != '\0')
+      csv_dir = dir;
+    else {
+      std::fprintf(stderr,
+                   "--sink csv needs --csv-dir DIR (or MALEC_CSV_DIR)\n");
+      return 2;
+    }
+  }
+
+  std::vector<std::unique_ptr<sim::ResultSink>> owned;
+  std::FILE* json_file = nullptr;
+  if (want_table) owned.push_back(std::make_unique<sim::ConsoleSink>());
+  if (want_csv) owned.push_back(std::make_unique<sim::CsvDirSink>(csv_dir));
+  if (want_json) {
+    if (json_path.empty() || json_path == "-") {
+      owned.push_back(std::make_unique<sim::JsonLinesSink>(stdout));
+    } else {
+      json_file = std::fopen(json_path.c_str(), "w");
+      if (json_file == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     json_path.c_str());
+        return 1;
+      }
+      owned.push_back(std::make_unique<sim::JsonLinesSink>(json_file));
+    }
+  }
+  std::vector<sim::ResultSink*> sinks;
+  for (const auto& s : owned) sinks.push_back(s.get());
+
+  for (const auto& name : suites)
+    sim::runSuite(sim::specRegistry().get(name), opts, sinks);
+
+  owned.clear();
+  if (json_file != nullptr) std::fclose(json_file);
+  return 0;
+}

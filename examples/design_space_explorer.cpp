@@ -14,7 +14,7 @@
 
 #include "sim/experiment.h"
 #include "sim/presets.h"
-#include "trace/workloads.h"
+#include "sim/registry.h"
 
 namespace {
 
@@ -32,16 +32,23 @@ int main(int argc, char** argv) {
   const std::string bench = argc > 1 ? argv[1] : "gcc";
   const std::uint64_t n =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 80'000;
-  if (!trace::hasWorkload(bench)) {
-    std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
+  const trace::WorkloadProfile* wlp = sim::workloadRegistry().tryGet(bench);
+  if (wlp == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s' — registered workloads:\n ",
+                 bench.c_str());
+    for (const auto& name : sim::workloadRegistry().names())
+      std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
     return 1;
   }
-  const auto wl = trace::workloadByName(bench);
+  const auto wl = *wlp;
 
-  // Reference point: the paper's evaluated MALEC configuration.
-  const auto ref = sim::runConfigs(wl, {sim::presetMalec()}, n)[0];
-
+  // Reference point first (the paper's evaluated MALEC configuration,
+  // resolved through the preset registry), then the variants — one batch,
+  // so the reference run rides in the same parallel sweep.
+  const sim::PresetFn& malec_preset = sim::presetRegistry().get("MALEC");
   std::vector<core::InterfaceConfig> variants;
+  variants.push_back(malec_preset());
   for (std::uint32_t buses : {1u, 2u, 4u}) {
     auto c = sim::presetMalec();
     c.result_buses = buses;
@@ -75,6 +82,12 @@ int main(int argc, char** argv) {
 
   std::printf("Design-space exploration on %s (%llu instructions)\n",
               bench.c_str(), static_cast<unsigned long long>(n));
+
+  // One parallel batch over the whole design space, reference included
+  // (results in input order, so the reference is outs[0]).
+  const auto outs = sim::runConfigsParallel(wl, variants, n);
+  const auto& ref = outs[0];
+
   std::printf("reference: %s -> %llu cycles, %.2f uJ, coverage %.1f%%\n\n",
               ref.config.c_str(),
               static_cast<unsigned long long>(ref.cycles),
@@ -82,11 +95,8 @@ int main(int argc, char** argv) {
   std::printf("%-18s %10s %10s %9s\n", "variant", "time[%]", "energy[%]",
               "cover[%]");
 
-  // One parallel batch over the whole design space (results in input order).
-  const auto outs = sim::runConfigsParallel(wl, variants, n);
-
   std::vector<Point> points;
-  for (std::size_t i = 0; i < variants.size(); ++i) {
+  for (std::size_t i = 1; i < variants.size(); ++i) {
     const auto& out = outs[i];
     Point p;
     p.name = variants[i].name;

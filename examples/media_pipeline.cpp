@@ -24,9 +24,14 @@ int main(int argc, char** argv) {
               "E_save%", "merged%", "cover%", "grp_size", "missrate%");
 
   double worst_speedup = 1e9, best_speedup = 0;
-  for (const auto& wl : trace::workloadsForSuite("MediaBench2")) {
-    const auto outs = sim::runConfigs(
-        wl, {sim::presetBase1ldst(), sim::presetMalec()}, n);
+  // One runMatrixParallel batch over the whole kernel set: the worker pool
+  // sees every (kernel, config) run at once instead of two at a time.
+  const auto kernels = trace::workloadsForSuite("MediaBench2");
+  const auto all = sim::runMatrixParallel(
+      kernels, {sim::presetBase1ldst(), sim::presetMalec()}, n);
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    const auto& wl = kernels[k];
+    const auto& outs = all[k];
     const auto& base = outs[0];
     const auto& m = outs[1];
     const double speedup = 100.0 * (static_cast<double>(base.cycles) /

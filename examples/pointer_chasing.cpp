@@ -7,6 +7,7 @@
 // shows how way-determination coverage and the energy balance collapse,
 // plus what the run-time-bypass discussion in the paper is about.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "sim/experiment.h"
@@ -23,12 +24,18 @@ int main(int argc, char** argv) {
   std::printf("%-8s %12s %9s %9s %9s %10s %10s\n", "bench", "config",
               "IPC", "miss%", "cover%", "E_norm%", "time%");
 
-  for (const char* bench : {"eon", "mcf", "art"}) {
-    const auto outs = sim::runConfigs(
-        trace::workloadByName(bench),
-        {sim::presetBase1ldst(), sim::presetMalec(),
-         sim::presetMalecNoWaydet()},
-        n);
+  // The full (benchmark x config) grid as one parallel batch.
+  const std::vector<std::string> benches = {"eon", "mcf", "art"};
+  std::vector<trace::WorkloadProfile> wls;
+  for (const auto& b : benches) wls.push_back(trace::workloadByName(b));
+  const auto all = sim::runMatrixParallel(
+      wls,
+      {sim::presetBase1ldst(), sim::presetMalec(),
+       sim::presetMalecNoWaydet()},
+      n);
+  for (std::size_t b = 0; b < benches.size(); ++b) {
+    const char* bench = benches[b].c_str();
+    const auto& outs = all[b];
     const double base_e = outs[0].total_pj;
     const double base_c = static_cast<double>(outs[0].cycles);
     for (const auto& o : outs) {

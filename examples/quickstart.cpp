@@ -11,7 +11,7 @@
 
 #include "sim/experiment.h"
 #include "sim/presets.h"
-#include "trace/workloads.h"
+#include "sim/registry.h"
 
 int main(int argc, char** argv) {
   using namespace malec;
@@ -20,11 +20,15 @@ int main(int argc, char** argv) {
   const std::uint64_t instructions =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200'000;
 
-  if (!trace::hasWorkload(bench)) {
-    std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
+  const trace::WorkloadProfile* wl = sim::workloadRegistry().tryGet(bench);
+  if (wl == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s' — registered workloads:\n ",
+                 bench.c_str());
+    for (const auto& name : sim::workloadRegistry().names())
+      std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
     return 1;
   }
-  const trace::WorkloadProfile wl = trace::workloadByName(bench);
 
   std::printf("MALEC quickstart — benchmark %s, %llu instructions\n\n",
               bench.c_str(),
@@ -32,7 +36,7 @@ int main(int argc, char** argv) {
 
   const std::vector<core::InterfaceConfig> cfgs = {
       sim::presetBase1ldst(), sim::presetBase2ld1st(), sim::presetMalec()};
-  const auto outs = sim::runConfigs(wl, cfgs, instructions);
+  const auto outs = sim::runConfigsParallel(*wl, cfgs, instructions);
 
   const double base_cycles = static_cast<double>(outs[0].cycles);
   const double base_energy = outs[0].total_pj;

@@ -1,0 +1,46 @@
+#include "sim/registry.h"
+
+#include "sim/presets.h"
+#include "trace/workloads.h"
+
+namespace malec::sim {
+
+Registry<trace::WorkloadProfile>& workloadRegistry() {
+  static Registry<trace::WorkloadProfile>* r = [] {
+    auto* reg = new Registry<trace::WorkloadProfile>("workload");
+    for (const auto& wl : trace::allWorkloads()) reg->add(wl.name, wl);
+    return reg;
+  }();
+  return *r;
+}
+
+Registry<PresetFn>& presetRegistry() {
+  static Registry<PresetFn>* r = [] {
+    auto* reg = new Registry<PresetFn>("preset");
+    auto add = [&](PresetFn fn) {
+      // Sequence the name lookup before the move: argument evaluation
+      // order in a single call is unspecified.
+      const std::string name = fn().name;
+      reg->add(name, std::move(fn));
+    };
+    // Table I interfaces, then the Fig. 4 latency variants, then the
+    // Sec. V / VI-C / VI-D ablation and extension variants.
+    add(&presetBase1ldst);
+    add(&presetBase2ld1st);
+    add(&presetMalec);
+    add(&presetBase2ld1st1cycle);
+    add(&presetMalec3cycle);
+    add([] { return presetMalecWdu(8); });
+    add([] { return presetMalecWdu(16); });
+    add([] { return presetMalecWdu(32); });
+    add(&presetMalecNoWaydet);
+    add(&presetMalecNoFeedback);
+    add(&presetMalecNoMerge);
+    add(&presetMalecAdaptive);
+    add(&presetMalec4ld2st);
+    return reg;
+  }();
+  return *r;
+}
+
+}  // namespace malec::sim

@@ -1,0 +1,85 @@
+// Name-keyed registries behind the declarative experiment layer: one for
+// workload profiles, one for interface-configuration presets and one for
+// experiment specs. A registry remembers registration order (it drives
+// `malec_bench --list` and table row order) and fails lookups with a
+// message that names the registry and enumerates what IS registered —
+// "unknown workload 'gc'" should never need a debugger.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "core/interface_config.h"
+#include "trace/workload_profile.h"
+
+namespace malec::sim {
+
+template <typename T>
+class Registry {
+ public:
+  /// `kind` names the registry in error messages ("workload", "preset", ...).
+  explicit Registry(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Register under `name`; duplicate names abort (specs must not shadow
+  /// each other silently).
+  void add(const std::string& name, T value) {
+    if (map_.count(name) != 0) {
+      const std::string msg = "duplicate " + kind_ + " '" + name + "'";
+      MALEC_CHECK_MSG(false, msg.c_str());
+    }
+    order_.push_back(name);
+    map_.emplace(name, std::move(value));
+  }
+
+  /// Lookup; unknown names abort with the known-name inventory.
+  [[nodiscard]] const T& get(const std::string& name) const {
+    const T* p = tryGet(name);
+    if (p == nullptr) {
+      std::string msg = "unknown " + kind_ + " '" + name + "' — known " +
+                        kind_ + "s:";
+      for (const auto& n : order_) msg += " " + n;
+      MALEC_CHECK_MSG(false, msg.c_str());
+    }
+    return *p;
+  }
+
+  /// Lookup without aborting; nullptr when absent (for CLI-friendly errors).
+  [[nodiscard]] const T* tryGet(const std::string& name) const {
+    const auto it = map_.find(name);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return map_.count(name) != 0;
+  }
+
+  /// Registered names in registration order.
+  [[nodiscard]] const std::vector<std::string>& names() const {
+    return order_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+
+ private:
+  std::string kind_;
+  std::vector<std::string> order_;
+  std::map<std::string, T> map_;
+};
+
+/// A preset is a factory, not a value: configurations are cheap to build
+/// and callers usually tweak the copy they get back.
+using PresetFn = std::function<core::InterfaceConfig()>;
+
+/// All workload profiles, pre-populated from trace::allWorkloads() in the
+/// paper's plotting order. Additional (synthetic / scenario) workloads may
+/// be added at startup before any suite runs.
+[[nodiscard]] Registry<trace::WorkloadProfile>& workloadRegistry();
+
+/// All interface-configuration presets of presets.h, keyed by the
+/// configuration name they produce (e.g. "MALEC", "MALEC_WDU16").
+[[nodiscard]] Registry<PresetFn>& presetRegistry();
+
+}  // namespace malec::sim

@@ -24,7 +24,8 @@ Table::Table(std::string title, std::vector<std::string> columns)
 
 void Table::addRow(const std::string& label,
                    const std::vector<double>& values) {
-  MALEC_CHECK(values.size() == columns_.size());
+  MALEC_CHECK_MSG(values.size() == columns_.size(),
+                  "Table::addRow: values size must equal the column count");
   rows_.push_back(Row{label, values, false});
 }
 

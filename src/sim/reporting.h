@@ -15,8 +15,17 @@ namespace malec::sim {
 /// One output table: first column = row label, remaining columns numeric.
 class Table {
  public:
+  struct Row {
+    std::string label;
+    std::vector<double> values;
+    bool is_mean = false;
+  };
+
   Table(std::string title, std::vector<std::string> columns);
 
+  /// Append one data row. `values` must have exactly one entry per column;
+  /// a mismatch aborts (a silently ragged table renders misaligned and
+  /// poisons every geomean downstream).
   void addRow(const std::string& label, const std::vector<double>& values);
   /// Insert a geometric-mean row over the rows added since the last mean.
   void addGeomeanRow(const std::string& label);
@@ -30,15 +39,18 @@ class Table {
 
   /// Write csv() to `<dir>/<name>.csv` when the MALEC_CSV_DIR environment
   /// variable is set; silently does nothing otherwise. Returns whether a
-  /// file was written.
+  /// file was written. (Result sinks are the preferred route; this is the
+  /// legacy env-driven path, kept as a convenience wrapper.)
   bool maybeWriteCsv(const std::string& name, int precision = 4) const;
 
+  // Structured read access for result sinks (JSON, CSV, ...).
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+
  private:
-  struct Row {
-    std::string label;
-    std::vector<double> values;
-    bool is_mean = false;
-  };
   std::string title_;
   std::vector<std::string> columns_;
   std::vector<Row> rows_;

@@ -1,0 +1,144 @@
+#include "sim/suite.h"
+
+#include <cstdlib>
+
+namespace malec::sim {
+
+// Implemented in specs.cpp: registers every builtin spec exactly once.
+void registerBuiltinSpecs(Registry<ExperimentSpec>& reg);
+
+Registry<ExperimentSpec>& specRegistry() {
+  static Registry<ExperimentSpec>* r = [] {
+    auto* reg = new Registry<ExperimentSpec>("spec");
+    registerBuiltinSpecs(*reg);
+    return reg;
+  }();
+  return *r;
+}
+
+void SuiteContext::emitTable(const Table& t, const std::string& name,
+                             int precision) {
+  for (ResultSink* s : sinks) s->table(t, name, precision);
+}
+
+void SuiteContext::emitText(const std::string& text) {
+  for (ResultSink* s : sinks) s->note(text);
+}
+
+void SuiteContext::progressDots() const {
+  if (!opts.progress) return;
+  for (std::size_t w = 0; w < workloads.size(); ++w) std::fputc('.', stderr);
+  std::fputc('\n', stderr);
+}
+
+namespace {
+
+std::vector<trace::WorkloadProfile> resolveWorkloads(
+    const ExperimentSpec& spec, const SuiteOptions& opts) {
+  std::vector<trace::WorkloadProfile> wls;
+  const auto& reg = workloadRegistry();
+  const std::vector<std::string>& names =
+      spec.workloads.empty() ? reg.names() : spec.workloads;
+  for (const auto& name : names) {
+    if (!opts.workload_filter.empty() &&
+        name.find(opts.workload_filter) == std::string::npos)
+      continue;
+    wls.push_back(reg.get(name));
+  }
+  return wls;
+}
+
+/// Build one TableSpec over the grid results, reproducing the legacy row /
+/// geomean structure (per-suite boundaries in workload order, optional
+/// overall geomean) bit-for-bit.
+Table buildTable(const TableSpec& ts, const SuiteContext& ctx) {
+  std::vector<std::string> cols = ts.columns;
+  if (cols.empty())
+    for (const auto& c : ctx.configs) cols.push_back(c.name);
+  Table t(ts.title, cols);
+
+  std::string current_suite;
+  for (std::size_t w = 0; w < ctx.workloads.size(); ++w) {
+    const auto& wl = ctx.workloads[w];
+    if (ts.suite_geomeans && !current_suite.empty() &&
+        wl.suite != current_suite)
+      t.addGeomeanRow("geo.mean " + current_suite);
+    current_suite = wl.suite;
+    t.addRow(wl.name, ts.row(ctx, w));
+  }
+  if (ts.suite_geomeans && !current_suite.empty())
+    t.addGeomeanRow("geo.mean " + current_suite);
+  if (ts.overall_geomean) t.addOverallGeomeanRow(ts.overall_label);
+  return t;
+}
+
+}  // namespace
+
+void runSuite(const ExperimentSpec& spec, const SuiteOptions& opts,
+              const std::vector<ResultSink*>& sinks) {
+  SuiteContext ctx{spec, opts};
+  ctx.instructions = opts.instructions > 0
+                         ? opts.instructions
+                         : instructionBudget(spec.default_instructions);
+  ctx.seed = opts.seed > 0 ? opts.seed : spec.seed;
+  ctx.jobs = opts.jobs > 0 ? opts.jobs : parallelJobs();
+  ctx.workloads = resolveWorkloads(spec, opts);
+  if (!opts.workload_filter.empty() && ctx.workloads.empty()) {
+    // An exit-0 run with an empty table and all-zero geomeans would look
+    // like a successful result to scripted sink consumers.
+    const std::string msg = "workload filter '" + opts.workload_filter +
+                            "' matches no workload of suite '" + spec.name +
+                            "'";
+    MALEC_CHECK_MSG(false, msg.c_str());
+  }
+  if (spec.configs) ctx.configs = spec.configs();
+  ctx.sinks = sinks;
+
+  SuiteInfo info;
+  info.name = spec.name;
+  info.title = spec.title;
+  info.instructions = ctx.instructions;
+  info.seed = ctx.seed;
+  info.jobs = ctx.jobs;
+  for (ResultSink* s : sinks) s->beginSuite(info);
+
+  if (spec.custom) {
+    spec.custom(ctx);
+  } else {
+    MALEC_CHECK_MSG(spec.configs != nullptr,
+                    "spec without custom body needs a configuration set");
+    // The whole grid as one batch: the pool is never capped at one row's
+    // configuration count (this is what retired the serial runConfigs
+    // stragglers like the old bench_fig4a main).
+    ctx.results = runMatrixParallel(ctx.workloads, ctx.configs,
+                                    ctx.instructions, ctx.seed, ctx.jobs);
+    ctx.progressDots();
+    for (const TableSpec& ts : spec.tables)
+      ctx.emitTable(buildTable(ts, ctx), ts.name, ts.precision);
+  }
+
+  if (!spec.paper_anchor.empty()) ctx.emitText(spec.paper_anchor + "\n");
+  for (ResultSink* s : sinks) s->endSuite();
+}
+
+void runSuiteByName(const std::string& name, const SuiteOptions& opts,
+                    const std::vector<ResultSink*>& sinks) {
+  runSuite(specRegistry().get(name), opts, sinks);
+}
+
+int benchCompatMain(const std::string& name, std::uint64_t instructions) {
+  SuiteOptions opts;
+  opts.instructions = instructions;
+  ConsoleSink console;
+  std::vector<ResultSink*> sinks{&console};
+  CsvDirSink csv{""};
+  if (const char* dir = std::getenv("MALEC_CSV_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    csv = CsvDirSink(dir);
+    sinks.push_back(&csv);
+  }
+  runSuiteByName(name, opts, sinks);
+  return 0;
+}
+
+}  // namespace malec::sim

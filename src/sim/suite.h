@@ -1,0 +1,121 @@
+// The declarative experiment-suite layer: an ExperimentSpec describes one
+// paper figure/table reproduction — which workloads, which interface
+// configurations, which metric columns, how rows are normalised and which
+// paper numbers anchor the result — and runSuite() executes the whole
+// (workload x configuration) grid as ONE runMatrixParallel batch, emitting
+// the results through pluggable ResultSinks.
+//
+// Every legacy bench binary is a ~20-line spec registration in specs.cpp
+// plus a thin compat main; `malec_bench` drives any registered spec.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/registry.h"
+#include "sim/sinks.h"
+
+namespace malec::sim {
+
+struct ExperimentSpec;
+
+/// Per-invocation overrides (CLI flags / tests). Zero / empty = use the
+/// spec's defaults and the MALEC_INSTR / MALEC_JOBS environment knobs.
+struct SuiteOptions {
+  std::uint64_t instructions = 0;  ///< 0 => instructionBudget(spec default)
+  std::uint64_t seed = 0;          ///< 0 => spec.seed
+  unsigned jobs = 0;               ///< 0 => parallelJobs()
+  std::string workload_filter;     ///< substring filter on workload names
+  bool progress = true;            ///< stderr progress dots
+};
+
+/// Execution state handed to row builders and custom suite bodies; also the
+/// emission façade over the attached sinks.
+struct SuiteContext {
+  SuiteContext(const ExperimentSpec& s, const SuiteOptions& o)
+      : spec(s), opts(o) {}
+
+  const ExperimentSpec& spec;
+  const SuiteOptions& opts;
+  std::uint64_t instructions = 0;  ///< resolved budget for this run
+  std::uint64_t seed = 1;          ///< resolved seed
+  unsigned jobs = 0;               ///< resolved worker count
+  std::vector<trace::WorkloadProfile> workloads;  ///< resolved + filtered
+  std::vector<core::InterfaceConfig> configs;     ///< resolved
+  /// Matrix results indexed [workload][config]; filled before table
+  /// building for matrix specs, empty for custom suites (which run their
+  /// own sweeps).
+  std::vector<std::vector<RunOutput>> results;
+
+  void emitTable(const Table& t, const std::string& name, int precision = 1);
+  void emitText(const std::string& text);
+  /// One stderr dot per workload (suppressed by opts.progress = false) —
+  /// the legacy bench progress signal, shared by the matrix path and the
+  /// custom bodies that run their own sweeps.
+  void progressDots() const;
+
+  std::vector<ResultSink*> sinks;  ///< non-owning
+};
+
+/// One output table of a spec: a title, columns (empty = the configuration
+/// names) and a row rule mapping one workload's RunOutputs to column values
+/// — the normalisation lives here.
+struct TableSpec {
+  std::string name;   ///< stable identifier (CSV stem / JSON key)
+  std::string title;
+  std::vector<std::string> columns;
+  std::function<std::vector<double>(const SuiteContext&, std::size_t wl_idx)>
+      row;
+  /// Insert per-suite geometric-mean rows ("geo.mean SPEC-INT", ...) at
+  /// suite boundaries, the way Fig. 4 is plotted.
+  bool suite_geomeans = false;
+  /// Append an overall geometric-mean row labelled `overall_label`.
+  bool overall_geomean = false;
+  std::string overall_label = "geo.mean";
+  int precision = 1;  ///< decimal places for the rendered form
+};
+
+/// The declarative unit: everything `malec_bench --suite <name>` needs.
+struct ExperimentSpec {
+  std::string name;         ///< registry key, e.g. "fig4a"
+  std::string title;        ///< one-line description for --list
+  std::string paper_anchor; ///< trailing note with the paper's numbers
+  /// Workload names (resolved through workloadRegistry()); empty = all.
+  std::vector<std::string> workloads;
+  /// Configuration set factory; null for custom suites without a grid.
+  std::function<std::vector<core::InterfaceConfig>()> configs;
+  std::uint64_t default_instructions = 100'000;
+  std::uint64_t seed = 1;
+  std::vector<TableSpec> tables;
+  /// Escape hatch for suites that are not a plain (workload x config)
+  /// grid (Fig. 1 locality analysis, the Table I/II methodology dump, the
+  /// host microbenchmarks): when set, runSuite() resolves options and
+  /// workloads, then hands control to this body instead of the matrix +
+  /// tables path.
+  std::function<void(SuiteContext&)> custom;
+};
+
+/// All registered experiment specs. First use registers the builtin specs
+/// covering every legacy bench binary.
+[[nodiscard]] Registry<ExperimentSpec>& specRegistry();
+
+/// Execute one spec: resolve workloads/configs, run the grid through
+/// runMatrixParallel (or the custom body), build each TableSpec with its
+/// geomean rows, and emit tables + paper anchor through `sinks`.
+void runSuite(const ExperimentSpec& spec, const SuiteOptions& opts,
+              const std::vector<ResultSink*>& sinks);
+
+/// Registry-resolving convenience; unknown names abort with the spec
+/// inventory (CLI callers should tryGet first for a friendly exit).
+void runSuiteByName(const std::string& name, const SuiteOptions& opts,
+                    const std::vector<ResultSink*>& sinks);
+
+/// Shared main() body for the thin legacy bench wrappers: runs `name` with
+/// a console sink, plus a CSV sink when MALEC_CSV_DIR is set — the exact
+/// legacy bench behaviour. `instructions` > 0 overrides the budget.
+int benchCompatMain(const std::string& name, std::uint64_t instructions = 0);
+
+}  // namespace malec::sim

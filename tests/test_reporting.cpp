@@ -30,6 +30,19 @@ TEST(Table, RendersHeaderAndRows) {
   EXPECT_NE(s.find("4.0"), std::string::npos);
 }
 
+TEST(TableDeathTest, AddRowRejectsColumnCountMismatch) {
+  Table t("demo", {"a", "b"});
+  t.addRow("ok", {1.0, 2.0});
+  // One value too few and one too many must both abort — a ragged table
+  // would render misaligned and corrupt every geomean computed over it.
+  EXPECT_DEATH(t.addRow("short", {1.0}),
+               "values size must equal the column count");
+  EXPECT_DEATH(t.addRow("long", {1.0, 2.0, 3.0}),
+               "values size must equal the column count");
+  EXPECT_DEATH(t.addRow("empty", {}),
+               "values size must equal the column count");
+}
+
 TEST(Table, GeomeanRowOverWindow) {
   Table t("demo", {"x"});
   t.addRow("r1", {1.0});

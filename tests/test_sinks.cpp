@@ -1,0 +1,113 @@
+#include "sim/sinks.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/reporting.h"
+
+#ifndef MALEC_TEST_DATA_DIR
+#error "MALEC_TEST_DATA_DIR must point at the tests/ source directory"
+#endif
+
+namespace malec::sim {
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing file: " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// The fixed table every golden test feeds through a sink: two data rows,
+/// one geomean row, values chosen to be exact in every formatting path.
+Table goldenTable() {
+  Table t("sink demo", {"alpha", "beta"});
+  t.addRow("r1", {1.5, 2.0});
+  t.addRow("r2", {6.0, 8.0});
+  t.addOverallGeomeanRow("geo.mean");
+  return t;
+}
+
+SuiteInfo goldenInfo() {
+  SuiteInfo info;
+  info.name = "golden";
+  info.title = "Golden suite";
+  info.instructions = 1000;
+  info.seed = 7;
+  info.jobs = 2;
+  return info;
+}
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(jsonEscape("geo — mean"), "geo — mean");  // UTF-8 untouched
+}
+
+TEST(JsonLinesSink, MatchesGoldenFile) {
+  std::string captured;
+  JsonLinesSink sink(&captured);
+  sink.beginSuite(goldenInfo());
+  sink.table(goldenTable(), "demo", 1);
+  sink.note("anchor \"quoted\" line\n");
+  sink.endSuite();
+  EXPECT_EQ(captured,
+            readFile(std::string(MALEC_TEST_DATA_DIR) +
+                     "/golden/sink_json.golden"))
+      << "actual output:\n" << captured;
+}
+
+TEST(CsvDirSink, MatchesGoldenFile) {
+  const std::string dir = ::testing::TempDir();
+  CsvDirSink sink(dir);
+  sink.table(goldenTable(), "demo", 1);
+  EXPECT_EQ(readFile(dir + "/demo.csv"),
+            readFile(std::string(MALEC_TEST_DATA_DIR) +
+                     "/golden/sink_csv.golden"));
+}
+
+TEST(ConsoleSink, PrintsRenderPlusBlankLine) {
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  {
+    ConsoleSink sink(f);
+    sink.table(goldenTable(), "demo", 1);
+    sink.note("tail note\n");
+  }
+  std::fflush(f);
+  std::rewind(f);
+  std::string got;
+  char buf[256];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) got.append(buf, n);
+  std::fclose(f);
+  EXPECT_EQ(got, goldenTable().render(1) + "\ntail note\n");
+}
+
+TEST(JsonLinesSink, RowsCarryMeanFlagAndValues) {
+  std::string captured;
+  JsonLinesSink sink(&captured);
+  sink.beginSuite(goldenInfo());
+  sink.table(goldenTable(), "demo", 1);
+  sink.endSuite();
+  EXPECT_NE(captured.find("\"label\":\"r1\",\"mean\":false,"
+                          "\"values\":[1.5,2]"),
+            std::string::npos)
+      << captured;
+  EXPECT_NE(captured.find("\"label\":\"geo.mean\",\"mean\":true,"
+                          "\"values\":[3,4]"),
+            std::string::npos)
+      << captured;
+}
+
+}  // namespace
+}  // namespace malec::sim

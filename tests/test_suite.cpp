@@ -1,0 +1,158 @@
+#include "sim/suite.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/presets.h"
+#include "sim/reporting.h"
+#include "trace/workloads.h"
+
+namespace malec::sim {
+namespace {
+
+/// Test sink capturing everything a suite emits.
+struct CaptureSink : ResultSink {
+  SuiteInfo info;
+  std::vector<std::string> rendered;   // render(precision) per table
+  std::vector<std::string> names;      // table identifiers
+  std::string notes;
+  int begins = 0, ends = 0;
+
+  void beginSuite(const SuiteInfo& i) override {
+    info = i;
+    ++begins;
+  }
+  void table(const Table& t, const std::string& name,
+             int precision) override {
+    rendered.push_back(t.render(precision));
+    names.push_back(name);
+  }
+  void note(const std::string& text) override { notes += text; }
+  void endSuite() override { ++ends; }
+};
+
+TEST(SpecRegistry, EnumeratesAtLeastTenSuites) {
+  const auto& reg = specRegistry();
+  EXPECT_GE(reg.size(), 10u);
+  for (const char* name :
+       {"fig1", "tab1_tab2", "fig4a", "fig4b", "wdu_vs_wt",
+        "coverage_ablation", "merge_contribution", "arbitration_window",
+        "way_encoding", "sensitivity_latency", "sensitivity_carry",
+        "sensitivity_buses", "sensitivity_waydet", "sensitivity_adaptive",
+        "sensitivity_scaling", "energy_account"})
+    EXPECT_TRUE(reg.has(name)) << name;
+  // Every spec carries a --list description.
+  for (const auto& name : reg.names())
+    EXPECT_FALSE(reg.get(name).title.empty()) << name;
+}
+
+TEST(SpecRegistryDeathTest, UnknownSpecMessage) {
+  SuiteOptions opts;
+  EXPECT_DEATH(runSuiteByName("nope", opts, {}), "unknown spec 'nope'");
+}
+
+// The port's keystone: the fig4a spec (one runMatrixParallel batch through
+// the declarative layer) must reproduce the legacy bench main — a serial
+// runConfigs loop with hand-rolled normalisation and geomean rows —
+// bit-for-bit in the rendered table.
+TEST(Suite, Fig4aSpecMatchesLegacyBenchBitForBit) {
+  const std::uint64_t n = 6'000;
+  // One workload per suite so the per-suite geomean boundaries are hit.
+  const std::vector<std::string> picks = {"gcc", "mcf", "swim", "djpeg"};
+
+  ExperimentSpec spec = specRegistry().get("fig4a");
+  spec.workloads = picks;
+  SuiteOptions opts;
+  opts.instructions = n;
+  opts.progress = false;
+  CaptureSink sink;
+  runSuite(spec, opts, {&sink});
+  ASSERT_EQ(sink.rendered.size(), 1u);
+  ASSERT_EQ(sink.names[0], "fig4a_time");
+
+  // Legacy construction, verbatim from the retired bench_fig4a main.
+  const auto cfgs = fig4Configs();
+  std::vector<std::string> cols;
+  for (const auto& c : cfgs) cols.push_back(c.name);
+  Table t("Fig. 4a — normalized execution time [%] (Base1ldst = 100)",
+          cols);
+  std::string current_suite;
+  for (const auto& name : picks) {
+    const auto& wl = trace::workloadByName(name);
+    if (!current_suite.empty() && wl.suite != current_suite)
+      t.addGeomeanRow("geo.mean " + current_suite);
+    current_suite = wl.suite;
+    const auto outs = runConfigs(wl, cfgs, n, /*seed=*/1);
+    const double base = static_cast<double>(outs[0].cycles);
+    std::vector<double> row;
+    for (const auto& o : outs)
+      row.push_back(100.0 * static_cast<double>(o.cycles) / base);
+    t.addRow(wl.name, row);
+  }
+  t.addGeomeanRow("geo.mean " + current_suite);
+  t.addOverallGeomeanRow("geo.mean Overall");
+
+  EXPECT_EQ(sink.rendered[0], t.render(1));
+  EXPECT_EQ(sink.begins, 1);
+  EXPECT_EQ(sink.ends, 1);
+  EXPECT_NE(sink.notes.find("Paper:"), std::string::npos);
+}
+
+TEST(Suite, WorkloadFilterSelectsMatchingRows) {
+  SuiteOptions opts;
+  opts.instructions = 3'000;
+  opts.workload_filter = "gcc";
+  opts.progress = false;
+  CaptureSink sink;
+  runSuiteByName("coverage_ablation", opts, {&sink});
+  ASSERT_EQ(sink.rendered.size(), 1u);
+  // One data row (gcc) plus the overall geomean row.
+  EXPECT_NE(sink.rendered[0].find("gcc"), std::string::npos);
+  EXPECT_NE(sink.rendered[0].find("geo.mean"), std::string::npos);
+  EXPECT_EQ(sink.rendered[0].find("swim"), std::string::npos);
+}
+
+TEST(SuiteDeathTest, FilterMatchingNothingAborts) {
+  SuiteOptions opts;
+  opts.instructions = 2'000;
+  opts.workload_filter = "zzz-no-such-bench";
+  opts.progress = false;
+  CaptureSink sink;
+  // A silent exit-0 run with an empty table and all-zero geomeans would
+  // look like a successful result to scripted sink consumers.
+  EXPECT_DEATH(runSuiteByName("fig4a", opts, {&sink}),
+               "matches no workload of suite 'fig4a'");
+}
+
+TEST(Suite, OptionsOverrideBudgetSeedAndJobs) {
+  SuiteOptions opts;
+  opts.instructions = 2'500;
+  opts.seed = 9;
+  opts.jobs = 2;
+  opts.workload_filter = "eon";
+  opts.progress = false;
+  CaptureSink sink;
+  runSuiteByName("wdu_vs_wt", opts, {&sink});
+  EXPECT_EQ(sink.info.name, "wdu_vs_wt");
+  EXPECT_EQ(sink.info.instructions, 2'500u);
+  EXPECT_EQ(sink.info.seed, 9u);
+  EXPECT_EQ(sink.info.jobs, 2u);
+  ASSERT_EQ(sink.rendered.size(), 2u);  // coverage + energy tables
+}
+
+TEST(Suite, EverySinkReceivesEveryTable) {
+  SuiteOptions opts;
+  opts.instructions = 2'500;
+  opts.workload_filter = "eon";
+  opts.progress = false;
+  CaptureSink a, b;
+  runSuiteByName("fig4b", opts, {&a, &b});
+  ASSERT_EQ(a.rendered.size(), 2u);
+  EXPECT_EQ(a.rendered, b.rendered);
+  EXPECT_EQ(a.notes, b.notes);
+}
+
+}  // namespace
+}  // namespace malec::sim
