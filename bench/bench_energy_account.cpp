@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
   // timing windows into noise. An explicit 0 still means the minimal run.
   std::uint64_t iters = 20'000'000;
   if (argc > 1) {
-    iters = std::strtoull(argv[1], nullptr, 10);
+    iters = malec::sim::parseU64Strict(argv[1], "iteration count");
     if (iters == 0) iters = 1;  // the spec rounds up to one event pass
   }
   return malec::sim::benchCompatMain("energy_account", iters);

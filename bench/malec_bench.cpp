@@ -13,9 +13,14 @@
 // Defaults: console table sink; a CSV sink is added when MALEC_CSV_DIR is
 // set (the legacy behaviour, now just one sink among several); MALEC_INSTR
 // and MALEC_JOBS keep working unless --instr / --jobs override them.
+// Setting MALEC_TRACE_DIR registers every *.mtrace capture in it as a
+// "trace:<stem>" workload — `--suite trace_replay` runs them through the
+// Table-I interfaces (capture files with `trace_tools gen`).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -92,12 +97,17 @@ int main(int argc, char** argv) {
       json_path = needValue(i);
       want_json = true;
     } else if (arg == "--instr") {
-      opts.instructions = std::strtoull(needValue(i), nullptr, 10);
+      opts.instructions = sim::parseU64Strict(needValue(i), "--instr");
     } else if (arg == "--seed") {
-      opts.seed = std::strtoull(needValue(i), nullptr, 10);
+      opts.seed = sim::parseU64Strict(needValue(i), "--seed");
     } else if (arg == "--jobs") {
-      opts.jobs = static_cast<unsigned>(
-          std::strtoul(needValue(i), nullptr, 10));
+      const std::uint64_t jobs = sim::parseU64Strict(needValue(i), "--jobs");
+      if (jobs > std::numeric_limits<unsigned>::max()) {
+        std::fprintf(stderr, "--jobs %llu exceeds the supported range\n",
+                     static_cast<unsigned long long>(jobs));
+        return 2;
+      }
+      opts.jobs = static_cast<unsigned>(jobs);
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0], 0);
     } else {
@@ -110,8 +120,30 @@ int main(int argc, char** argv) {
     listSpecs();
     return 0;
   }
-  if (all)
-    suites = sim::specRegistry().names();
+  if (all) {
+    // --all means "everything runnable": suites that want trace workloads
+    // ("trace:*") are skipped with a note when none are registered — the
+    // pre-trace_replay --all behaviour must not turn into a mid-run abort
+    // just because MALEC_TRACE_DIR is unset. An explicit --suite
+    // trace_replay still fails loudly with the full hint.
+    bool have_traces = false;
+    for (const auto& wl : sim::workloadRegistry().names())
+      have_traces = have_traces || wl.rfind("trace:", 0) == 0;
+    for (const auto& name : sim::specRegistry().names()) {
+      const sim::ExperimentSpec& spec = sim::specRegistry().get(name);
+      const bool wants_traces =
+          std::find(spec.workloads.begin(), spec.workloads.end(),
+                    "trace:*") != spec.workloads.end();
+      if (wants_traces && !have_traces) {
+        std::fprintf(stderr,
+                     "skipping suite '%s' (no trace workloads registered — "
+                     "set MALEC_TRACE_DIR to include it)\n",
+                     name.c_str());
+        continue;
+      }
+      suites.push_back(name);
+    }
+  }
   if (suites.empty()) {
     std::fprintf(stderr, "nothing to do: pass --list, --suite NAME or --all\n");
     return usage(argv[0], 2);

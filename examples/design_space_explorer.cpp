@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   using namespace malec;
   const std::string bench = argc > 1 ? argv[1] : "gcc";
   const std::uint64_t n =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 80'000;
+      argc > 2 ? sim::parseU64Strict(argv[2], "instruction count") : 80'000;
   const trace::WorkloadProfile* wlp = sim::workloadRegistry().tryGet(bench);
   if (wlp == nullptr) {
     std::fprintf(stderr, "unknown benchmark '%s' — registered workloads:\n ",

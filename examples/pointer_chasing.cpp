@@ -17,7 +17,7 @@
 int main(int argc, char** argv) {
   using namespace malec;
   const std::uint64_t n =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 120'000;
+      argc > 1 ? sim::parseU64Strict(argv[1], "instruction count") : 120'000;
 
   std::printf("Streaming vs cache-friendly workloads — %llu instructions\n\n",
               static_cast<unsigned long long>(n));

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
 
   const std::string bench = argc > 1 ? argv[1] : "gcc";
   const std::uint64_t instructions =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200'000;
+      argc > 2 ? sim::parseU64Strict(argv[2], "instruction count") : 200'000;
 
   const trace::WorkloadProfile* wl = sim::workloadRegistry().tryGet(bench);
   if (wl == nullptr) {

@@ -1,59 +1,150 @@
 // Trace tooling around the public trace API:
 //
-//   trace_tools gen <benchmark> <N> <file>   capture a synthetic stream
-//   trace_tools analyze <file>               Fig.1-style locality report
-//   trace_tools run <file> [config]          simulate a captured trace
+//   trace_tools gen <benchmark> <N> <file> [--seed S]
+//       capture a synthetic stream (v2 format: block-buffered, header
+//       carries the AddressLayout and a record checksum)
+//   trace_tools analyze <file>
+//       Fig.1-style locality report
+//   trace_tools run <file> [--config NAME] [--instr N] [--seed S]
+//       simulate a captured trace through the shared experiment runner
+//   trace_tools synth <benchmark> [--config NAME] [--instr N] [--seed S]
+//       the equivalent direct synthetic run, same report — `diff` its
+//       output against `run` on a capture of the same benchmark to verify
+//       bit-identical replay (CI does exactly this)
 //
 // Captured traces are the bridge to real-simulator integration: any tool
 // that writes the (documented) record format in trace_io.h can drive the
-// full MALEC stack instead of the synthetic workload models.
+// full MALEC stack instead of the synthetic workload models. `run`/`synth`
+// are thin wrappers over sim::runOne(), so a trace here behaves exactly
+// like a `trace:` workload inside `malec_bench --suite trace_replay`.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <memory>
 #include <string>
+#include <vector>
 
-#include "cpu/core_model.h"
-#include "energy/energy_account.h"
 #include "sim/presets.h"
-#include "sim/structures.h"
+#include "sim/registry.h"
+#include "sim/suite.h"
 #include "trace/locality_analyzer.h"
-#include "trace/synth_generator.h"
 #include "trace/trace_io.h"
-#include "trace/workloads.h"
 
 namespace {
 
 using namespace malec;
 
-int cmdGen(const std::string& bench, std::uint64_t n,
-           const std::string& path) {
-  if (!trace::hasWorkload(bench)) {
-    std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
+struct RunFlags {
+  std::string config = "MALEC";
+  std::uint64_t instructions = 0;  ///< 0 = whole trace / runner default
+  std::uint64_t seed = 1;
+};
+
+/// Parse trailing [--config NAME] [--instr N] [--seed S] flags (a bare
+/// config name is still accepted where the old CLI took one positionally).
+/// `gen` passes allow_run_flags = false: it only takes --seed, and must
+/// reject the rest instead of silently ignoring a --instr/--config the
+/// user believes shaped the capture.
+bool parseRunFlags(int argc, char** argv, int first, RunFlags& out,
+                   bool allow_run_flags = true) {
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (allow_run_flags && arg == "--config") out.config = value();
+    else if (allow_run_flags && arg == "--instr")
+      out.instructions = sim::parseU64Strict(value(), "--instr");
+    else if (arg == "--seed") out.seed = sim::parseU64Strict(value(), "--seed");
+    else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    } else if (allow_run_flags) {
+      out.config = arg;  // legacy positional config name
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+core::InterfaceConfig configByName(const std::string& name) {
+  const sim::PresetFn* fn = sim::presetRegistry().tryGet(name);
+  if (fn == nullptr) {
+    std::fprintf(stderr, "unknown config '%s' — registered presets:\n",
+                 name.c_str());
+    for (const auto& known : sim::presetRegistry().names())
+      std::fprintf(stderr, "  %s\n", known.c_str());
+    std::exit(1);
+  }
+  return (*fn)();
+}
+
+/// The shared report for `run` and `synth`. The workload name is printed on
+/// its own line so the rest of the report diffs clean between a replay
+/// ("trace:gcc") and its synthetic original ("gcc").
+void printRunSummary(const sim::RunOutput& out) {
+  std::printf("workload: %s\n", out.benchmark.c_str());
+  std::printf("config:   %s\n", out.config.c_str());
+  std::printf("%llu instr, %llu cycles, IPC %.6f\n",
+              static_cast<unsigned long long>(out.instructions),
+              static_cast<unsigned long long>(out.cycles), out.ipc);
+  std::printf("dynamic %.6f uJ, leakage %.6f uJ, total %.6f uJ\n",
+              out.dynamic_pj * 1e-6, out.leakage_pj * 1e-6,
+              out.total_pj * 1e-6);
+  std::printf(
+      "way coverage %.4f%%, L1 load miss rate %.4f%%, merged loads %.4f%%\n",
+      100.0 * out.way_coverage, 100.0 * out.l1_load_miss_rate,
+      100.0 * out.merged_load_fraction);
+  std::printf("%s", out.energy_detail.toTable().c_str());
+}
+
+int runWorkload(const trace::WorkloadProfile& wl, const RunFlags& flags) {
+  sim::RunConfig rc;
+  rc.workload = wl;
+  rc.interface_cfg = configByName(flags.config);
+  rc.system = sim::defaultSystem();
+  rc.instructions = flags.instructions;
+  rc.seed = flags.seed;
+  printRunSummary(sim::runOne(rc));
+  return 0;
+}
+
+int cmdGen(const std::string& bench, const std::string& count_str,
+           const std::string& path, int argc, char** argv, int first) {
+  RunFlags flags;
+  if (!parseRunFlags(argc, argv, first, flags, /*allow_run_flags=*/false))
+    return 2;
+  if (sim::workloadRegistry().tryGet(bench) == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s' — registered workloads:\n",
+                 bench.c_str());
+    for (const auto& known : sim::workloadRegistry().names())
+      std::fprintf(stderr, "  %s\n", known.c_str());
     return 1;
   }
-  trace::SyntheticTraceGenerator gen(trace::workloadByName(bench),
-                                     AddressLayout{}, n, /*seed=*/1);
-  trace::TraceWriter w(path);
-  if (!w.ok()) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return 1;
+  sim::RunConfig rc;
+  rc.workload = sim::workloadRegistry().get(bench);
+  rc.system = sim::defaultSystem();
+  rc.instructions = sim::parseU64Strict(count_str, "record count");
+  if (rc.instructions == 0) {
+    std::fprintf(stderr, "record count must be > 0\n");
+    return 2;
   }
-  trace::InstrRecord r;
-  while (gen.next(r)) w.write(r);
-  if (!w.close()) {
-    std::fprintf(stderr, "write failure on %s\n", path.c_str());
-    return 1;
-  }
+  rc.seed = flags.seed;
+  const std::uint64_t n = sim::captureTrace(rc, path);
   std::printf("wrote %llu records to %s\n",
-              static_cast<unsigned long long>(w.written()), path.c_str());
+              static_cast<unsigned long long>(n), path.c_str());
   return 0;
 }
 
 int cmdAnalyze(const std::string& path) {
   trace::TraceReader rd(path);
   if (!rd.ok()) {
-    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    std::fprintf(stderr, "%s\n", rd.error().c_str());
     return 1;
   }
   const AddressLayout layout;
@@ -64,6 +155,16 @@ int cmdAnalyze(const std::string& path) {
     an.observe(r);
     ++total;
     mem += r.isMem();
+  }
+  if (!rd.ok()) {
+    // Partial-trace results are worse than no results: a truncated or
+    // corrupt file must fail loudly, never report locality stats quietly.
+    std::fprintf(stderr, "%s\n", rd.error().c_str());
+    return 1;
+  }
+  if (total == 0) {
+    std::printf("0 records — empty trace, nothing to analyze\n");
+    return 0;
   }
   std::printf("%llu records, %.1f%% memory references\n",
               static_cast<unsigned long long>(total),
@@ -77,50 +178,46 @@ int cmdAnalyze(const std::string& path) {
   return 0;
 }
 
-int cmdRun(const std::string& path, const std::string& cfg_name) {
-  trace::TraceReader rd(path);
-  if (!rd.ok()) {
-    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+int cmdRun(const std::string& path, int argc, char** argv, int first) {
+  RunFlags flags;
+  if (!parseRunFlags(argc, argv, first, flags)) return 2;
+  // MALEC_INSTR caps replays exactly like synthetic runs (so `run` and
+  // `synth` stay diffable under it); 0 still means the whole file.
+  if (flags.instructions == 0) flags.instructions = sim::instructionBudget(0);
+  return runWorkload(sim::traceWorkload(path), flags);
+}
+
+int cmdSynth(const std::string& bench, int argc, char** argv, int first) {
+  RunFlags flags;
+  if (!parseRunFlags(argc, argv, first, flags)) return 2;
+  if (sim::workloadRegistry().tryGet(bench) == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
     return 1;
   }
-  core::InterfaceConfig cfg;
-  if (cfg_name == "Base1ldst") cfg = sim::presetBase1ldst();
-  else if (cfg_name == "Base2ld1st") cfg = sim::presetBase2ld1st();
-  else cfg = sim::presetMalec();
-
-  const core::SystemConfig sys = sim::defaultSystem();
-  energy::EnergyAccount ea;
-  sim::defineEnergies(ea, cfg, sys);
-  auto ifc = sim::makeInterface(cfg, sys, ea);
-  cpu::CoreModel core(sys, cfg, rd, *ifc);
-  const auto st = core.run();
-
-  std::printf("%s on %s: %llu instr, %llu cycles, IPC %.2f\n",
-              cfg.name.c_str(), path.c_str(),
-              static_cast<unsigned long long>(st.instructions),
-              static_cast<unsigned long long>(st.cycles), st.ipc());
-  std::printf("dynamic %.3f uJ, leakage %.3f uJ, way coverage %.1f%%\n",
-              ea.dynamicPj() * 1e-6,
-              ea.leakagePj(st.cycles, sys.clock_ghz) * 1e-6,
-              100.0 * ifc->stats().wayCoverage());
-  return 0;
+  if (flags.instructions == 0)
+    flags.instructions = sim::instructionBudget(200'000);
+  return runWorkload(sim::workloadRegistry().get(bench), flags);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 5 && std::strcmp(argv[1], "gen") == 0)
-    return cmdGen(argv[2], std::strtoull(argv[3], nullptr, 10), argv[4]);
+    return cmdGen(argv[2], argv[3], argv[4], argc, argv, 5);
   if (argc >= 3 && std::strcmp(argv[1], "analyze") == 0)
     return cmdAnalyze(argv[2]);
   if (argc >= 3 && std::strcmp(argv[1], "run") == 0)
-    return cmdRun(argv[2], argc >= 4 ? argv[3] : "MALEC");
+    return cmdRun(argv[2], argc, argv, 3);
+  if (argc >= 3 && std::strcmp(argv[1], "synth") == 0)
+    return cmdSynth(argv[2], argc, argv, 3);
 
   std::fprintf(stderr,
                "usage:\n"
-               "  %s gen <benchmark> <N> <file>\n"
+               "  %s gen <benchmark> <N> <file> [--seed S]\n"
                "  %s analyze <file>\n"
-               "  %s run <file> [Base1ldst|Base2ld1st|MALEC]\n",
-               argv[0], argv[0], argv[0]);
+               "  %s run <file> [--config NAME] [--instr N] [--seed S]\n"
+               "  %s synth <benchmark> [--config NAME] [--instr N]"
+               " [--seed S]\n",
+               argv[0], argv[0], argv[0], argv[0]);
   return 2;
 }

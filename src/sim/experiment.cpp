@@ -1,27 +1,118 @@
 #include "sim/experiment.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <set>
 #include <thread>
 
+#include "common/check.h"
 #include "energy/energy_account.h"
 #include "sim/presets.h"
 #include "sim/structures.h"
 #include "trace/synth_generator.h"
+#include "trace/trace_io.h"
 
 namespace malec::sim {
+
+namespace {
+
+/// The pluggable trace source behind runOne(): a synthetic generator for
+/// profile workloads (the original, bit-identical path) or a file reader
+/// for trace-backed ones. `reader` stays null for synthetic sources and
+/// lets the caller verify the stream survived intact after the run.
+struct ResolvedSource {
+  std::unique_ptr<trace::TraceSource> src;
+  trace::TraceReader* reader = nullptr;
+  std::uint64_t instructions = 0;  ///< effective stream length
+};
+
+ResolvedSource makeTraceSource(const RunConfig& rc) {
+  ResolvedSource rs;
+  if (!rc.workload.isTrace()) {
+    rs.src = std::make_unique<trace::SyntheticTraceGenerator>(
+        rc.workload, rc.system.layout, rc.instructions, rc.seed);
+    rs.instructions = rc.instructions;
+    return rs;
+  }
+  auto rd = std::make_unique<trace::TraceReader>(rc.workload.trace_path);
+  if (!rd->ok()) MALEC_CHECK_MSG(false, rd->error().c_str());
+  if (rd->hasLayout()) {
+    const auto& p = rd->layoutParams();
+    const AddressLayout& l = rc.system.layout;
+    const bool match =
+        p.addr_bits == l.addrBits() && p.page_bytes == l.pageBytes() &&
+        p.line_bytes == l.lineBytes() &&
+        p.sub_block_bytes == l.subBlockBytes() && p.l1_bytes == l.l1Bytes() &&
+        p.l1_assoc == l.l1Assoc() && p.l1_banks == l.l1Banks();
+    if (!match) {
+      const std::string msg =
+          "trace '" + rc.workload.trace_path +
+          "' was captured under a different AddressLayout than the one this "
+          "run simulates — replaying it would decompose every address "
+          "differently";
+      MALEC_CHECK_MSG(false, msg.c_str());
+    }
+  }
+  trace::TraceReader* reader = rd.get();
+  const std::uint64_t total = rd->total();
+  std::uint64_t n = rc.instructions == 0 ? total
+                                         : std::min(rc.instructions, total);
+  if (n < total) {
+    rs.src = std::make_unique<trace::LimitedTraceSource>(std::move(rd), n);
+  } else {
+    rs.src = std::move(rd);
+  }
+  rs.reader = reader;
+  rs.instructions = n;
+  return rs;
+}
+
+}  // namespace
 
 RunOutput runOne(const RunConfig& rc) {
   energy::EnergyAccount ea;
   defineEnergies(ea, rc.interface_cfg, rc.system);
 
-  trace::SyntheticTraceGenerator gen(rc.workload, rc.system.layout,
-                                     rc.instructions, rc.seed);
+  ResolvedSource src = makeTraceSource(rc);
   auto ifc = makeInterface(rc.interface_cfg, rc.system, ea);
-  cpu::CoreModel core(rc.system, rc.interface_cfg, gen, *ifc);
+  cpu::CoreModel core(rc.system, rc.interface_cfg, *src.src, *ifc);
 
   // Safety bound: no workload should need 60 cycles per instruction.
-  const cpu::CoreStats cs = core.run(rc.instructions * 60 + 100'000);
+  const cpu::CoreStats cs = core.run(src.instructions * 60 + 100'000);
+
+  // A replay must never report results off a stream that died mid-file or
+  // a file whose payload is corrupt beyond the replayed prefix:
+  // finishChecksum() hashes whatever an instruction cap left unread, so a
+  // capped replay is held to the same integrity bar as a full one. A file
+  // is fully verified at most once per process (keyed by path + record
+  // count + expected checksum, so a changed file re-verifies) — a sweep of
+  // many configs over one big capped trace must not re-read the remainder
+  // once per run.
+  if (src.reader != nullptr) {
+    static std::mutex verified_mu;
+    static std::set<std::string>* verified = new std::set<std::string>();
+    const std::string key = rc.workload.trace_path + "\n" +
+                            std::to_string(src.reader->total()) + "\n" +
+                            std::to_string(src.reader->expectedChecksum());
+    bool skip_tail_verify;
+    {
+      std::lock_guard<std::mutex> lock(verified_mu);
+      skip_tail_verify = verified->count(key) != 0;
+    }
+    const bool good =
+        skip_tail_verify ? src.reader->ok() : src.reader->finishChecksum();
+    if (!good) MALEC_CHECK_MSG(false, src.reader->error().c_str());
+    if (!skip_tail_verify) {
+      std::lock_guard<std::mutex> lock(verified_mu);
+      verified->insert(key);
+    }
+  }
 
   RunOutput out;
   out.benchmark = rc.workload.name;
@@ -139,19 +230,63 @@ std::vector<std::vector<RunOutput>> runMatrixParallel(
   return by_wl;
 }
 
-std::uint64_t instructionBudget(std::uint64_t dflt) {
-  if (const char* env = std::getenv("MALEC_INSTR"); env != nullptr) {
-    const long long v = std::atoll(env);
-    if (v > 0) return static_cast<std::uint64_t>(v);
+std::uint64_t captureTrace(const RunConfig& rc, const std::string& path) {
+  MALEC_CHECK_MSG(!rc.workload.isTrace(),
+                  "captureTrace() needs a synthetic workload, not a trace "
+                  "replay — copy the file instead");
+  trace::SyntheticTraceGenerator gen(rc.workload, rc.system.layout,
+                                     rc.instructions, rc.seed);
+  trace::TraceWriter w(path, rc.system.layout);
+  if (!w.ok()) MALEC_CHECK_MSG(false, w.error().c_str());
+  trace::InstrRecord r;
+  while (gen.next(r)) w.write(r);
+  if (!w.close()) MALEC_CHECK_MSG(false, w.error().c_str());
+  return w.written();
+}
+
+std::uint64_t parseU64Strict(const std::string& s, const char* what) {
+  bool valid = !s.empty();
+  for (const char c : s)
+    valid = valid && std::isdigit(static_cast<unsigned char>(c)) != 0;
+  std::uint64_t v = 0;
+  if (valid) {
+    errno = 0;
+    char* end = nullptr;
+    v = std::strtoull(s.c_str(), &end, 10);
+    valid = errno == 0 && end == s.c_str() + s.size();
   }
-  return dflt;
+  if (!valid) {
+    const std::string msg = std::string("invalid ") + what + ": '" + s +
+                            "' is not an unsigned base-10 integer";
+    MALEC_CHECK_MSG(false, msg.c_str());
+  }
+  return v;
+}
+
+namespace {
+
+/// Env knobs: unset or empty = fall back; "0" = fall back (documented as
+/// "use the default"); anything non-numeric aborts via parseU64Strict.
+std::uint64_t envU64(const char* name, std::uint64_t dflt) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return dflt;
+  const std::uint64_t v = parseU64Strict(env, name);
+  return v > 0 ? v : dflt;
+}
+
+}  // namespace
+
+std::uint64_t instructionBudget(std::uint64_t dflt) {
+  return envU64("MALEC_INSTR", dflt);
 }
 
 unsigned parallelJobs(unsigned dflt) {
-  if (const char* env = std::getenv("MALEC_JOBS"); env != nullptr) {
-    const long long v = std::atoll(env);
-    if (v > 0) return static_cast<unsigned>(v);
-  }
+  const std::uint64_t v = envU64("MALEC_JOBS", 0);
+  // A worker count past unsigned range would truncate in the cast below —
+  // the silent-reinterpretation bug class strict parsing exists to kill.
+  MALEC_CHECK_MSG(v <= std::numeric_limits<unsigned>::max(),
+                  "MALEC_JOBS exceeds the supported worker-count range");
+  if (v > 0) return static_cast<unsigned>(v);
   if (dflt > 0) return dflt;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;

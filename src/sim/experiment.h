@@ -16,11 +16,17 @@
 namespace malec::sim {
 
 struct RunConfig {
+  /// The workload doubles as the trace-source selector: a profile with an
+  /// empty trace_path is synthesised (the default), one with a trace_path
+  /// replays that captured file — through the same runOne/runManyParallel/
+  /// runMatrixParallel and suite paths, with the synthetic path bit-identical
+  /// to what it always produced.
   trace::WorkloadProfile workload;
   core::InterfaceConfig interface_cfg;
   core::SystemConfig system;
   /// Instructions to simulate. The paper uses 1B-instruction Simpoint
-  /// phases; the synthetic workloads reach steady state much faster.
+  /// phases; the synthetic workloads reach steady state much faster. For a
+  /// replayed trace this caps the stream (0 = the whole file).
   std::uint64_t instructions = 200'000;
   std::uint64_t seed = 1;
 };
@@ -76,13 +82,28 @@ struct RunOutput {
     const std::vector<core::InterfaceConfig>& cfgs,
     std::uint64_t instructions, std::uint64_t seed = 1, unsigned jobs = 0);
 
+/// Capture the exact instruction stream `rc` would simulate into a v2
+/// trace file at `path` (header carries rc.system.layout). Replaying the
+/// file through runOne() is bit-identical to running `rc` directly. Aborts
+/// on I/O failure or if `rc` already names a trace. Returns records written.
+std::uint64_t captureTrace(const RunConfig& rc, const std::string& path);
+
 /// Instruction budget honouring the MALEC_INSTR environment override
-/// (lets CI shrink runs; benches default to `dflt`).
+/// (lets CI shrink runs; benches default to `dflt`). A malformed value
+/// aborts — "MALEC_INSTR=1e6" must never quietly simulate one instruction.
 [[nodiscard]] std::uint64_t instructionBudget(std::uint64_t dflt);
 
 /// Worker-thread count for parallel sweeps, honouring the MALEC_JOBS
 /// environment override (alongside MALEC_INSTR; see instructionBudget).
-/// Defaults to the hardware concurrency, never less than 1.
+/// Defaults to the hardware concurrency, never less than 1. Malformed
+/// values abort, like instructionBudget.
 [[nodiscard]] unsigned parallelJobs(unsigned dflt = 0);
+
+/// Strict base-10 parse shared by every numeric knob (env vars and CLI
+/// flags): the whole string must be digits and fit in 64 bits, anything
+/// else aborts with a message naming `what` — no atoll-style "10abc" -> 10
+/// or "abc" -> 0 silent acceptance.
+[[nodiscard]] std::uint64_t parseU64Strict(const std::string& s,
+                                           const char* what);
 
 }  // namespace malec::sim

@@ -1,17 +1,91 @@
 #include "sim/registry.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
 #include "sim/presets.h"
+#include "trace/trace_io.h"
 #include "trace/workloads.h"
 
 namespace malec::sim {
+
+namespace {
+
+constexpr const char* kTraceScheme = "trace:";
+constexpr const char* kTraceExt = ".mtrace";
+
+/// "traces/gcc.mtrace" -> "gcc".
+std::string traceStem(const std::string& path) {
+  return std::filesystem::path(path).stem().string();
+}
+
+/// One trace-replay workload per *.mtrace in `dir`, sorted by filename so
+/// the registration (and table-row) order is stable across platforms.
+void registerTraceDir(Registry<trace::WorkloadProfile>& reg,
+                      const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    const std::string msg =
+        "MALEC_TRACE_DIR='" + dir + "' cannot be scanned: " + ec.message();
+    MALEC_CHECK_MSG(false, msg.c_str());
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : it)
+    if (entry.is_regular_file() && entry.path().extension() == kTraceExt)
+      paths.push_back(entry.path().string());
+  std::sort(paths.begin(), paths.end());
+  for (const auto& p : paths) {
+    const auto wl = traceWorkload(p);
+    reg.add(wl.name, wl);
+  }
+}
+
+}  // namespace
 
 Registry<trace::WorkloadProfile>& workloadRegistry() {
   static Registry<trace::WorkloadProfile>* r = [] {
     auto* reg = new Registry<trace::WorkloadProfile>("workload");
     for (const auto& wl : trace::allWorkloads()) reg->add(wl.name, wl);
+    if (const char* dir = std::getenv("MALEC_TRACE_DIR");
+        dir != nullptr && dir[0] != '\0')
+      registerTraceDir(*reg, dir);
     return reg;
   }();
   return *r;
+}
+
+void registerTraceWorkloadsFrom(const std::string& dir) {
+  registerTraceDir(workloadRegistry(), dir);
+}
+
+trace::WorkloadProfile traceWorkload(const std::string& path) {
+  {
+    // Validate the header (magic, version, size-vs-count) now: the sweep
+    // machinery should reject a bad trace before any simulation starts.
+    trace::TraceReader probe(path);
+    if (!probe.ok()) MALEC_CHECK_MSG(false, probe.error().c_str());
+  }
+  trace::WorkloadProfile wl;
+  wl.name = kTraceScheme + traceStem(path);
+  wl.suite = "trace";
+  wl.trace_path = path;
+  return wl;
+}
+
+trace::WorkloadProfile resolveWorkload(const std::string& name) {
+  const auto& reg = workloadRegistry();
+  if (const trace::WorkloadProfile* p = reg.tryGet(name)) return *p;
+  if (name.rfind(kTraceScheme, 0) == 0) {
+    auto wl = traceWorkload(name.substr(std::string(kTraceScheme).size()));
+    // Keep the user-supplied form: two ad-hoc paths with the same stem
+    // must stay distinguishable in table rows and sink records, and the
+    // emitted name should match what was asked for.
+    wl.name = name;
+    return wl;
+  }
+  return reg.get(name);  // aborts with the registry inventory
 }
 
 Registry<PresetFn>& presetRegistry() {

@@ -74,9 +74,28 @@ class Registry {
 using PresetFn = std::function<core::InterfaceConfig()>;
 
 /// All workload profiles, pre-populated from trace::allWorkloads() in the
-/// paper's plotting order. Additional (synthetic / scenario) workloads may
-/// be added at startup before any suite runs.
+/// paper's plotting order, followed by one trace-replay workload per
+/// *.mtrace file found in $MALEC_TRACE_DIR (sorted by filename, registered
+/// as "trace:<stem>"). Additional (synthetic / scenario / trace) workloads
+/// may be added at startup before any suite runs.
 [[nodiscard]] Registry<trace::WorkloadProfile>& workloadRegistry();
+
+/// Build a replay workload for a captured trace file: name "trace:<stem>",
+/// suite "trace". The file's header is validated up front — a missing,
+/// truncated or corrupt trace aborts here with the reader's message rather
+/// than deep inside a sweep. Does not register the profile.
+[[nodiscard]] trace::WorkloadProfile traceWorkload(const std::string& path);
+
+/// Resolve a workload name: registry hit first; otherwise a "trace:<path>"
+/// name is treated as a trace file path and built on the fly; anything else
+/// aborts with the registry inventory.
+[[nodiscard]] trace::WorkloadProfile resolveWorkload(const std::string& name);
+
+/// Register every *.mtrace in `dir` (sorted by filename) as a trace-replay
+/// workload — the MALEC_TRACE_DIR scan, callable directly for additional
+/// directories. Aborts on an unscannable directory, an invalid trace file
+/// or a name collision.
+void registerTraceWorkloadsFrom(const std::string& dir);
 
 /// All interface-configuration presets of presets.h, keyed by the
 /// configuration name they produce (e.g. "MALEC", "MALEC_WDU16").

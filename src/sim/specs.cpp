@@ -681,6 +681,57 @@ ExperimentSpec specWayEncoding() {
   return s;
 }
 
+// --- trace replay: captured traces through the Table-I interfaces -----------
+
+ExperimentSpec specTraceReplay() {
+  ExperimentSpec s;
+  s.name = "trace_replay";
+  s.title =
+      "Trace replay — captured *.mtrace workloads through the Table-I "
+      "interfaces";
+  s.paper_anchor =
+      "(replayed captures stand in for the paper's 1B-instruction Simpoint\n"
+      " traces of SPEC CPU2000 / MediaBench2 — capture with `trace_tools\n"
+      " gen`, point MALEC_TRACE_DIR at the directory; a capture of a\n"
+      " synthetic workload reproduces its direct run bit for bit)";
+  s.workloads = {"trace:*"};
+  s.configs = [] {
+    return std::vector<core::InterfaceConfig>{
+        presetBase1ldst(), presetBase2ld1st(), presetMalec()};
+  };
+  // 0 = replay each trace in full; MALEC_INSTR / --instr still cap it.
+  s.default_instructions = 0;
+  TableSpec tt;
+  tt.name = "trace_replay_time";
+  tt.title = "Trace replay — normalized execution time [%] (Base1ldst = 100)";
+  tt.row = cyclesVsRefFn(0);
+  tt.overall_geomean = true;
+  s.tables.push_back(std::move(tt));
+  TableSpec te;
+  te.name = "trace_replay_energy";
+  te.title = "Trace replay — normalized total energy [%] (Base1ldst = 100)";
+  te.row = [](const SuiteContext& ctx, std::size_t w) {
+    const auto& outs = ctx.results[w];
+    std::vector<double> row;
+    for (const auto& o : outs)
+      row.push_back(100.0 * o.total_pj / outs[0].total_pj);
+    return row;
+  };
+  te.overall_geomean = true;
+  s.tables.push_back(std::move(te));
+  TableSpec ti;
+  ti.name = "trace_replay_ipc";
+  ti.title = "Trace replay — IPC";
+  ti.row = [](const SuiteContext& ctx, std::size_t w) {
+    std::vector<double> row;
+    for (const auto& o : ctx.results[w]) row.push_back(o.ipc);
+    return row;
+  };
+  ti.precision = 3;
+  s.tables.push_back(std::move(ti));
+  return s;
+}
+
 // --- host microbenchmark: energy-accounting throughput (custom) -------------
 
 ExperimentSpec specEnergyAccount() {
@@ -766,6 +817,7 @@ void registerBuiltinSpecs(Registry<ExperimentSpec>& reg) {
   add(specSensitivityWaydet());
   add(specSensitivityAdaptive());
   add(specSensitivityScaling());
+  add(specTraceReplay());
   add(specEnergyAccount());
 }
 

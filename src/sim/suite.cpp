@@ -37,13 +37,43 @@ std::vector<trace::WorkloadProfile> resolveWorkloads(
     const ExperimentSpec& spec, const SuiteOptions& opts) {
   std::vector<trace::WorkloadProfile> wls;
   const auto& reg = workloadRegistry();
-  const std::vector<std::string>& names =
-      spec.workloads.empty() ? reg.names() : spec.workloads;
+  // "trace:*" in a spec's workload list expands to every registered
+  // trace-replay workload (the MALEC_TRACE_DIR scan plus anything added at
+  // startup) — how the trace_replay suite picks up a directory of captures.
+  // An empty spec workload list means "the paper's benchmark set", NOT
+  // "everything registered": MALEC_TRACE_DIR captures must never leak
+  // extra rows (and shifted geomeans) into fig4a & friends — trace
+  // workloads run only where a spec asks for them by name or "trace:*".
+  std::vector<std::string> base;
+  if (spec.workloads.empty()) {
+    for (const auto& n : reg.names())
+      if (!reg.get(n).isTrace()) base.push_back(n);
+  } else {
+    base = spec.workloads;
+  }
+  std::vector<std::string> names;
+  for (const auto& name : base) {
+    if (name == "trace:*") {
+      const std::size_t before = names.size();
+      for (const auto& n : reg.names())
+        if (n.rfind("trace:", 0) == 0) names.push_back(n);
+      if (names.size() == before) {
+        const std::string msg =
+            "suite '" + spec.name +
+            "' wants trace workloads ('trace:*') but none are registered — "
+            "point MALEC_TRACE_DIR at a directory of *.mtrace captures or "
+            "list trace:<path> workloads explicitly";
+        MALEC_CHECK_MSG(false, msg.c_str());
+      }
+    } else {
+      names.push_back(name);
+    }
+  }
   for (const auto& name : names) {
     if (!opts.workload_filter.empty() &&
         name.find(opts.workload_filter) == std::string::npos)
       continue;
-    wls.push_back(reg.get(name));
+    wls.push_back(resolveWorkload(name));
   }
   return wls;
 }

@@ -1,6 +1,8 @@
 #include "trace/trace_io.h"
 
+#include <algorithm>
 #include <cstring>
+#include <filesystem>
 
 #include "common/check.h"
 
@@ -11,6 +13,21 @@ namespace {
 /// Fixed-width on-disk record (little-endian, packed manually for
 /// portability — no struct punning).
 constexpr std::size_t kRecordBytes = 8 + 8 + 1 + 1 + 4 + 4;
+
+/// Records staged/read per stdio call. 4096 records = ~104 KiB blocks —
+/// three orders of magnitude fewer libc calls than one fwrite/fread per
+/// 26-byte record.
+constexpr std::size_t kBlockRecords = 4096;
+constexpr std::size_t kBlockBytes = kBlockRecords * kRecordBytes;
+
+constexpr long kHeaderBytesV1 = 16;  // magic, version, count
+constexpr long kHeaderBytesV2 = 52;  // + checksum, AddressLayout params
+constexpr long kCountOffset = 8;
+constexpr std::size_t kNumLayoutParams = 7;
+
+/// Largest access size accepted for a memory record; the modelled machine
+/// never issues accesses wider than two 64-byte lines' worth.
+constexpr std::uint32_t kMaxAccessSize = 128;
 
 void put64(std::uint8_t* p, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
@@ -38,63 +55,195 @@ void encode(const InstrRecord& r, std::uint8_t* buf) {
   put32(buf + 22, r.addr_dep_distance);
 }
 
-void decode(const std::uint8_t* buf, InstrRecord& r) {
+/// Decodes one record; returns false (with a message in `err`) for byte
+/// values no valid producer emits — an out-of-range kind would otherwise
+/// become an enum that isMem() happily treats as a memory op.
+bool decode(const std::uint8_t* buf, InstrRecord& r, std::string& err) {
   r.seq = get64(buf + 0);
   r.vaddr = get64(buf + 8);
-  r.kind = static_cast<InstrKind>(buf[16]);
+  const std::uint8_t kind = buf[16];
+  if (kind > static_cast<std::uint8_t>(InstrKind::kStore)) {
+    err = "invalid instruction kind byte " + std::to_string(kind);
+    return false;
+  }
+  r.kind = static_cast<InstrKind>(kind);
   r.size = buf[17];
+  if (r.isMem() && (r.size == 0 || r.size > kMaxAccessSize)) {
+    err = "invalid access size " + std::to_string(r.size) +
+          " for a memory record (expect 1.." + std::to_string(kMaxAccessSize) +
+          ")";
+    return false;
+  }
   r.dep_distance = get32(buf + 18);
   r.addr_dep_distance = get32(buf + 22);
+  return true;
 }
 
-constexpr long kHeaderBytes = 16;  // magic, version, count
+/// FNV-1a 64-bit, the v2 record checksum.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv1a(std::uint64_t h, const std::uint8_t* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
 
 }  // namespace
 
-TraceWriter::TraceWriter(const std::string& path) {
+// --- TraceWriter ------------------------------------------------------------
+
+TraceWriter::TraceWriter(const std::string& path, const AddressLayout& layout) {
   f_ = std::fopen(path.c_str(), "wb");
-  if (f_ == nullptr) return;
-  std::uint8_t hdr[kHeaderBytes] = {};
+  if (f_ == nullptr) {
+    error_ = "cannot open '" + path + "' for writing";
+    return;
+  }
+  std::uint8_t hdr[kHeaderBytesV2] = {};
   put32(hdr + 0, kTraceMagic);
   put32(hdr + 4, kTraceVersion);
-  put64(hdr + 8, 0);  // record count patched on close
-  ok_ = std::fwrite(hdr, 1, sizeof hdr, f_) == sizeof hdr;
+  put64(hdr + 8, 0);   // record count, patched on close
+  put64(hdr + 16, 0);  // checksum, patched on close
+  const std::uint32_t params[kNumLayoutParams] = {
+      layout.addrBits(), layout.pageBytes(),  layout.lineBytes(),
+      layout.subBlockBytes(), layout.l1Bytes(), layout.l1Assoc(),
+      layout.l1Banks()};
+  for (std::size_t i = 0; i < kNumLayoutParams; ++i)
+    put32(hdr + 24 + 4 * i, params[i]);
+  if (std::fwrite(hdr, 1, sizeof hdr, f_) != sizeof hdr) {
+    error_ = "cannot write header of '" + path + "'";
+    return;
+  }
+  checksum_ = kFnvOffset;
+  buf_.reserve(kBlockBytes);
+  ok_ = true;
 }
 
 TraceWriter::~TraceWriter() {
   if (f_ != nullptr) close();
 }
 
+void TraceWriter::fail(std::string msg) {
+  ok_ = false;
+  if (error_.empty()) error_ = std::move(msg);
+}
+
+bool TraceWriter::flushBlock() {
+  if (buf_.empty()) return true;
+  if (std::fwrite(buf_.data(), 1, buf_.size(), f_) != buf_.size()) {
+    fail("short write while flushing a record block");
+    return false;
+  }
+  buf_.clear();
+  return true;
+}
+
 void TraceWriter::write(const InstrRecord& r) {
   if (!ok_) return;
-  std::uint8_t buf[kRecordBytes];
-  encode(r, buf);
-  if (std::fwrite(buf, 1, sizeof buf, f_) != sizeof buf) {
-    ok_ = false;
-    return;
-  }
+  const std::size_t at = buf_.size();
+  buf_.resize(at + kRecordBytes);
+  encode(r, buf_.data() + at);
+  checksum_ = fnv1a(checksum_, buf_.data() + at, kRecordBytes);
   ++count_;
+  if (buf_.size() >= kBlockBytes) flushBlock();
 }
 
 bool TraceWriter::close() {
   if (f_ == nullptr) return ok_;
-  if (ok_ && std::fseek(f_, 8, SEEK_SET) == 0) {
-    std::uint8_t cnt[8];
-    put64(cnt, count_);
-    ok_ = std::fwrite(cnt, 1, sizeof cnt, f_) == sizeof cnt;
+  if (ok_) flushBlock();
+  if (ok_) {
+    // An unpatched header promises 0 records — the file would fail every
+    // later open, so a patch failure must fail close() too.
+    if (std::fseek(f_, kCountOffset, SEEK_SET) != 0) {
+      fail("cannot seek back to patch the header");
+    } else {
+      std::uint8_t patch[16];
+      put64(patch + 0, count_);
+      put64(patch + 8, checksum_);
+      if (std::fwrite(patch, 1, sizeof patch, f_) != sizeof patch)
+        fail("cannot patch the header record count");
+    }
   }
-  std::fclose(f_);
+  if (std::fclose(f_) != 0) fail("close failed");
   f_ = nullptr;
   return ok_;
 }
 
-TraceReader::TraceReader(const std::string& path) {
+// --- TraceReader ------------------------------------------------------------
+
+TraceReader::TraceReader(const std::string& path) : path_(path) {
   f_ = std::fopen(path.c_str(), "rb");
-  if (f_ == nullptr) return;
-  std::uint8_t hdr[kHeaderBytes];
-  if (std::fread(hdr, 1, sizeof hdr, f_) != sizeof hdr) return;
-  if (get32(hdr + 0) != kTraceMagic || get32(hdr + 4) != kTraceVersion) return;
+  if (f_ == nullptr) {
+    error_ = "cannot open '" + path + "'";
+    return;
+  }
+  std::uint8_t hdr[kHeaderBytesV2];
+  if (std::fread(hdr, 1, kHeaderBytesV1, f_) !=
+      static_cast<std::size_t>(kHeaderBytesV1)) {
+    error_ = "'" + path + "' is too short to hold a trace header";
+    return;
+  }
+  if (get32(hdr + 0) != kTraceMagic) {
+    error_ = "'" + path + "' is not a MALEC trace (bad magic)";
+    return;
+  }
+  version_ = get32(hdr + 4);
+  if (version_ != kTraceVersionV1 && version_ != kTraceVersion) {
+    error_ = "'" + path + "' has unsupported trace version " +
+             std::to_string(version_);
+    return;
+  }
   total_ = get64(hdr + 8);
+  header_bytes_ = version_ == kTraceVersionV1 ? kHeaderBytesV1 : kHeaderBytesV2;
+  if (version_ == kTraceVersion) {
+    if (std::fread(hdr + kHeaderBytesV1, 1, kHeaderBytesV2 - kHeaderBytesV1,
+                   f_) !=
+        static_cast<std::size_t>(kHeaderBytesV2 - kHeaderBytesV1)) {
+      error_ = "'" + path + "' is truncated inside the v2 header";
+      return;
+    }
+    checksum_expect_ = get64(hdr + 16);
+    std::uint32_t params[kNumLayoutParams];
+    for (std::size_t i = 0; i < kNumLayoutParams; ++i)
+      params[i] = get32(hdr + 24 + 4 * i);
+    layout_params_.addr_bits = params[0];
+    layout_params_.page_bytes = params[1];
+    layout_params_.line_bytes = params[2];
+    layout_params_.sub_block_bytes = params[3];
+    layout_params_.l1_bytes = params[4];
+    layout_params_.l1_assoc = params[5];
+    layout_params_.l1_banks = params[6];
+    has_layout_ = true;
+  }
+
+  // A header count that disagrees with the file size means the capture was
+  // cut short (or bytes were appended) — fail at open instead of serving a
+  // partial stream as if it were complete. 64-bit arithmetic throughout:
+  // Simpoint-scale captures dwarf a 32-bit `long` ftell.
+  std::error_code ec;
+  const std::uintmax_t fs_size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    error_ = "cannot stat '" + path + "': " + ec.message();
+    return;
+  }
+  const std::uint64_t file_size = static_cast<std::uint64_t>(fs_size);
+  const std::uint64_t expect =
+      static_cast<std::uint64_t>(header_bytes_) +
+      total_ * static_cast<std::uint64_t>(kRecordBytes);
+  if (file_size != expect) {
+    error_ = "'" + path + "' is truncated or corrupt: header promises " +
+             std::to_string(total_) + " records (" + std::to_string(expect) +
+             " bytes) but the file holds " + std::to_string(file_size) +
+             " bytes";
+    return;
+  }
+  if (std::fseek(f_, header_bytes_, SEEK_SET) != 0) {
+    error_ = "cannot seek in '" + path + "'";
+    return;
+  }
+  checksum_run_ = kFnvOffset;
   ok_ = true;
 }
 
@@ -102,23 +251,90 @@ TraceReader::~TraceReader() {
   if (f_ != nullptr) std::fclose(f_);
 }
 
-bool TraceReader::next(InstrRecord& out) {
-  if (!ok_ || read_ >= total_) return false;
-  std::uint8_t buf[kRecordBytes];
-  if (std::fread(buf, 1, sizeof buf, f_) != sizeof buf) {
-    ok_ = false;
+void TraceReader::fail(std::string msg) {
+  ok_ = false;
+  if (error_.empty()) error_ = "'" + path_ + "': " + std::move(msg);
+}
+
+bool TraceReader::refill() {
+  const std::uint64_t remaining = total_ - read_;
+  const std::size_t want = static_cast<std::size_t>(
+      std::min<std::uint64_t>(remaining * kRecordBytes, kBlockBytes));
+  buf_.resize(want);
+  buf_pos_ = 0;
+  if (std::fread(buf_.data(), 1, want, f_) != want) {
+    // Unreachable for a file that passed the open-time size check unless it
+    // shrank underneath us — still a hard error, not a quiet short stream.
+    fail("short read mid-stream (file changed after open?)");
     return false;
   }
-  decode(buf, out);
-  ++read_;
   return true;
 }
 
+bool TraceReader::next(InstrRecord& out) {
+  if (!ok_ || read_ >= total_) return false;
+  if (buf_pos_ >= buf_.size() && !refill()) return false;
+  const std::uint8_t* rec = buf_.data() + buf_pos_;
+  std::string err;
+  if (!decode(rec, out, err)) {
+    fail(err + " at record " + std::to_string(read_));
+    return false;
+  }
+  if (version_ == kTraceVersion)
+    checksum_run_ = fnv1a(checksum_run_, rec, kRecordBytes);
+  buf_pos_ += kRecordBytes;
+  ++read_;
+  if (version_ == kTraceVersion && read_ == total_ &&
+      checksum_run_ != checksum_expect_) {
+    fail("record checksum mismatch — the payload is corrupt");
+    return false;
+  }
+  return true;
+}
+
+bool TraceReader::finishChecksum() {
+  if (!ok_ || version_ != kTraceVersion || read_ >= total_) return ok_;
+  // Bytes already fetched into the block buffer but not yet served.
+  checksum_run_ = fnv1a(checksum_run_, buf_.data() + buf_pos_,
+                        buf_.size() - buf_pos_);
+  std::uint64_t hashed =
+      read_ + (buf_.size() - buf_pos_) / kRecordBytes;
+  buf_pos_ = buf_.size();
+  // Stream the rest of the payload block-wise, checksum only (no decode:
+  // records beyond the cap were never simulated; the checksum is what
+  // guards their — and by mixing, the whole file's — integrity).
+  std::vector<std::uint8_t> block(kBlockBytes);
+  while (hashed < total_) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>((total_ - hashed) * kRecordBytes,
+                                kBlockBytes));
+    if (std::fread(block.data(), 1, want, f_) != want) {
+      fail("short read while verifying the record checksum");
+      return false;
+    }
+    checksum_run_ = fnv1a(checksum_run_, block.data(), want);
+    hashed += want / kRecordBytes;
+  }
+  read_ = total_;  // at end-of-stream now; next() returns false, reset() replays
+  if (checksum_run_ != checksum_expect_) {
+    fail("record checksum mismatch — the payload is corrupt");
+    return false;
+  }
+  return ok_;
+}
+
 void TraceReader::reset() {
-  if (f_ == nullptr) return;
-  std::fseek(f_, kHeaderBytes, SEEK_SET);
+  // Sticky failure: rewinding must not resurrect a reader that reported an
+  // I/O or corruption error — a replay loop would re-serve bad data.
+  if (!ok_ || f_ == nullptr) return;
+  if (std::fseek(f_, header_bytes_, SEEK_SET) != 0) {
+    fail("cannot rewind");
+    return;
+  }
   read_ = 0;
-  ok_ = true;
+  buf_.clear();
+  buf_pos_ = 0;
+  checksum_run_ = kFnvOffset;
 }
 
 std::vector<InstrRecord> drain(TraceSource& src) {

@@ -3,6 +3,27 @@
 // Lets users capture a synthetic stream once and replay it (or bring their
 // own traces from a real simulator) — the on-disk format is a fixed-width
 // little-endian record stream with a small header.
+//
+// On-disk format (all fields little-endian):
+//
+//   v2 header (52 bytes):
+//     off  0  u32  magic            "MALC" (0x4D414C43)
+//     off  4  u32  version          2
+//     off  8  u64  record count     patched on close()
+//     off 16  u64  FNV-1a checksum  over all record bytes, patched on close()
+//     off 24  7×u32 AddressLayout   addr_bits, page_bytes, line_bytes,
+//                                   sub_block_bytes, l1_bytes, l1_assoc,
+//                                   l1_banks of the capturing system
+//   v1 header (16 bytes, still readable): magic, version=1, record count —
+//     no checksum, no layout.
+//
+//   record (26 bytes): u64 seq, u64 vaddr, u8 kind (0..2), u8 size
+//     (memory ops: 1..128 bytes), u32 dep_distance, u32 addr_dep_distance.
+//
+// Both ends move data in multi-record blocks (not one 26-byte stdio call
+// per record), and the reader validates the header record count against the
+// actual file size at open — a truncated file is a hard error, never a
+// silently shorter stream.
 #pragma once
 
 #include <cstdint>
@@ -11,19 +32,27 @@
 #include <string>
 #include <vector>
 
+#include "common/address.h"
 #include "trace/record.h"
 
 namespace malec::trace {
 
 /// Magic bytes + version identifying a MALEC trace file.
 inline constexpr std::uint32_t kTraceMagic = 0x4D414C43;  // "MALC"
-inline constexpr std::uint32_t kTraceVersion = 1;
+/// Version written by TraceWriter; TraceReader also accepts v1.
+inline constexpr std::uint32_t kTraceVersion = 2;
+inline constexpr std::uint32_t kTraceVersionV1 = 1;
 
-/// Writes records to a trace file. Throws nothing; reports failures via
-/// ok(). The file is finalised (header record count patched) on close().
+/// Writes records to a trace file (always the current v2 format). Throws
+/// nothing; reports failures via ok()/error(). Records are staged in a
+/// block buffer and written in bulk; the file is finalised (header record
+/// count + checksum patched) on close().
 class TraceWriter {
  public:
-  explicit TraceWriter(const std::string& path);
+  /// `layout` is recorded in the header so a replay can verify it simulates
+  /// the address space the trace was captured under.
+  explicit TraceWriter(const std::string& path,
+                       const AddressLayout& layout = AddressLayout{});
   ~TraceWriter();
   TraceWriter(const TraceWriter&) = delete;
   TraceWriter& operator=(const TraceWriter&) = delete;
@@ -32,15 +61,29 @@ class TraceWriter {
   /// Flush, patch the header and close. Returns false on I/O failure.
   bool close();
   [[nodiscard]] bool ok() const { return ok_; }
+  /// Human-readable description of the first failure ("" while ok()).
+  [[nodiscard]] const std::string& error() const { return error_; }
   [[nodiscard]] std::uint64_t written() const { return count_; }
 
  private:
+  void fail(std::string msg);
+  bool flushBlock();
+
   std::FILE* f_ = nullptr;
   bool ok_ = false;
+  std::string error_;
   std::uint64_t count_ = 0;
+  std::uint64_t checksum_ = 0;
+  std::vector<std::uint8_t> buf_;
 };
 
 /// Streams records back from a trace file; implements TraceSource.
+///
+/// Failures are sticky: once ok() is false (unreadable/truncated/corrupt
+/// file, record with an out-of-range kind or size byte, v2 checksum
+/// mismatch) next() keeps returning false and reset() will NOT resurrect
+/// the stream — callers must check ok() after draining, or a partial trace
+/// would silently masquerade as a short one.
 class TraceReader final : public TraceSource {
  public:
   explicit TraceReader(const std::string& path);
@@ -50,14 +93,46 @@ class TraceReader final : public TraceSource {
 
   bool next(InstrRecord& out) override;
   void reset() override;
+  /// Verify the v2 record checksum even when the stream was NOT drained to
+  /// the end (a capped replay): hashes the unread remainder of the file and
+  /// compares. Leaves the reader at end-of-stream (reset() to replay); a
+  /// mismatch is a sticky failure like any other. No-op for v1 files and
+  /// fully-drained streams (next() already verified those). Returns ok().
+  bool finishChecksum();
   [[nodiscard]] bool ok() const { return ok_; }
+  /// Human-readable description of the first failure ("" while ok()).
+  [[nodiscard]] const std::string& error() const { return error_; }
   [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// The header's record checksum (0 for v1 files, which carry none).
+  [[nodiscard]] std::uint64_t expectedChecksum() const {
+    return checksum_expect_;
+  }
+  /// Format version of the open file (1 or 2; 0 if the open failed).
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+  /// True for v2 files, whose header records the capturing AddressLayout.
+  [[nodiscard]] bool hasLayout() const { return has_layout_; }
+  [[nodiscard]] const AddressLayout::Params& layoutParams() const {
+    return layout_params_;
+  }
 
  private:
+  void fail(std::string msg);
+  bool refill();
+
   std::FILE* f_ = nullptr;
   bool ok_ = false;
+  std::string error_;
+  std::string path_;
+  std::uint32_t version_ = 0;
   std::uint64_t total_ = 0;
   std::uint64_t read_ = 0;
+  long header_bytes_ = 0;
+  bool has_layout_ = false;
+  AddressLayout::Params layout_params_{};
+  std::uint64_t checksum_expect_ = 0;
+  std::uint64_t checksum_run_ = 0;
+  std::vector<std::uint8_t> buf_;
+  std::size_t buf_pos_ = 0;
 };
 
 /// In-memory trace source for tests and small experiments.
@@ -76,6 +151,30 @@ class VectorTraceSource final : public TraceSource {
  private:
   std::vector<InstrRecord> records_;
   std::size_t pos_ = 0;
+};
+
+/// Caps an owned source at `limit` records — how an instruction budget
+/// (MALEC_INSTR / --instr) is applied to a replayed trace.
+class LimitedTraceSource final : public TraceSource {
+ public:
+  LimitedTraceSource(std::unique_ptr<TraceSource> inner, std::uint64_t limit)
+      : inner_(std::move(inner)), limit_(limit) {}
+
+  bool next(InstrRecord& out) override {
+    if (served_ >= limit_) return false;
+    if (!inner_->next(out)) return false;
+    ++served_;
+    return true;
+  }
+  void reset() override {
+    inner_->reset();
+    served_ = 0;
+  }
+
+ private:
+  std::unique_ptr<TraceSource> inner_;
+  std::uint64_t limit_;
+  std::uint64_t served_ = 0;
 };
 
 /// Convenience: drain `src` into a vector (use only for bounded sources).

@@ -13,7 +13,13 @@ namespace malec::trace {
 
 struct WorkloadProfile {
   std::string name;
-  std::string suite;  ///< "SPEC-INT", "SPEC-FP" or "MediaBench2"
+  std::string suite;  ///< "SPEC-INT", "SPEC-FP", "MediaBench2" or "trace"
+
+  /// Non-empty = replay this captured trace file instead of synthesising a
+  /// stream from the statistics below (which are then ignored). Trace-backed
+  /// profiles are registered under "trace:<stem>" names — see sim/registry.h.
+  std::string trace_path;
+  [[nodiscard]] bool isTrace() const { return !trace_path.empty(); }
 
   // --- instruction mix -----------------------------------------------------
   /// Fraction of instructions that reference memory (paper avg 40 %;

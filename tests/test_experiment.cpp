@@ -78,10 +78,66 @@ TEST(Experiment, BaselineHasNoWayCoverage) {
 TEST(Experiment, InstructionBudgetEnvOverride) {
   ::setenv("MALEC_INSTR", "12345", 1);
   EXPECT_EQ(instructionBudget(999), 12345u);
-  ::setenv("MALEC_INSTR", "notanumber", 1);
+  // Empty and "0" mean "use the default", like an unset variable.
+  ::setenv("MALEC_INSTR", "", 1);
+  EXPECT_EQ(instructionBudget(999), 999u);
+  ::setenv("MALEC_INSTR", "0", 1);
   EXPECT_EQ(instructionBudget(999), 999u);
   ::unsetenv("MALEC_INSTR");
   EXPECT_EQ(instructionBudget(999), 999u);
+}
+
+TEST(ExperimentDeathTest, MalformedInstructionBudgetAborts) {
+  // atoll would have turned these into 1 / 0 silently — a 1e6-instruction
+  // request quietly simulating ONE instruction is the bug class under test.
+  EXPECT_DEATH(
+      {
+        ::setenv("MALEC_INSTR", "1e6", 1);
+        (void)instructionBudget(999);
+      },
+      "invalid MALEC_INSTR: '1e6'");
+  EXPECT_DEATH(
+      {
+        ::setenv("MALEC_INSTR", "abc", 1);
+        (void)instructionBudget(999);
+      },
+      "invalid MALEC_INSTR: 'abc'");
+  EXPECT_DEATH(
+      {
+        ::setenv("MALEC_INSTR", "-5", 1);
+        (void)instructionBudget(999);
+      },
+      "invalid MALEC_INSTR: '-5'");
+}
+
+TEST(ExperimentDeathTest, MalformedParallelJobsAborts) {
+  EXPECT_DEATH(
+      {
+        ::setenv("MALEC_JOBS", "four", 1);
+        (void)parallelJobs(3);
+      },
+      "invalid MALEC_JOBS: 'four'");
+}
+
+TEST(Experiment, ParseU64Strict) {
+  EXPECT_EQ(parseU64Strict("0", "x"), 0u);
+  EXPECT_EQ(parseU64Strict("42", "x"), 42u);
+  EXPECT_EQ(parseU64Strict("18446744073709551615", "x"),
+            18446744073709551615ull);
+}
+
+TEST(ExperimentDeathTest, ParseU64StrictRejectsGarbage) {
+  // The strtoull failure modes the old flag parsing accepted silently.
+  EXPECT_DEATH((void)parseU64Strict("10abc", "--instr"),
+               "invalid --instr: '10abc'");
+  EXPECT_DEATH((void)parseU64Strict("abc", "--seed"),
+               "invalid --seed: 'abc'");
+  EXPECT_DEATH((void)parseU64Strict("", "--jobs"), "invalid --jobs");
+  EXPECT_DEATH((void)parseU64Strict(" 7", "--jobs"), "invalid --jobs");
+  EXPECT_DEATH((void)parseU64Strict("+7", "--jobs"), "invalid --jobs");
+  // One past uint64 max must overflow-abort, not wrap.
+  EXPECT_DEATH((void)parseU64Strict("18446744073709551616", "n"),
+               "invalid n");
 }
 
 TEST(Experiment, ParallelMatchesSerialBitForBit) {
@@ -123,8 +179,8 @@ TEST(Experiment, RunManyParallelKeepsInputOrder) {
 TEST(Experiment, ParallelJobsEnvOverride) {
   ::setenv("MALEC_JOBS", "7", 1);
   EXPECT_EQ(parallelJobs(), 7u);
-  ::setenv("MALEC_JOBS", "notanumber", 1);
-  EXPECT_EQ(parallelJobs(3), 3u);
+  ::setenv("MALEC_JOBS", "0", 1);
+  EXPECT_EQ(parallelJobs(3), 3u);  // 0 = "use the default"
   ::unsetenv("MALEC_JOBS");
   EXPECT_GE(parallelJobs(), 1u);
   EXPECT_EQ(parallelJobs(2), 2u);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -41,7 +42,7 @@ TEST(SpecRegistry, EnumeratesAtLeastTenSuites) {
         "coverage_ablation", "merge_contribution", "arbitration_window",
         "way_encoding", "sensitivity_latency", "sensitivity_carry",
         "sensitivity_buses", "sensitivity_waydet", "sensitivity_adaptive",
-        "sensitivity_scaling", "energy_account"})
+        "sensitivity_scaling", "trace_replay", "energy_account"})
     EXPECT_TRUE(reg.has(name)) << name;
   // Every spec carries a --list description.
   for (const auto& name : reg.names())
@@ -51,6 +52,20 @@ TEST(SpecRegistry, EnumeratesAtLeastTenSuites) {
 TEST(SpecRegistryDeathTest, UnknownSpecMessage) {
   SuiteOptions opts;
   EXPECT_DEATH(runSuiteByName("nope", opts, {}), "unknown spec 'nope'");
+}
+
+// This binary never registers trace workloads, so the trace_replay suite's
+// "trace:*" selector must abort with the MALEC_TRACE_DIR pointer instead
+// of emitting an empty exit-0 table.
+TEST(SpecRegistryDeathTest, TraceReplayWithoutTracesExplains) {
+  SuiteOptions opts;
+  opts.progress = false;
+  EXPECT_DEATH(
+      {
+        ::unsetenv("MALEC_TRACE_DIR");
+        runSuiteByName("trace_replay", opts, {});
+      },
+      "none are registered.*MALEC_TRACE_DIR");
 }
 
 // The port's keystone: the fig4a spec (one runMatrixParallel batch through

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "trace/synth_generator.h"
@@ -60,6 +61,7 @@ TEST(TraceIo, ReaderResetReplays) {
     InstrRecord r;
     r.kind = InstrKind::kLoad;
     r.vaddr = 42;
+    r.size = 8;  // loads must carry a valid access size since v2
     w.write(r);
     w.close();
   }
@@ -114,6 +116,305 @@ TEST(TraceIo, GeneratorCaptureReplayEquivalence) {
   }
   EXPECT_FALSE(rd.next(b));
   std::remove(path.c_str());
+}
+
+// --- v2 format, validation and failure-mode regressions ---------------------
+
+namespace detail {
+
+constexpr std::size_t kHeaderBytesV2 = 52;
+constexpr std::size_t kRecordBytes = 26;
+
+/// Write `n` deterministic load records to `path`; returns the records.
+std::vector<InstrRecord> writeTrace(const std::string& path, std::uint64_t n) {
+  std::vector<InstrRecord> recs;
+  TraceWriter w(path);
+  EXPECT_TRUE(w.ok());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    InstrRecord r;
+    r.seq = i;
+    r.kind = static_cast<InstrKind>(i % 3);
+    r.vaddr = 0x4000 + i * 16;
+    r.size = r.isMem() ? 8 : 0;
+    recs.push_back(r);
+    w.write(r);
+  }
+  EXPECT_TRUE(w.close());
+  return recs;
+}
+
+/// Overwrite one byte at `offset`.
+void corruptByte(const std::string& path, long offset, std::uint8_t value) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  std::fputc(value, f);
+  std::fclose(f);
+}
+
+void truncateTo(const std::string& path, long size) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<char> bytes(static_cast<std::size_t>(size));
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace detail
+
+TEST(TraceIoV2, WriterProducesV2WithLayout) {
+  const std::string path = tmpPath("v2layout.mtrace");
+  AddressLayout::Params params;
+  params.page_bytes = 16 * 1024;  // non-default, must round-trip
+  {
+    TraceWriter w(path, AddressLayout(params));
+    InstrRecord r;
+    r.kind = InstrKind::kLoad;
+    r.vaddr = 64;
+    r.size = 8;
+    w.write(r);
+    ASSERT_TRUE(w.close());
+  }
+  TraceReader rd(path);
+  ASSERT_TRUE(rd.ok()) << rd.error();
+  EXPECT_EQ(rd.version(), 2u);
+  ASSERT_TRUE(rd.hasLayout());
+  EXPECT_EQ(rd.layoutParams().page_bytes, 16u * 1024);
+  EXPECT_EQ(rd.layoutParams().addr_bits, params.addr_bits);
+  EXPECT_EQ(rd.layoutParams().l1_banks, params.l1_banks);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoV2, TruncatedFileIsHardErrorAtOpen) {
+  const std::string path = tmpPath("trunc.mtrace");
+  detail::writeTrace(path, 50);
+  // Chop off the tail of the last record: the header still promises 50.
+  detail::truncateTo(path, static_cast<long>(detail::kHeaderBytesV2 +
+                                             49 * detail::kRecordBytes + 7));
+  TraceReader rd(path);
+  EXPECT_FALSE(rd.ok());
+  EXPECT_NE(rd.error().find("truncated"), std::string::npos) << rd.error();
+  InstrRecord r;
+  EXPECT_FALSE(rd.next(r));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoV2, TrailingGarbageIsHardErrorAtOpen) {
+  const std::string path = tmpPath("tail.mtrace");
+  detail::writeTrace(path, 10);
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  std::fputc('x', f);
+  std::fclose(f);
+  TraceReader rd(path);
+  EXPECT_FALSE(rd.ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoV2, BadKindByteRejectedAtRead) {
+  const std::string path = tmpPath("badkind.mtrace");
+  detail::writeTrace(path, 20);
+  // Record 7's kind byte -> 9 (no such InstrKind).
+  detail::corruptByte(path,
+                      static_cast<long>(detail::kHeaderBytesV2 +
+                                        7 * detail::kRecordBytes + 16),
+                      9);
+  TraceReader rd(path);
+  ASSERT_TRUE(rd.ok());
+  InstrRecord r;
+  std::size_t served = 0;
+  while (rd.next(r)) ++served;
+  EXPECT_EQ(served, 7u);
+  EXPECT_FALSE(rd.ok());
+  EXPECT_NE(rd.error().find("invalid instruction kind"), std::string::npos)
+      << rd.error();
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoV2, BadSizeByteRejectedAtRead) {
+  const std::string path = tmpPath("badsize.mtrace");
+  detail::writeTrace(path, 20);
+  // Record 1 is a load (kind = 1 % 3); zero its size byte.
+  detail::corruptByte(path,
+                      static_cast<long>(detail::kHeaderBytesV2 +
+                                        1 * detail::kRecordBytes + 17),
+                      0);
+  TraceReader rd(path);
+  ASSERT_TRUE(rd.ok());
+  InstrRecord r;
+  std::size_t served = 0;
+  while (rd.next(r)) ++served;
+  EXPECT_EQ(served, 1u);
+  EXPECT_FALSE(rd.ok());
+  EXPECT_NE(rd.error().find("invalid access size"), std::string::npos)
+      << rd.error();
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoV2, PayloadCorruptionCaughtByChecksum) {
+  const std::string path = tmpPath("checksum.mtrace");
+  detail::writeTrace(path, 30);
+  // Flip an address byte: every record still decodes as valid, only the
+  // checksum can notice.
+  detail::corruptByte(path,
+                      static_cast<long>(detail::kHeaderBytesV2 +
+                                        12 * detail::kRecordBytes + 9),
+                      0xAB);
+  TraceReader rd(path);
+  ASSERT_TRUE(rd.ok());
+  InstrRecord r;
+  while (rd.next(r)) {
+  }
+  EXPECT_FALSE(rd.ok());
+  EXPECT_NE(rd.error().find("checksum"), std::string::npos) << rd.error();
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoV2, FinishChecksumVerifiesBeyondACap) {
+  const std::string path = tmpPath("cap_corrupt.mtrace");
+  detail::writeTrace(path, 40);
+  // Corrupt an address byte deep in the file — far beyond the few records
+  // a capped replay serves, so only finishChecksum() can catch it.
+  detail::corruptByte(path,
+                      static_cast<long>(detail::kHeaderBytesV2 +
+                                        35 * detail::kRecordBytes + 9),
+                      0xEE);
+  TraceReader rd(path);
+  ASSERT_TRUE(rd.ok());
+  InstrRecord r;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(rd.next(r));
+  EXPECT_FALSE(rd.finishChecksum());
+  EXPECT_FALSE(rd.ok());
+  EXPECT_NE(rd.error().find("checksum"), std::string::npos) << rd.error();
+  rd.reset();  // sticky here too
+  EXPECT_FALSE(rd.next(r));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoV2, FinishChecksumCleanLeavesStreamReplayable) {
+  const std::string path = tmpPath("cap_clean.mtrace");
+  detail::writeTrace(path, 40);
+  TraceReader rd(path);
+  InstrRecord r;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(rd.next(r));
+  EXPECT_TRUE(rd.finishChecksum());
+  EXPECT_TRUE(rd.ok());
+  EXPECT_FALSE(rd.next(r));  // finish leaves the reader at end-of-stream
+  rd.reset();
+  EXPECT_EQ(drain(rd).size(), 40u);
+  EXPECT_TRUE(rd.ok());
+  EXPECT_TRUE(rd.finishChecksum());  // fully-drained stream: no-op
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoV2, FailureIsStickyAcrossReset) {
+  const std::string path = tmpPath("sticky.mtrace");
+  detail::writeTrace(path, 5);
+  detail::corruptByte(
+      path, static_cast<long>(detail::kHeaderBytesV2 + 16), 9);  // kind
+  TraceReader rd(path);
+  InstrRecord r;
+  EXPECT_FALSE(rd.next(r));
+  EXPECT_FALSE(rd.ok());
+  rd.reset();  // must NOT resurrect the stream
+  EXPECT_FALSE(rd.ok());
+  EXPECT_FALSE(rd.next(r));
+  EXPECT_FALSE(rd.error().empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoV2, EmptyTraceIsCleanEof) {
+  const std::string path = tmpPath("empty.mtrace");
+  {
+    TraceWriter w(path);
+    ASSERT_TRUE(w.close());
+  }
+  TraceReader rd(path);
+  ASSERT_TRUE(rd.ok()) << rd.error();
+  EXPECT_EQ(rd.total(), 0u);
+  InstrRecord r;
+  EXPECT_FALSE(rd.next(r));
+  EXPECT_TRUE(rd.ok());  // end of stream, not an error
+  EXPECT_TRUE(rd.error().empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoV1, ReadCompat) {
+  // Hand-craft a v1 file (16-byte header, no checksum, no layout) the way
+  // the pre-v2 writer laid it out; the reader must still serve it.
+  const std::string path = tmpPath("v1.mtrace");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  auto put32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) std::fputc((v >> (8 * i)) & 0xFF, f);
+  };
+  auto put64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      std::fputc(static_cast<int>((v >> (8 * i)) & 0xFF), f);
+  };
+  put32(kTraceMagic);
+  put32(kTraceVersionV1);
+  put64(3);  // record count
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    put64(i);              // seq
+    put64(0x1000 + i * 8); // vaddr
+    std::fputc(1, f);      // kind = load
+    std::fputc(8, f);      // size
+    put32(0);
+    put32(0);
+  }
+  std::fclose(f);
+
+  TraceReader rd(path);
+  ASSERT_TRUE(rd.ok()) << rd.error();
+  EXPECT_EQ(rd.version(), 1u);
+  EXPECT_FALSE(rd.hasLayout());
+  EXPECT_EQ(rd.total(), 3u);
+  InstrRecord r;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(rd.next(r));
+    EXPECT_EQ(r.seq, i);
+    EXPECT_EQ(r.vaddr, 0x1000 + i * 8);
+    EXPECT_TRUE(r.isLoad());
+  }
+  EXPECT_FALSE(rd.next(r));
+  EXPECT_TRUE(rd.ok());
+  rd.reset();  // clean-EOF reset still replays
+  ASSERT_TRUE(rd.next(r));
+  EXPECT_EQ(r.seq, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoV1, TruncationCaughtAtOpenToo) {
+  const std::string path = tmpPath("v1trunc.mtrace");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  auto put32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) std::fputc((v >> (8 * i)) & 0xFF, f);
+  };
+  put32(kTraceMagic);
+  put32(kTraceVersionV1);
+  for (int i = 0; i < 8; ++i) std::fputc(i == 0 ? 7 : 0, f);  // count = 7
+  // ... but zero records follow.
+  std::fclose(f);
+  TraceReader rd(path);
+  EXPECT_FALSE(rd.ok());
+  EXPECT_NE(rd.error().find("truncated"), std::string::npos) << rd.error();
+  std::remove(path.c_str());
+}
+
+TEST(LimitedTraceSource, CapsAndResets) {
+  std::vector<InstrRecord> v(5);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i].vaddr = i + 1;
+  LimitedTraceSource src(std::make_unique<VectorTraceSource>(v), 3);
+  EXPECT_EQ(drain(src).size(), 3u);
+  src.reset();
+  InstrRecord r;
+  ASSERT_TRUE(src.next(r));
+  EXPECT_EQ(r.vaddr, 1u);
+  EXPECT_EQ(drain(src).size(), 2u);
 }
 
 TEST(VectorTraceSource, ServesAndResets) {

@@ -1,0 +1,315 @@
+// Trace-backed workloads as first-class experiments: capture -> replay
+// bit-identity against the direct synthetic run, trace workload naming and
+// resolution, the MALEC_TRACE_DIR-style registry scan, and the trace_replay
+// suite through the registry/suite/sink stack.
+//
+// NOTE: RegistryScan mutates the process-global workloadRegistry() (that is
+// the point of the scan); tests in this file that enumerate trace workloads
+// are written to tolerate any extras it adds.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/presets.h"
+#include "sim/registry.h"
+#include "sim/suite.h"
+#include "trace/trace_io.h"
+#include "trace/workloads.h"
+
+namespace malec::sim {
+namespace {
+
+std::string tmpPath(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+RunConfig syntheticConfig(const char* bench, core::InterfaceConfig cfg,
+                          std::uint64_t instrs, std::uint64_t seed = 1) {
+  RunConfig rc;
+  rc.workload = trace::workloadByName(bench);
+  rc.interface_cfg = std::move(cfg);
+  rc.system = defaultSystem();
+  rc.instructions = instrs;
+  rc.seed = seed;
+  return rc;
+}
+
+void expectBitIdentical(const RunOutput& a, const RunOutput& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.ipc, b.ipc);
+  EXPECT_EQ(a.dynamic_pj, b.dynamic_pj);
+  EXPECT_EQ(a.leakage_pj, b.leakage_pj);
+  EXPECT_EQ(a.total_pj, b.total_pj);
+  EXPECT_EQ(a.way_coverage, b.way_coverage);
+  EXPECT_EQ(a.l1_load_miss_rate, b.l1_load_miss_rate);
+  EXPECT_EQ(a.merged_load_fraction, b.merged_load_fraction);
+  EXPECT_EQ(a.ifc.load_l1_accesses, b.ifc.load_l1_accesses);
+  EXPECT_EQ(a.ifc.load_l1_misses, b.ifc.load_l1_misses);
+  EXPECT_EQ(a.ifc.loads_submitted, b.ifc.loads_submitted);
+  EXPECT_EQ(a.ifc.merged_loads, b.ifc.merged_loads);
+  EXPECT_EQ(a.core.loads, b.core.loads);
+  EXPECT_EQ(a.core.stores, b.core.stores);
+  // The full energy report, every event counter and pJ cell.
+  EXPECT_EQ(a.energy_detail.toTable(), b.energy_detail.toTable());
+}
+
+TEST(TraceReplay, CaptureReplayBitIdenticalToSyntheticRun) {
+  const std::string path = tmpPath("replay_gcc.mtrace");
+  const RunConfig rc = syntheticConfig("gcc", presetMalec(), 8'000);
+  const RunOutput direct = runOne(rc);
+
+  EXPECT_EQ(captureTrace(rc, path), 8'000u);
+  RunConfig replay = rc;
+  replay.workload = traceWorkload(path);
+  const RunOutput replayed = runOne(replay);
+
+  EXPECT_EQ(replayed.benchmark, "trace:replay_gcc");
+  EXPECT_EQ(replayed.config, direct.config);
+  expectBitIdentical(direct, replayed);
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplay, BitIdenticalAcrossTableIConfigs) {
+  const std::string path = tmpPath("replay_djpeg.mtrace");
+  RunConfig base = syntheticConfig("djpeg", presetMalec(), 5'000, 7);
+  captureTrace(base, path);
+  for (const auto& cfg :
+       {presetBase1ldst(), presetBase2ld1st(), presetMalec()}) {
+    RunConfig synth = base;
+    synth.interface_cfg = cfg;
+    RunConfig replay = synth;
+    replay.workload = traceWorkload(path);
+    expectBitIdentical(runOne(synth), runOne(replay));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplay, InstructionBudgetCapsReplay) {
+  const std::string path = tmpPath("replay_cap.mtrace");
+  RunConfig rc = syntheticConfig("eon", presetMalec(), 4'000);
+  captureTrace(rc, path);
+  RunConfig replay = rc;
+  replay.workload = traceWorkload(path);
+  replay.instructions = 1'500;  // cap below the capture length
+  EXPECT_EQ(runOne(replay).instructions, 1'500u);
+  replay.instructions = 0;  // 0 = the whole file
+  EXPECT_EQ(runOne(replay).instructions, 4'000u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplay, ReplayRunsThroughParallelSweeps) {
+  const std::string path = tmpPath("replay_par.mtrace");
+  RunConfig rc = syntheticConfig("gap", presetMalec(), 3'000);
+  captureTrace(rc, path);
+  RunConfig replay = rc;
+  replay.workload = traceWorkload(path);
+  // A mixed batch: synthetic and replayed runs side by side in one pool.
+  const auto outs = runManyParallel({rc, replay, rc, replay}, 4);
+  ASSERT_EQ(outs.size(), 4u);
+  expectBitIdentical(outs[0], outs[1]);
+  expectBitIdentical(outs[2], outs[3]);
+  EXPECT_EQ(outs[1].benchmark, "trace:replay_par");
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplay, TraceWorkloadNamingAndResolution) {
+  const std::string path = tmpPath("naming.mtrace");
+  captureTrace(syntheticConfig("mcf", presetMalec(), 100), path);
+  const auto wl = traceWorkload(path);
+  EXPECT_EQ(wl.name, "trace:naming");
+  EXPECT_EQ(wl.suite, "trace");
+  EXPECT_TRUE(wl.isTrace());
+  EXPECT_EQ(wl.trace_path, path);
+
+  // The "trace:<path>" scheme resolves unregistered paths on the fly,
+  // keeping the supplied name so same-stem paths stay distinguishable...
+  const auto resolved = resolveWorkload("trace:" + path);
+  EXPECT_EQ(resolved.trace_path, path);
+  EXPECT_EQ(resolved.name, "trace:" + path);
+  // ...while registry names keep resolving to their registered profiles.
+  EXPECT_EQ(resolveWorkload("gcc").name, "gcc");
+  EXPECT_FALSE(resolveWorkload("gcc").isTrace());
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplayDeathTest, MissingTraceFileAbortsWithMessage) {
+  EXPECT_DEATH((void)traceWorkload("/nonexistent/x.mtrace"),
+               "cannot open '/nonexistent/x.mtrace'");
+}
+
+TEST(TraceReplayDeathTest, TruncatedTraceAbortsBeforeSimulating) {
+  const std::string path = tmpPath("death_trunc.mtrace");
+  captureTrace(syntheticConfig("gcc", presetMalec(), 64), path);
+  // Re-write the file one byte short: open-time size validation must trip.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::vector<char> bytes(52 + 64 * 26 - 1);
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  EXPECT_DEATH((void)traceWorkload(path), "truncated");
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplayDeathTest, CappedReplayStillVerifiesChecksum) {
+  const std::string path = tmpPath("death_cap.mtrace");
+  captureTrace(syntheticConfig("gcc", presetMalec(), 2'000), path);
+  // Corrupt a record far past the replay cap: the capped run never decodes
+  // it, so only the post-run remainder checksum can refuse the file.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  std::fseek(f, 52 + 1'900 * 26 + 9, SEEK_SET);
+  const int orig = std::fgetc(f);
+  std::fseek(f, 52 + 1'900 * 26 + 9, SEEK_SET);
+  std::fputc(orig ^ 0xFF, f);  // guaranteed to differ
+  std::fclose(f);
+  RunConfig replay = syntheticConfig("gcc", presetMalec(), 2'000);
+  replay.workload = traceWorkload(path);
+  replay.instructions = 100;
+  EXPECT_DEATH((void)runOne(replay), "checksum mismatch");
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplayDeathTest, LayoutMismatchAborts) {
+  const std::string path = tmpPath("death_layout.mtrace");
+  RunConfig rc = syntheticConfig("gcc", presetMalec(), 64);
+  AddressLayout::Params params;
+  params.page_bytes = 16 * 1024;
+  rc.system.layout = AddressLayout(params);
+  captureTrace(rc, path);
+  RunConfig replay = syntheticConfig("gcc", presetMalec(), 64);
+  replay.workload = traceWorkload(path);  // default 4K-page system
+  EXPECT_DEATH((void)runOne(replay), "different AddressLayout");
+  std::remove(path.c_str());
+}
+
+// Registers temp-dir captures into the global registry — keep after the
+// tests above, which assume nothing about extra registry content, and
+// before SuiteThroughSinks, which tolerates it.
+TEST(TraceReplay, RegistryScanPicksUpTraceDir) {
+  const std::string dir = std::string(::testing::TempDir()) + "scan_traces";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+  captureTrace(syntheticConfig("gcc", presetMalec(), 50),
+               dir + "/b_scan.mtrace");
+  captureTrace(syntheticConfig("eon", presetMalec(), 50),
+               dir + "/a_scan.mtrace");
+  // A non-trace file that must be ignored by the *.mtrace filter.
+  std::FILE* f = std::fopen((dir + "/notes.txt").c_str(), "w");
+  std::fputs("not a trace", f);
+  std::fclose(f);
+
+  const std::size_t before = workloadRegistry().size();
+  registerTraceWorkloadsFrom(dir);
+  ASSERT_EQ(workloadRegistry().size(), before + 2);
+  // Sorted by filename: a_scan registers before b_scan.
+  EXPECT_EQ(workloadRegistry().names()[before], "trace:a_scan");
+  EXPECT_EQ(workloadRegistry().names()[before + 1], "trace:b_scan");
+  EXPECT_TRUE(workloadRegistry().get("trace:a_scan").isTrace());
+}
+
+/// Test sink capturing rendered tables (mirrors test_suite.cpp's).
+struct CaptureSink : ResultSink {
+  std::vector<std::string> rendered;
+  std::vector<std::string> names;
+  std::string notes;
+  void table(const Table& t, const std::string& name,
+             int precision) override {
+    rendered.push_back(t.render(precision));
+    names.push_back(name);
+  }
+  void note(const std::string& text) override { notes += text; }
+};
+
+// The acceptance check: a captured trace through the registry/suite/sink
+// stack produces the exact table a synthetic sweep of the same benchmark
+// produces — every cell bit-identical, only the row label differs.
+TEST(TraceReplay, SuiteThroughSinksMatchesSyntheticRunBitForBit) {
+  const std::string path = tmpPath("suite_gcc.mtrace");
+  const std::uint64_t n = 4'000;
+  captureTrace(syntheticConfig("gcc", presetMalec(), n), path);
+
+  ExperimentSpec spec = specRegistry().get("trace_replay");
+  spec.workloads = {"trace:" + path};  // explicit path, registry-independent
+  SuiteOptions opts;
+  opts.instructions = n;
+  opts.progress = false;
+  CaptureSink sink;
+  runSuite(spec, opts, {&sink});
+  ASSERT_EQ(sink.names.size(), 3u);
+  EXPECT_EQ(sink.names[0], "trace_replay_time");
+  EXPECT_EQ(sink.names[1], "trace_replay_energy");
+  EXPECT_EQ(sink.names[2], "trace_replay_ipc");
+  EXPECT_NE(sink.notes.find("Simpoint"), std::string::npos);
+
+  // Expected tables, built from direct synthetic runs of the same grid.
+  const std::vector<core::InterfaceConfig> cfgs = {
+      presetBase1ldst(), presetBase2ld1st(), presetMalec()};
+  const auto outs = runConfigs(trace::workloadByName("gcc"), cfgs, n, 1);
+  std::vector<std::string> cols;
+  for (const auto& c : cfgs) cols.push_back(c.name);
+  const std::string label = "trace:" + path;  // ad-hoc names keep the path
+
+  Table tt("Trace replay — normalized execution time [%] (Base1ldst = 100)",
+           cols);
+  std::vector<double> row;
+  for (const auto& o : outs)
+    row.push_back(100.0 * static_cast<double>(o.cycles) /
+                  static_cast<double>(outs[0].cycles));
+  tt.addRow(label, row);
+  tt.addOverallGeomeanRow("geo.mean");
+  EXPECT_EQ(sink.rendered[0], tt.render(1));
+
+  Table te("Trace replay — normalized total energy [%] (Base1ldst = 100)",
+           cols);
+  row.clear();
+  for (const auto& o : outs)
+    row.push_back(100.0 * o.total_pj / outs[0].total_pj);
+  te.addRow(label, row);
+  te.addOverallGeomeanRow("geo.mean");
+  EXPECT_EQ(sink.rendered[1], te.render(1));
+
+  Table ti("Trace replay — IPC", cols);
+  row.clear();
+  for (const auto& o : outs) row.push_back(o.ipc);
+  ti.addRow(label, row);
+  EXPECT_EQ(sink.rendered[2], ti.render(3));
+  std::remove(path.c_str());
+}
+
+// RegistryScanPicksUpTraceDir put trace:a_scan / trace:b_scan into the
+// global registry; a spec with an EMPTY workload list ("the paper set")
+// must not pick them up — otherwise MALEC_TRACE_DIR silently adds rows
+// and shifts the geomeans of every figure reproduction.
+TEST(TraceReplayDeathTest, RegisteredTracesStayOutOfPaperSuites) {
+  ExperimentSpec spec = specRegistry().get("fig4a");
+  ASSERT_TRUE(spec.workloads.empty());
+  SuiteOptions opts;
+  opts.instructions = 100;
+  opts.progress = false;
+  // The filter matches the registered trace workloads and nothing else; if
+  // they leaked into the empty-list expansion this would happily run.
+  opts.workload_filter = "a_scan";
+  EXPECT_DEATH(runSuite(spec, opts, {}), "matches no workload");
+}
+
+TEST(TraceReplay, TraceStarExpandsToRegisteredTraces) {
+  // RegistryScanPicksUpTraceDir registered trace:a_scan / trace:b_scan.
+  ExperimentSpec spec = specRegistry().get("trace_replay");
+  SuiteOptions opts;
+  opts.instructions = 200;
+  opts.progress = false;
+  opts.workload_filter = "a_scan";
+  CaptureSink sink;
+  runSuite(spec, opts, {&sink});
+  ASSERT_EQ(sink.rendered.size(), 3u);
+  EXPECT_NE(sink.rendered[0].find("trace:a_scan"), std::string::npos);
+  EXPECT_EQ(sink.rendered[0].find("trace:b_scan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace malec::sim
