@@ -15,7 +15,9 @@
 // and MALEC_JOBS keep working unless --instr / --jobs override them.
 // Setting MALEC_TRACE_DIR registers every *.mtrace capture in it as a
 // "trace:<stem>" workload — `--suite trace_replay` runs them through the
-// Table-I interfaces (capture files with `trace_tools gen`).
+// Table-I interfaces (capture files with `trace_tools gen`), and
+// `--suite phase_sampled` compares sampled vs full replay for captures
+// with a `.mplan` sidecar (write plans with `trace_tools phases`).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -121,25 +123,62 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (all) {
-    // --all means "everything runnable": suites that want trace workloads
-    // ("trace:*") are skipped with a note when none are registered — the
-    // pre-trace_replay --all behaviour must not turn into a mid-run abort
-    // just because MALEC_TRACE_DIR is unset. An explicit --suite
-    // trace_replay still fails loudly with the full hint.
-    bool have_traces = false;
-    for (const auto& wl : sim::workloadRegistry().names())
-      have_traces = have_traces || wl.rfind("trace:", 0) == 0;
+    // --all means "everything runnable": a suite whose preconditions this
+    // sweep cannot meet is skipped with a note, never a mid-run abort.
+    // Each trace-dependent spec declares its precondition via all_skip
+    // (no captures registered / no .mplan sidecars); an explicit --suite
+    // <name> bypasses the gates and fails loudly inside the suite.
     for (const auto& name : sim::specRegistry().names()) {
       const sim::ExperimentSpec& spec = sim::specRegistry().get(name);
-      const bool wants_traces =
-          std::find(spec.workloads.begin(), spec.workloads.end(),
-                    "trace:*") != spec.workloads.end();
-      if (wants_traces && !have_traces) {
+      if (spec.whole_stream_only && opts.instructions > 0) {
         std::fprintf(stderr,
-                     "skipping suite '%s' (no trace workloads registered — "
-                     "set MALEC_TRACE_DIR to include it)\n",
+                     "skipping suite '%s' (replays whole traces/plans — "
+                     "--instr does not compose with it)\n",
                      name.c_str());
         continue;
+      }
+      if (spec.all_skip) {
+        const std::string reason = spec.all_skip(opts);
+        if (!reason.empty()) {
+          std::fprintf(stderr, "skipping suite '%s' (%s)\n", name.c_str(),
+                       reason.c_str());
+          continue;
+        }
+      } else if (std::find(spec.workloads.begin(), spec.workloads.end(),
+                           "trace:*") != spec.workloads.end()) {
+        // Fallback for a future trace:*-wanting spec registered without
+        // its own all_skip gate: the trace:* expansion aborts when no
+        // captures are registered, and --all must never abort mid-sweep.
+        bool have_traces = false;
+        for (const auto& wl : sim::workloadRegistry().names())
+          have_traces = have_traces || wl.rfind("trace:", 0) == 0;
+        if (!have_traces) {
+          std::fprintf(stderr,
+                       "skipping suite '%s' (no trace workloads registered "
+                       "— set MALEC_TRACE_DIR to include it)\n",
+                       name.c_str());
+          continue;
+        }
+      }
+      // Generic --filter gate, after the per-spec gates: their
+      // diagnostics (MALEC_TRACE_DIR / trace_tools hints) are more
+      // actionable than a filter mismatch.
+      // A suite none of whose workloads match the filter
+      // would abort inside runSuite's empty-filter-match check — under
+      // --all that suite is simply not what the filter was aimed at.
+      if (!opts.workload_filter.empty()) {
+        const auto names = sim::suiteWorkloadNames(spec);
+        const bool any = std::any_of(
+            names.begin(), names.end(), [&](const std::string& n) {
+              return n.find(opts.workload_filter) != std::string::npos;
+            });
+        if (!any) {
+          std::fprintf(stderr,
+                       "skipping suite '%s' (workload filter '%s' matches "
+                       "none of its workloads)\n",
+                       name.c_str(), opts.workload_filter.c_str());
+          continue;
+        }
       }
       suites.push_back(name);
     }

@@ -11,6 +11,13 @@
 //       the equivalent direct synthetic run, same report — `diff` its
 //       output against `run` on a capture of the same benchmark to verify
 //       bit-identical replay (CI does exactly this)
+//   trace_tools phases <file> [--interval N] [--phases K] [--warmup W]
+//                      [--seed S] [--out PATH]
+//       profile the trace into BBV-style intervals, cluster them into
+//       phases (deterministic k-means) and write a sample plan — by
+//       default the `.mplan` sidecar next to the trace, which `run
+//       --sampled` and `malec_bench --suite phase_sampled` pick up
+//       (a plan written with --out replays via `run --sampled --plan`)
 //
 // Captured traces are the bridge to real-simulator integration: any tool
 // that writes the (documented) record format in trace_io.h can drive the
@@ -20,9 +27,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "phase/planner.h"
+#include "phase/sample_plan.h"
 #include "sim/presets.h"
 #include "sim/registry.h"
 #include "sim/suite.h"
@@ -37,13 +47,15 @@ struct RunFlags {
   std::string config = "MALEC";
   std::uint64_t instructions = 0;  ///< 0 = whole trace / runner default
   std::uint64_t seed = 1;
+  bool sampled = false;  ///< replay through a sample plan
+  std::string plan;      ///< explicit plan path ("" = the .mplan sidecar)
 };
 
-/// Parse trailing [--config NAME] [--instr N] [--seed S] flags (a bare
-/// config name is still accepted where the old CLI took one positionally).
-/// `gen` passes allow_run_flags = false: it only takes --seed, and must
-/// reject the rest instead of silently ignoring a --instr/--config the
-/// user believes shaped the capture.
+/// Parse trailing [--config NAME] [--instr N] [--seed S] [--sampled
+/// [--plan PATH]] flags (a bare config name is still accepted where the
+/// old CLI took one positionally). `gen` passes allow_run_flags = false:
+/// it only takes --seed, and must reject the rest instead of silently
+/// ignoring a --instr/--config the user believes shaped the capture.
 bool parseRunFlags(int argc, char** argv, int first, RunFlags& out,
                    bool allow_run_flags = true) {
   for (int i = first; i < argc; ++i) {
@@ -58,6 +70,8 @@ bool parseRunFlags(int argc, char** argv, int first, RunFlags& out,
     if (allow_run_flags && arg == "--config") out.config = value();
     else if (allow_run_flags && arg == "--instr")
       out.instructions = sim::parseU64Strict(value(), "--instr");
+    else if (allow_run_flags && arg == "--sampled") out.sampled = true;
+    else if (allow_run_flags && arg == "--plan") out.plan = value();
     else if (arg == "--seed") out.seed = sim::parseU64Strict(value(), "--seed");
     else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
@@ -181,15 +195,112 @@ int cmdAnalyze(const std::string& path) {
 int cmdRun(const std::string& path, int argc, char** argv, int first) {
   RunFlags flags;
   if (!parseRunFlags(argc, argv, first, flags)) return 2;
+  if (!flags.plan.empty() && !flags.sampled) {
+    std::fprintf(stderr, "--plan only makes sense with --sampled\n");
+    return 2;
+  }
+  if (flags.sampled) {
+    // A sample plan and an instruction cap do not compose — the plan
+    // decides what is simulated, so --instr (and MALEC_INSTR) are rejected
+    // here instead of silently shaping nothing.
+    if (flags.instructions != 0) {
+      std::fprintf(stderr, "--sampled does not take --instr\n");
+      return 2;
+    }
+    if (sim::instructionBudget(0) != 0) {
+      std::fprintf(stderr,
+                   "--sampled does not honour MALEC_INSTR — unset it (the "
+                   "sample plan decides what is simulated)\n");
+      return 2;
+    }
+    return runWorkload(
+        sim::sampledWorkload(sim::traceWorkload(path), flags.plan), flags);
+  }
   // MALEC_INSTR caps replays exactly like synthetic runs (so `run` and
   // `synth` stay diffable under it); 0 still means the whole file.
   if (flags.instructions == 0) flags.instructions = sim::instructionBudget(0);
   return runWorkload(sim::traceWorkload(path), flags);
 }
 
+int cmdPhases(const std::string& path, int argc, char** argv, int first) {
+  phase::PlanParams params;
+  std::string out_path = phase::planSidecarPath(path);
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--interval")
+      params.interval_size = sim::parseU64Strict(value(), "--interval");
+    else if (arg == "--phases") {
+      const std::uint64_t k = sim::parseU64Strict(value(), "--phases");
+      // Range-check before the narrowing cast, like --jobs/MALEC_JOBS: a
+      // value past u32 must not silently truncate to a coarser plan.
+      if (k > std::numeric_limits<std::uint32_t>::max()) {
+        std::fprintf(stderr, "--phases %llu exceeds the supported range\n",
+                     static_cast<unsigned long long>(k));
+        return 2;
+      }
+      params.phases = static_cast<std::uint32_t>(k);
+    } else if (arg == "--warmup")
+      params.warmup_instructions = sim::parseU64Strict(value(), "--warmup");
+    else if (arg == "--seed")
+      params.seed = sim::parseU64Strict(value(), "--seed");
+    else if (arg == "--out")
+      out_path = value();
+    else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (params.interval_size == 0 || params.phases == 0) {
+    std::fprintf(stderr, "--interval and --phases must be > 0\n");
+    return 2;
+  }
+
+  phase::PlanSummary summary;
+  const phase::SamplePlan plan =
+      phase::buildSamplePlan(path, params, &summary);
+  std::string err;
+  if (!phase::saveSamplePlan(plan, out_path, err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  std::printf("%llu records -> %llu intervals of %llu -> %u phases "
+              "(k-means: %u iterations)\n",
+              static_cast<unsigned long long>(plan.trace_records),
+              static_cast<unsigned long long>(summary.intervals),
+              static_cast<unsigned long long>(plan.interval_size),
+              summary.clusters, summary.kmeans_iterations);
+  for (std::size_t i = 0; i < plan.picks.size(); ++i)
+    std::printf("  phase %zu: interval %llu, weight %5.1f%%\n", i,
+                static_cast<unsigned long long>(plan.picks[i].interval_index),
+                100.0 * plan.weight(i));
+  std::printf(
+      "sampled replay simulates %llu of %llu instructions (%.1f%%, "
+      "warmup %llu per pick)\n",
+      static_cast<unsigned long long>(plan.simulatedInstructions()),
+      static_cast<unsigned long long>(plan.trace_records),
+      100.0 * static_cast<double>(plan.simulatedInstructions()) /
+          static_cast<double>(plan.trace_records),
+      static_cast<unsigned long long>(plan.warmup_instructions));
+  std::printf("wrote sample plan to %s\n", out_path.c_str());
+  return 0;
+}
+
 int cmdSynth(const std::string& bench, int argc, char** argv, int first) {
   RunFlags flags;
   if (!parseRunFlags(argc, argv, first, flags)) return 2;
+  // Synthetic runs have no plan to sample — reject rather than silently
+  // print a full run the user believes was sampled.
+  if (flags.sampled || !flags.plan.empty()) {
+    std::fprintf(stderr, "synth does not take --sampled/--plan\n");
+    return 2;
+  }
   if (sim::workloadRegistry().tryGet(bench) == nullptr) {
     std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
     return 1;
@@ -210,14 +321,19 @@ int main(int argc, char** argv) {
     return cmdRun(argv[2], argc, argv, 3);
   if (argc >= 3 && std::strcmp(argv[1], "synth") == 0)
     return cmdSynth(argv[2], argc, argv, 3);
+  if (argc >= 3 && std::strcmp(argv[1], "phases") == 0)
+    return cmdPhases(argv[2], argc, argv, 3);
 
   std::fprintf(stderr,
                "usage:\n"
                "  %s gen <benchmark> <N> <file> [--seed S]\n"
                "  %s analyze <file>\n"
-               "  %s run <file> [--config NAME] [--instr N] [--seed S]\n"
+               "  %s run <file> [--config NAME] [--instr N] [--seed S]"
+               " [--sampled [--plan PATH]]\n"
                "  %s synth <benchmark> [--config NAME] [--instr N]"
-               " [--seed S]\n",
-               argv[0], argv[0], argv[0], argv[0]);
+               " [--seed S]\n"
+               "  %s phases <file> [--interval N] [--phases K] [--warmup W]"
+               " [--seed S] [--out PATH]\n",
+               argv[0], argv[0], argv[0], argv[0], argv[0]);
   return 2;
 }

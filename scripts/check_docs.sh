@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Doc-consistency gate (run by CI, and locally before landing a spec):
+#
+#   scripts/check_docs.sh [path/to/malec_bench]
+#
+# 1. Every experiment spec registered in `malec_bench --list` must have a
+#    row in docs/PAPER_MAPPING.md — a new spec without its paper mapping
+#    fails the build.
+# 2. Every spec named in a PAPER_MAPPING.md table row must still be
+#    registered — a removed/renamed spec leaves a stale row that fails too.
+#
+# Exits non-zero with one line per violation.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+bench="${1:-build/malec_bench}"
+mapping="docs/PAPER_MAPPING.md"
+
+if [[ ! -x "$bench" ]]; then
+  echo "check_docs: '$bench' is not an executable malec_bench" >&2
+  exit 2
+fi
+if [[ ! -f "$mapping" ]]; then
+  echo "check_docs: $mapping is missing" >&2
+  exit 2
+fi
+
+# `--list` prints one "  <name>  <title>" line per spec between the header
+# and the trailing registry summary.
+registered=$("$bench" --list | awk '/^  [a-z]/{print $1}')
+if [[ -z "$registered" ]]; then
+  echo "check_docs: could not parse any spec from '$bench --list'" >&2
+  exit 2
+fi
+
+# Table rows look like "| `name` | ..." — first backticked cell is the spec.
+documented=$(sed -n 's/^| `\([a-z0-9_]*\)`.*/\1/p' "$mapping")
+
+fail=0
+for spec in $registered; do
+  if ! grep -qx "$spec" <<< "$documented"; then
+    echo "check_docs: spec '$spec' is registered but has no row in $mapping"
+    fail=1
+  fi
+done
+for spec in $documented; do
+  if ! grep -qx "$spec" <<< "$registered"; then
+    echo "check_docs: $mapping documents '$spec' which is not registered"
+    fail=1
+  fi
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "check_docs: FAILED — docs/PAPER_MAPPING.md is out of sync with the spec registry" >&2
+  exit 1
+fi
+count=$(wc -w <<< "$registered")
+echo "check_docs: OK — $count specs all mapped in $mapping"

@@ -1,0 +1,22 @@
+#include "core/mem_interface.h"
+
+#include <iterator>
+
+namespace malec::core {
+
+// Every InterfaceStats field is a u64 counter enumerated in
+// kInterfaceCounterFields; this trips when a field is added there or here
+// but not in the other place.
+static_assert(sizeof(InterfaceStats) ==
+                  std::size(kInterfaceCounterFields) * sizeof(std::uint64_t),
+              "kInterfaceCounterFields is out of sync with InterfaceStats");
+
+InterfaceStats statsDelta(const InterfaceStats& after,
+                          const InterfaceStats& before) {
+  InterfaceStats d;
+  for (const auto field : kInterfaceCounterFields)
+    d.*field = after.*field - before.*field;
+  return d;
+}
+
+}  // namespace malec::core

@@ -60,6 +60,43 @@ struct InterfaceStats {
   }
 };
 
+/// Every counter field of InterfaceStats, for code that folds whole stat
+/// sets (warmup deltas, the weighted phase combination of sampled replay).
+/// A new counter MUST be added here too — a static_assert in
+/// mem_interface.cpp pins the listing against sizeof(InterfaceStats).
+inline constexpr std::uint64_t InterfaceStats::*kInterfaceCounterFields[] = {
+    &InterfaceStats::loads_submitted,
+    &InterfaceStats::stores_submitted,
+    &InterfaceStats::load_l1_accesses,
+    &InterfaceStats::load_l1_hits,
+    &InterfaceStats::load_l1_misses,
+    &InterfaceStats::write_l1_accesses,
+    &InterfaceStats::write_l1_misses,
+    &InterfaceStats::reduced_accesses,
+    &InterfaceStats::conventional_accesses,
+    &InterfaceStats::way_lookups,
+    &InterfaceStats::way_known,
+    &InterfaceStats::merged_loads,
+    &InterfaceStats::sb_forwards,
+    &InterfaceStats::mb_forwards,
+    &InterfaceStats::groups,
+    &InterfaceStats::group_entries,
+    &InterfaceStats::ib_hold_events,
+    &InterfaceStats::ib_stall_cycles,
+    &InterfaceStats::bank_conflicts,
+    &InterfaceStats::bus_rejects,
+    &InterfaceStats::port_conflicts,
+    &InterfaceStats::mbe_writes,
+};
+
+/// Counter gate for warmup-aware sampled replay: `after - before`,
+/// field by field. The warmup segment's counters are snapshotted when the
+/// measurement window opens and subtracted from the final stats, so warmup
+/// accesses prime the interface state without entering any reported metric
+/// (the EnergyAccount side of the same boundary is energy::StatGate).
+[[nodiscard]] InterfaceStats statsDelta(const InterfaceStats& after,
+                                        const InterfaceStats& before);
+
 class MemInterface {
  public:
   virtual ~MemInterface() = default;

@@ -1,10 +1,19 @@
 #include "cpu/core_model.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/check.h"
 
 namespace malec::cpu {
+
+// kCoreScaledCounterFields lists every CoreStats field except cycles and
+// instructions (derived separately by sampled replay); this trips when a
+// field is added to the struct but not the listing, or vice versa.
+static_assert(sizeof(CoreStats) ==
+                  (std::size(kCoreScaledCounterFields) + 2) *
+                      sizeof(std::uint64_t),
+              "kCoreScaledCounterFields is out of sync with CoreStats");
 
 CoreModel::CoreModel(const core::SystemConfig& sys,
                      const core::InterfaceConfig& ifc,
@@ -171,8 +180,8 @@ void CoreModel::doDispatch() {
   if (stalled) ++stats_.dispatch_stall_cycles;
 }
 
-CoreStats CoreModel::run(Cycle max_cycles) {
-  now_ = 0;
+CoreStats CoreModel::run(Cycle max_cycles, Cycle start_cycle) {
+  now_ = start_cycle;
   while (true) {
     mem_.beginCycle(now_);
 
@@ -210,9 +219,9 @@ CoreStats CoreModel::run(Cycle max_cycles) {
     ++now_;
     if (trace_done_ && !has_staged_ && rob_.empty() && mem_.quiesced())
       break;
-    if (max_cycles != 0 && now_ >= max_cycles) break;
+    if (max_cycles != 0 && now_ - start_cycle >= max_cycles) break;
   }
-  stats_.cycles = now_;
+  stats_.cycles = now_ - start_cycle;
   return stats_;
 }
 

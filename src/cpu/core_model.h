@@ -45,14 +45,34 @@ struct CoreStats {
   }
 };
 
+/// The CoreStats counters that scale linearly with the instruction window
+/// — what sampled replay folds with phase weights (cycles/instructions
+/// are derived separately by the combination). A new counter MUST be
+/// added here too — a static_assert in core_model.cpp pins the listing
+/// against sizeof(CoreStats), so a field added to one but not the other
+/// fails the build instead of silently reporting 0 in sampled runs.
+inline constexpr std::uint64_t CoreStats::*kCoreScaledCounterFields[] = {
+    &CoreStats::loads,
+    &CoreStats::stores,
+    &CoreStats::dispatch_stall_cycles,
+    &CoreStats::agu_stall_events,
+    &CoreStats::lq_stall_cycles,
+    &CoreStats::rob_full_cycles,
+};
+
 class CoreModel {
  public:
   CoreModel(const core::SystemConfig& sys, const core::InterfaceConfig& ifc,
             trace::TraceSource& src, core::MemInterface& mem);
 
   /// Run until the trace is exhausted and the pipeline drains.
-  /// `max_cycles` (0 = unlimited) is a safety bound.
-  CoreStats run(Cycle max_cycles = 0);
+  /// `max_cycles` (0 = unlimited) is a safety bound. `start_cycle` sets the
+  /// clock the first cycle runs at — segment replays over a shared memory
+  /// interface must continue its timeline, not restart it: the interface
+  /// keeps absolute-cycle state (miss ready times, port busy windows), and
+  /// a clock jumping back to 0 would stall a fresh segment behind stale
+  /// "busy until" timestamps. Reported cycles stay relative to the start.
+  CoreStats run(Cycle max_cycles = 0, Cycle start_cycle = 0);
 
  private:
   struct RobEntry {

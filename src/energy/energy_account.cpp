@@ -38,7 +38,9 @@ void EnergyAccount::defineLeakage(const std::string& structure, double mw) {
 void EnergyAccount::count(const std::string& name, std::uint64_t n) {
   const auto it = index_.find(name);
   if (it == index_.end()) unknownEventFailure(name);
-  events_[it->second].count += n;
+  // Honour the stat gate like the EventId path — the two APIs must never
+  // diverge on what gets counted.
+  events_[it->second].count += n * counting_;
 }
 
 std::uint64_t EnergyAccount::eventCount(const std::string& name) const {

@@ -1,0 +1,160 @@
+#include "phase/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace malec::phase {
+
+namespace {
+
+double sqDist(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double delta = a[i] - b[i];
+    d += delta * delta;
+  }
+  return d;
+}
+
+}  // namespace
+
+KMeansResult kmeansCluster(const std::vector<std::vector<double>>& points,
+                           const std::vector<std::uint64_t>& weights,
+                           std::uint32_t k, std::uint64_t seed,
+                           std::uint32_t max_iters) {
+  MALEC_CHECK_MSG(!points.empty(), "kmeans needs at least one point");
+  MALEC_CHECK_MSG(k > 0, "kmeans needs k > 0");
+  MALEC_CHECK_MSG(weights.empty() || weights.size() == points.size(),
+                  "kmeans weights must be empty or match the point count");
+  const std::size_t n = points.size();
+  const std::size_t dim = points[0].size();
+  for (const auto& p : points)
+    MALEC_CHECK_MSG(p.size() == dim, "kmeans points must share a dimension");
+  auto weightOf = [&](std::size_t i) {
+    return weights.empty() ? std::uint64_t{1} : weights[i];
+  };
+  if (k > n) k = static_cast<std::uint32_t>(n);
+
+  // k-means++ seeding: first centre from the RNG, each further centre the
+  // point farthest from every chosen centre (deterministic greedy variant —
+  // no distance-weighted sampling, so ties resolve to the lowest index).
+  Rng rng(seed);
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.below(n)]);
+  std::vector<double> best_d(n, std::numeric_limits<double>::max());
+  while (centroids.size() < k) {
+    std::size_t far_idx = 0;
+    double far_d = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      best_d[i] = std::min(best_d[i], sqDist(points[i], centroids.back()));
+      if (best_d[i] > far_d) {
+        far_d = best_d[i];
+        far_idx = i;
+      }
+    }
+    centroids.push_back(points[far_idx]);
+  }
+
+  std::vector<std::uint32_t> assign(n, 0);
+  // Assignment step (ties -> lowest cluster id); returns whether any
+  // point moved.
+  auto assignAll = [&]() {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t best_c = 0;
+      double best = std::numeric_limits<double>::max();
+      for (std::uint32_t c = 0; c < centroids.size(); ++c) {
+        const double d = sqDist(points[i], centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      changed = changed || assign[i] != best_c;
+      assign[i] = best_c;
+    }
+    return changed;
+  };
+  std::uint32_t iters = 0;
+  for (; iters < max_iters; ++iters) {
+    const bool changed = assignAll();
+    if (iters > 0 && !changed) break;
+
+    // Update step: weighted centroid means. An emptied cluster is reseeded
+    // to the point farthest from its current assignment's centroid; each
+    // reseed in one step takes a DISTINCT point (the far-point search is
+    // otherwise identical for every emptied cluster, and duplicate
+    // centroids would tie-break every point to the lower id, silently
+    // collapsing the requested phase count).
+    std::vector<std::vector<double>> sums(centroids.size(),
+                                          std::vector<double>(dim, 0.0));
+    std::vector<std::uint64_t> totals(centroids.size(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t w = weightOf(i);
+      totals[assign[i]] += w;
+      for (std::size_t d = 0; d < dim; ++d)
+        sums[assign[i]][d] += points[i][d] * static_cast<double>(w);
+    }
+    std::vector<bool> reseed_taken(n, false);
+    for (std::uint32_t c = 0; c < centroids.size(); ++c) {
+      if (totals[c] == 0) {
+        std::size_t far_idx = n;  // n = no eligible point found
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (reseed_taken[i]) continue;
+          const double d = sqDist(points[i], centroids[assign[i]]);
+          if (d > far_d) {
+            far_d = d;
+            far_idx = i;
+          }
+        }
+        if (far_idx < n) {
+          reseed_taken[far_idx] = true;
+          centroids[c] = points[far_idx];
+        }
+        continue;
+      }
+      for (std::size_t d = 0; d < dim; ++d)
+        centroids[c][d] = sums[c][d] / static_cast<double>(totals[c]);
+    }
+  }
+  // A max_iters exit leaves the loop right after an update step, so the
+  // assignment is stale relative to the final centroids — a cluster
+  // reseeded in that last update would look empty and be dropped below.
+  // One more assignment re-syncs (the converged-break path is already in
+  // sync: it breaks before updating).
+  if (iters == max_iters) (void)assignAll();
+
+  // Drop empty clusters, renumber densely, pick representatives.
+  std::vector<std::uint64_t> member_weight(centroids.size(), 0);
+  for (std::size_t i = 0; i < n; ++i) member_weight[assign[i]] += weightOf(i);
+  std::vector<std::uint32_t> dense_id(centroids.size(),
+                                      std::numeric_limits<std::uint32_t>::max());
+  KMeansResult res;
+  for (std::uint32_t c = 0; c < centroids.size(); ++c) {
+    if (member_weight[c] == 0) continue;
+    dense_id[c] = res.clusters++;
+    res.weight.push_back(member_weight[c]);
+  }
+  res.assignment.resize(n);
+  res.representative.assign(res.clusters, 0);
+  std::vector<double> rep_d(res.clusters,
+                            std::numeric_limits<double>::max());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t c = dense_id[assign[i]];
+    res.assignment[i] = c;
+    const double d = sqDist(points[i], centroids[assign[i]]);
+    if (d < rep_d[c]) {  // strict <: ties keep the lowest index
+      rep_d[c] = d;
+      res.representative[c] = i;
+    }
+  }
+  res.iterations = iters;
+  return res;
+}
+
+}  // namespace malec::phase

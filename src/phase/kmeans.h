@@ -1,0 +1,38 @@
+// Deterministic k-means for phase clustering.
+//
+// SimPoint clusters interval BBVs with random-restart k-means; this
+// reproduction needs every run to be bit-reproducible, so the clusterer is
+// seeded from the run RNG (common/rng.h), uses k-means++-style farthest-
+// point seeding with deterministic tie-breaks (lowest index wins) and a
+// fixed iteration cap. Points may carry weights (interval instruction
+// counts) so a short trailing interval pulls its centroid proportionally.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace malec::phase {
+
+struct KMeansResult {
+  /// Point index -> cluster id (0..k-1). Same size as the input.
+  std::vector<std::uint32_t> assignment;
+  /// Per-cluster: the member point closest to the centroid (lowest index on
+  /// distance ties) — the phase's representative interval.
+  std::vector<std::uint64_t> representative;
+  /// Per-cluster summed point weights.
+  std::vector<std::uint64_t> weight;
+  /// Effective cluster count (k clamped to the number of points; empty
+  /// clusters are dropped and ids renumbered densely).
+  std::uint32_t clusters = 0;
+  std::uint32_t iterations = 0;  ///< iterations actually run
+};
+
+/// Cluster `points` (all the same dimension) into at most `k` clusters.
+/// `weights` must be empty (all points weigh 1) or match points.size().
+/// Deterministic for a fixed (points, weights, k, seed, max_iters).
+[[nodiscard]] KMeansResult kmeansCluster(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<std::uint64_t>& weights, std::uint32_t k,
+    std::uint64_t seed, std::uint32_t max_iters = 32);
+
+}  // namespace malec::phase

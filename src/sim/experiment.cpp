@@ -11,8 +11,12 @@
 #include <set>
 #include <thread>
 
+#include <cmath>
+#include <iterator>
+
 #include "common/check.h"
 #include "energy/energy_account.h"
+#include "phase/sample_plan.h"
 #include "sim/presets.h"
 #include "sim/structures.h"
 #include "trace/synth_generator.h"
@@ -32,6 +36,56 @@ struct ResolvedSource {
   std::uint64_t instructions = 0;  ///< effective stream length
 };
 
+/// Abort unless the trace's captured AddressLayout (v2 headers) matches the
+/// layout this run simulates — shared by the full-replay and phase-sampled
+/// paths.
+void checkReplayLayout(const trace::TraceReader& rd, const RunConfig& rc) {
+  if (!rd.hasLayout()) return;
+  const auto& p = rd.layoutParams();
+  const AddressLayout& l = rc.system.layout;
+  const bool match =
+      p.addr_bits == l.addrBits() && p.page_bytes == l.pageBytes() &&
+      p.line_bytes == l.lineBytes() &&
+      p.sub_block_bytes == l.subBlockBytes() && p.l1_bytes == l.l1Bytes() &&
+      p.l1_assoc == l.l1Assoc() && p.l1_banks == l.l1Banks();
+  if (!match) {
+    const std::string msg =
+        "trace '" + rc.workload.trace_path +
+        "' was captured under a different AddressLayout than the one this "
+        "run simulates — replaying it would decompose every address "
+        "differently";
+    MALEC_CHECK_MSG(false, msg.c_str());
+  }
+}
+
+/// A replay must never report results off a stream that died mid-file or a
+/// file whose payload is corrupt beyond the replayed prefix:
+/// finishChecksum() hashes whatever an instruction cap (or sample plan)
+/// left unread, so a partial replay is held to the same integrity bar as a
+/// full one. A file is fully verified at most once per process (keyed by
+/// path + record count + expected checksum, so a changed file re-verifies)
+/// — a sweep of many configs over one big capped trace must not re-read the
+/// remainder once per run.
+void verifyReaderTail(trace::TraceReader& reader, const std::string& path) {
+  static std::mutex verified_mu;
+  static std::set<std::string>* verified = new std::set<std::string>();
+  const std::string key = path + "\n" + std::to_string(reader.total()) +
+                          "\n" +
+                          std::to_string(reader.expectedChecksum());
+  bool skip_tail_verify;
+  {
+    std::lock_guard<std::mutex> lock(verified_mu);
+    skip_tail_verify = verified->count(key) != 0;
+  }
+  const bool good =
+      skip_tail_verify ? reader.ok() : reader.finishChecksum();
+  if (!good) MALEC_CHECK_MSG(false, reader.error().c_str());
+  if (!skip_tail_verify) {
+    std::lock_guard<std::mutex> lock(verified_mu);
+    verified->insert(key);
+  }
+}
+
 ResolvedSource makeTraceSource(const RunConfig& rc) {
   ResolvedSource rs;
   if (!rc.workload.isTrace()) {
@@ -42,23 +96,7 @@ ResolvedSource makeTraceSource(const RunConfig& rc) {
   }
   auto rd = std::make_unique<trace::TraceReader>(rc.workload.trace_path);
   if (!rd->ok()) MALEC_CHECK_MSG(false, rd->error().c_str());
-  if (rd->hasLayout()) {
-    const auto& p = rd->layoutParams();
-    const AddressLayout& l = rc.system.layout;
-    const bool match =
-        p.addr_bits == l.addrBits() && p.page_bytes == l.pageBytes() &&
-        p.line_bytes == l.lineBytes() &&
-        p.sub_block_bytes == l.subBlockBytes() && p.l1_bytes == l.l1Bytes() &&
-        p.l1_assoc == l.l1Assoc() && p.l1_banks == l.l1Banks();
-    if (!match) {
-      const std::string msg =
-          "trace '" + rc.workload.trace_path +
-          "' was captured under a different AddressLayout than the one this "
-          "run simulates — replaying it would decompose every address "
-          "differently";
-      MALEC_CHECK_MSG(false, msg.c_str());
-    }
-  }
+  checkReplayLayout(*rd, rc);
   trace::TraceReader* reader = rd.get();
   const std::uint64_t total = rd->total();
   std::uint64_t n = rc.instructions == 0 ? total
@@ -73,57 +111,49 @@ ResolvedSource makeTraceSource(const RunConfig& rc) {
   return rs;
 }
 
-}  // namespace
+/// Serves the next `count` records of a shared reader with seq rebased to
+/// start at 0 — a CoreModel's ROB indexing assumes the first dispatched
+/// record's seq matches its (zero-initialised) head pointer. Dependency
+/// distances reaching back past the segment start exceed the rebased seq
+/// and are dropped by the core's addDep bound check, which is exactly the
+/// sampling approximation we want.
+class SegmentSource final : public trace::TraceSource {
+ public:
+  SegmentSource(trace::TraceReader& rd, std::uint64_t count)
+      : rd_(rd), remaining_(count) {}
 
-RunOutput runOne(const RunConfig& rc) {
-  energy::EnergyAccount ea;
-  defineEnergies(ea, rc.interface_cfg, rc.system);
-
-  ResolvedSource src = makeTraceSource(rc);
-  auto ifc = makeInterface(rc.interface_cfg, rc.system, ea);
-  cpu::CoreModel core(rc.system, rc.interface_cfg, *src.src, *ifc);
-
-  // Safety bound: no workload should need 60 cycles per instruction.
-  const cpu::CoreStats cs = core.run(src.instructions * 60 + 100'000);
-
-  // A replay must never report results off a stream that died mid-file or
-  // a file whose payload is corrupt beyond the replayed prefix:
-  // finishChecksum() hashes whatever an instruction cap left unread, so a
-  // capped replay is held to the same integrity bar as a full one. A file
-  // is fully verified at most once per process (keyed by path + record
-  // count + expected checksum, so a changed file re-verifies) — a sweep of
-  // many configs over one big capped trace must not re-read the remainder
-  // once per run.
-  if (src.reader != nullptr) {
-    static std::mutex verified_mu;
-    static std::set<std::string>* verified = new std::set<std::string>();
-    const std::string key = rc.workload.trace_path + "\n" +
-                            std::to_string(src.reader->total()) + "\n" +
-                            std::to_string(src.reader->expectedChecksum());
-    bool skip_tail_verify;
-    {
-      std::lock_guard<std::mutex> lock(verified_mu);
-      skip_tail_verify = verified->count(key) != 0;
+  bool next(trace::InstrRecord& out) override {
+    if (remaining_ == 0 || !rd_.next(out)) return false;
+    if (!have_base_) {
+      base_ = out.seq;
+      have_base_ = true;
     }
-    const bool good =
-        skip_tail_verify ? src.reader->ok() : src.reader->finishChecksum();
-    if (!good) MALEC_CHECK_MSG(false, src.reader->error().c_str());
-    if (!skip_tail_verify) {
-      std::lock_guard<std::mutex> lock(verified_mu);
-      verified->insert(key);
-    }
+    out.seq -= base_;
+    --remaining_;
+    return true;
+  }
+  void reset() override {
+    MALEC_CHECK_MSG(false, "segment sources cannot rewind a shared reader");
   }
 
-  RunOutput out;
-  out.benchmark = rc.workload.name;
-  out.config = rc.interface_cfg.name;
-  out.cycles = cs.cycles;
-  out.instructions = cs.instructions;
-  out.ipc = cs.ipc();
-  out.core = cs;
-  out.ifc = ifc->stats();
+ private:
+  trace::TraceReader& rd_;
+  std::uint64_t remaining_;
+  std::uint64_t base_ = 0;
+  bool have_base_ = false;
+};
+
+RunOutput runOneSampled(const RunConfig& rc);
+
+/// The metrics every run derives identically from its counters: energy
+/// rollups from the account and the rate fields from out.ifc. Shared by
+/// the full-replay and phase-sampled paths so the two can never diverge
+/// on a derivation or zero-guard — the phase_sampled suite's error
+/// columns depend on both paths deriving metrics the same way.
+void finalizeDerivedMetrics(RunOutput& out, const energy::EnergyAccount& ea,
+                            Cycle cycles, double clock_ghz) {
   out.dynamic_pj = ea.dynamicPj();
-  out.leakage_pj = ea.leakagePj(cs.cycles, rc.system.clock_ghz);
+  out.leakage_pj = ea.leakagePj(cycles, clock_ghz);
   out.total_pj = out.dynamic_pj + out.leakage_pj;
   out.way_coverage = out.ifc.wayCoverage();
   out.l1_load_miss_rate =
@@ -136,9 +166,206 @@ RunOutput runOne(const RunConfig& rc) {
           ? 0.0
           : static_cast<double>(out.ifc.merged_loads) /
                 static_cast<double>(out.ifc.loads_submitted);
-  out.energy_detail = ea.report(cs.cycles, rc.system.clock_ghz);
+  out.energy_detail = ea.report(cycles, clock_ghz);
+}
+
+}  // namespace
+
+RunOutput runOne(const RunConfig& rc) {
+  if (rc.workload.isSampled()) return runOneSampled(rc);
+
+  energy::EnergyAccount ea;
+  defineEnergies(ea, rc.interface_cfg, rc.system);
+
+  ResolvedSource src = makeTraceSource(rc);
+  auto ifc = makeInterface(rc.interface_cfg, rc.system, ea);
+  cpu::CoreModel core(rc.system, rc.interface_cfg, *src.src, *ifc);
+
+  // Safety bound: no workload should need 60 cycles per instruction.
+  const cpu::CoreStats cs = core.run(src.instructions * 60 + 100'000);
+
+  if (src.reader != nullptr)
+    verifyReaderTail(*src.reader, rc.workload.trace_path);
+
+  RunOutput out;
+  out.benchmark = rc.workload.name;
+  out.config = rc.interface_cfg.name;
+  out.cycles = cs.cycles;
+  out.instructions = cs.instructions;
+  out.ipc = cs.ipc();
+  out.core = cs;
+  out.ifc = ifc->stats();
+  finalizeDerivedMetrics(out, ea, cs.cycles, rc.system.clock_ghz);
   return out;
 }
+
+namespace {
+
+/// Phase-sampled replay: simulate only the plan's representative intervals
+/// — each primed by a warmup prefix whose stats and energy are gated off —
+/// and report the weighted phase combination as the full-trace estimate.
+///
+/// ONE interface (caches, TLB, way tables, WDU) lives across the whole
+/// pass, so memory-system state accumulates from segment to segment the
+/// way it would across a full replay; fast-forwarded stretches leave it
+/// untouched (the staleness this introduces is the sampling
+/// approximation, bounded by the per-pick warmup that re-primes the hot
+/// set). Warmup segments run with the EnergyAccount's StatGate closed and
+/// their interface counters snapshotted away; each segment gets a fresh
+/// CoreModel, so the pipeline resets at segment boundaries exactly like
+/// at a SimPoint boundary. Every estimate is a deterministic fold in pick
+/// order, so repeated and parallel runs are bit-identical.
+RunOutput runOneSampled(const RunConfig& rc) {
+  MALEC_CHECK_MSG(rc.workload.isTrace(),
+                  "a sample plan needs a trace-backed workload — synthetic "
+                  "profiles replay in full");
+  MALEC_CHECK_MSG(rc.instructions == 0,
+                  "sampled replay does not compose with an instruction cap "
+                  "(the plan determines what is simulated) — run with "
+                  "--instr 0 / MALEC_INSTR unset");
+
+  phase::SamplePlan plan;
+  std::string err;
+  if (!phase::loadSamplePlan(rc.workload.sample_plan_path, plan, err))
+    MALEC_CHECK_MSG(false, err.c_str());
+
+  trace::TraceReader rd(rc.workload.trace_path);
+  if (!rd.ok()) MALEC_CHECK_MSG(false, rd.error().c_str());
+  checkReplayLayout(rd, rc);
+  // The plan binds to one exact trace: record count always, payload
+  // checksum when the trace format carries one (v2).
+  if (!phase::planBindsTo(plan, rd)) {
+    const std::string msg =
+        "sample plan '" + rc.workload.sample_plan_path +
+        "' was computed from a different trace than '" +
+        rc.workload.trace_path + "' — re-run `trace_tools phases`";
+    MALEC_CHECK_MSG(false, msg.c_str());
+  }
+
+  // Weighted-combination accumulators: full-trace estimates as doubles,
+  // folded in pick order. est += measured * (cluster weight / measured
+  // instructions) scales each representative to the phase it stands for.
+  double cycles_est = 0.0;
+  std::vector<double> event_est;
+  constexpr std::size_t kNumIfcFields = std::size(core::kInterfaceCounterFields);
+  constexpr std::size_t kNumCoreFields = std::size(cpu::kCoreScaledCounterFields);
+  std::vector<double> ifc_est(kNumIfcFields, 0.0);
+  std::vector<double> core_est(kNumCoreFields, 0.0);
+
+  energy::EnergyAccount ea;
+  defineEnergies(ea, rc.interface_cfg, rc.system);
+  auto ifc = makeInterface(rc.interface_cfg, rc.system, ea);
+  // The event-id space is fixed once the interface is constructed — the
+  // run only counts — so per-segment event deltas are plain snapshots.
+  event_est.resize(ea.eventTypes(), 0.0);
+  std::vector<std::uint64_t> ev_snap(ea.eventTypes(), 0);
+
+  std::uint64_t pos = 0;  // records consumed from the reader so far
+  // One continuous simulated timeline across every segment: the shared
+  // interface keys busy windows and miss ready times to absolute cycles,
+  // so each segment's core resumes the clock where the previous one left
+  // off instead of restarting at 0 (see CoreModel::run's start_cycle).
+  Cycle sim_clock = 0;
+  trace::InstrRecord skip;
+  for (std::size_t k = 0; k < plan.picks.size(); ++k) {
+    const phase::PhasePick& pick = plan.picks[k];
+    const std::uint64_t start = pick.interval_index * plan.interval_size;
+    const std::uint64_t end =
+        std::min(start + plan.interval_size, plan.trace_records);
+    // The warmup prefix is clamped at the trace start AND at the previous
+    // segment's end: a representative adjacent to the previous pick has
+    // (part of) its warmup window already consumed by the sequential
+    // reader, so it runs with whatever prefix the gap affords — a bias
+    // that is part of the sampling approximation, and deterministic.
+    const std::uint64_t warm =
+        std::min(plan.warmup_instructions, start - std::min(start, pos));
+    const std::uint64_t warm_start = start - warm;
+
+    // Fast-forward: decode-only, no simulation — this skip is where the
+    // wall-clock win over a full replay comes from.
+    while (pos < warm_start && rd.next(skip)) ++pos;
+    MALEC_CHECK_MSG(pos == warm_start, rd.error().c_str());
+
+    if (warm > 0) {
+      // Warmup: primes caches/TLB/WDU; the StatGate drops its energy and
+      // the stats snapshot below removes its counters.
+      energy::StatGate gate(ea);
+      SegmentSource wsrc(rd, warm);
+      cpu::CoreModel wcore(rc.system, rc.interface_cfg, wsrc, *ifc);
+      const cpu::CoreStats ws = wcore.run(warm * 60 + 100'000, sim_clock);
+      sim_clock += ws.cycles;
+      // An under-consumed warmup (reader failure or the safety bound) would
+      // silently desynchronise `pos` from the reader and shift every later
+      // segment onto the wrong intervals.
+      MALEC_CHECK_MSG(ws.instructions == warm,
+                      "sampled warmup did not retire every instruction");
+      pos += warm;
+      gate.open();
+    }
+    const core::InterfaceStats warm_snap = ifc->stats();
+    for (energy::EnergyAccount::EventId id = 0; id < ea.eventTypes(); ++id)
+      ev_snap[id] = ea.eventCount(id);
+
+    SegmentSource msrc(rd, end - start);
+    cpu::CoreModel core(rc.system, rc.interface_cfg, msrc, *ifc);
+    const cpu::CoreStats cs =
+        core.run((end - start) * 60 + 100'000, sim_clock);
+    sim_clock += cs.cycles;
+    pos += end - start;
+    MALEC_CHECK_MSG(rd.ok(), rd.error().c_str());
+    MALEC_CHECK_MSG(cs.instructions == end - start,
+                    "sampled interval did not retire every instruction");
+
+    const double scale = static_cast<double>(pick.weight_instructions) /
+                         static_cast<double>(cs.instructions);
+    cycles_est += static_cast<double>(cs.cycles) * scale;
+    for (std::size_t i = 0; i < kNumCoreFields; ++i)
+      core_est[i] +=
+          static_cast<double>(cs.*cpu::kCoreScaledCounterFields[i]) * scale;
+
+    const core::InterfaceStats delta =
+        core::statsDelta(ifc->stats(), warm_snap);
+    for (std::size_t i = 0; i < kNumIfcFields; ++i)
+      ifc_est[i] += static_cast<double>(
+                        delta.*core::kInterfaceCounterFields[i]) *
+                    scale;
+    for (energy::EnergyAccount::EventId id = 0; id < ea.eventTypes(); ++id)
+      event_est[id] +=
+          static_cast<double>(ea.eventCount(id) - ev_snap[id]) * scale;
+  }
+
+  // Hash the remainder so a sampled replay vouches for the whole file's
+  // integrity exactly like a capped full replay does.
+  verifyReaderTail(rd, rc.workload.trace_path);
+
+  // One internally-consistent estimate: round the combined counters once,
+  // then derive every reported rate and energy from the rounded values the
+  // same way the full-replay path derives them from measured ones.
+  RunOutput out;
+  out.benchmark = rc.workload.name;
+  out.config = rc.interface_cfg.name;
+  out.instructions = plan.trace_records;
+  out.cycles = static_cast<Cycle>(std::llround(cycles_est));
+  if (out.cycles == 0) out.cycles = 1;
+  out.ipc = static_cast<double>(out.instructions) /
+            static_cast<double>(out.cycles);
+  for (std::size_t i = 0; i < kNumIfcFields; ++i)
+    out.ifc.*core::kInterfaceCounterFields[i] =
+        static_cast<std::uint64_t>(std::llround(ifc_est[i]));
+  out.core.cycles = out.cycles;
+  out.core.instructions = out.instructions;
+  for (std::size_t i = 0; i < kNumCoreFields; ++i)
+    out.core.*cpu::kCoreScaledCounterFields[i] =
+        static_cast<std::uint64_t>(std::llround(core_est[i]));
+
+  ea.clearCounts();
+  for (energy::EnergyAccount::EventId id = 0; id < ea.eventTypes(); ++id)
+    ea.count(id, static_cast<std::uint64_t>(std::llround(event_est[id])));
+  finalizeDerivedMetrics(out, ea, out.cycles, rc.system.clock_ghz);
+  return out;
+}
+
+}  // namespace
 
 namespace {
 

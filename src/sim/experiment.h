@@ -48,7 +48,12 @@ struct RunOutput {
   StatSet energy_detail;
 };
 
-/// Run one simulation.
+/// Run one simulation. A workload with a sample_plan_path set runs in
+/// phase-sampled mode: only the plan's representative intervals are
+/// simulated (each primed by a stat-gated warmup prefix) and the output is
+/// the weighted phase combination estimating the full replay — bit-identical
+/// across repeated and parallel runs, several times faster than streaming
+/// the whole capture. rc.instructions must be 0 in that mode.
 [[nodiscard]] RunOutput runOne(const RunConfig& rc);
 
 /// Run one benchmark across several interface configurations (shared

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "phase/sample_plan.h"
 #include "sim/presets.h"
 #include "trace/trace_io.h"
 #include "trace/workloads.h"
@@ -72,6 +73,33 @@ trace::WorkloadProfile traceWorkload(const std::string& path) {
   wl.suite = "trace";
   wl.trace_path = path;
   return wl;
+}
+
+trace::WorkloadProfile sampledWorkloadUnchecked(
+    const trace::WorkloadProfile& wl, const std::string& plan_path) {
+  MALEC_CHECK_MSG(wl.isTrace(),
+                  "sampledWorkload() needs a trace-backed workload");
+  trace::WorkloadProfile out = wl;
+  out.sample_plan_path =
+      plan_path.empty() ? phase::planSidecarPath(wl.trace_path) : plan_path;
+  out.name = wl.name + ":sampled";
+  return out;
+}
+
+trace::WorkloadProfile sampledWorkload(const trace::WorkloadProfile& wl,
+                                       const std::string& plan_path,
+                                       phase::SamplePlan* out_plan) {
+  trace::WorkloadProfile out = sampledWorkloadUnchecked(wl, plan_path);
+  phase::SamplePlan plan;
+  std::string err;
+  if (!phase::loadSamplePlan(out.sample_plan_path, plan, err)) {
+    const std::string msg =
+        err + " — write a plan with `trace_tools phases " + wl.trace_path +
+        "`";
+    MALEC_CHECK_MSG(false, msg.c_str());
+  }
+  if (out_plan != nullptr) *out_plan = std::move(plan);
+  return out;
 }
 
 trace::WorkloadProfile resolveWorkload(const std::string& name) {

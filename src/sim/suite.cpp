@@ -1,5 +1,6 @@
 #include "sim/suite.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace malec::sim {
@@ -31,11 +32,7 @@ void SuiteContext::progressDots() const {
   std::fputc('\n', stderr);
 }
 
-namespace {
-
-std::vector<trace::WorkloadProfile> resolveWorkloads(
-    const ExperimentSpec& spec, const SuiteOptions& opts) {
-  std::vector<trace::WorkloadProfile> wls;
+std::vector<std::string> suiteWorkloadNames(const ExperimentSpec& spec) {
   const auto& reg = workloadRegistry();
   // "trace:*" in a spec's workload list expands to every registered
   // trace-replay workload (the MALEC_TRACE_DIR scan plus anything added at
@@ -54,20 +51,34 @@ std::vector<trace::WorkloadProfile> resolveWorkloads(
   std::vector<std::string> names;
   for (const auto& name : base) {
     if (name == "trace:*") {
-      const std::size_t before = names.size();
       for (const auto& n : reg.names())
         if (n.rfind("trace:", 0) == 0) names.push_back(n);
-      if (names.size() == before) {
-        const std::string msg =
-            "suite '" + spec.name +
-            "' wants trace workloads ('trace:*') but none are registered — "
-            "point MALEC_TRACE_DIR at a directory of *.mtrace captures or "
-            "list trace:<path> workloads explicitly";
-        MALEC_CHECK_MSG(false, msg.c_str());
-      }
     } else {
       names.push_back(name);
     }
+  }
+  return names;
+}
+
+namespace {
+
+std::vector<trace::WorkloadProfile> resolveWorkloads(
+    const ExperimentSpec& spec, const SuiteOptions& opts) {
+  std::vector<trace::WorkloadProfile> wls;
+  const std::vector<std::string> names = suiteWorkloadNames(spec);
+  const bool wants_traces =
+      std::find(spec.workloads.begin(), spec.workloads.end(), "trace:*") !=
+      spec.workloads.end();
+  if (wants_traces &&
+      std::none_of(names.begin(), names.end(), [](const std::string& n) {
+        return n.rfind("trace:", 0) == 0;
+      })) {
+    const std::string msg =
+        "suite '" + spec.name +
+        "' wants trace workloads ('trace:*') but none are registered — "
+        "point MALEC_TRACE_DIR at a directory of *.mtrace captures or "
+        "list trace:<path> workloads explicitly";
+    MALEC_CHECK_MSG(false, msg.c_str());
   }
   for (const auto& name : names) {
     if (!opts.workload_filter.empty() &&
@@ -107,9 +118,20 @@ Table buildTable(const TableSpec& ts, const SuiteContext& ctx) {
 void runSuite(const ExperimentSpec& spec, const SuiteOptions& opts,
               const std::vector<ResultSink*>& sinks) {
   SuiteContext ctx{spec, opts};
-  ctx.instructions = opts.instructions > 0
-                         ? opts.instructions
-                         : instructionBudget(spec.default_instructions);
+  if (spec.whole_stream_only) {
+    if (opts.instructions > 0) {
+      const std::string msg =
+          "suite '" + spec.name +
+          "' replays whole traces/plans — an instruction budget does not "
+          "compose with it (drop --instr)";
+      MALEC_CHECK_MSG(false, msg.c_str());
+    }
+    ctx.instructions = 0;
+  } else {
+    ctx.instructions = opts.instructions > 0
+                           ? opts.instructions
+                           : instructionBudget(spec.default_instructions);
+  }
   ctx.seed = opts.seed > 0 ? opts.seed : spec.seed;
   ctx.jobs = opts.jobs > 0 ? opts.jobs : parallelJobs();
   ctx.workloads = resolveWorkloads(spec, opts);

@@ -88,6 +88,19 @@ struct ExperimentSpec {
   /// Configuration set factory; null for custom suites without a grid.
   std::function<std::vector<core::InterfaceConfig>()> configs;
   std::uint64_t default_instructions = 100'000;
+  /// This suite always streams whole traces/plans (phase_sampled): an
+  /// explicit --instr is a hard error — a cap does not compose with a
+  /// sample plan — while the blanket MALEC_INSTR knob resolves to 0 so a
+  /// job-wide CI budget neither breaks `--all` nor shows up untruthfully
+  /// in SuiteInfo (0 = whole stream, which is what actually runs).
+  bool whole_stream_only = false;
+  /// Optional `--all` gate: return a non-empty reason and the suite is
+  /// skipped (with a note) in an --all sweep whose preconditions it cannot
+  /// meet — an --all run must never abort mid-stream over one
+  /// inapplicable suite. Receives the sweep's options so the gate can
+  /// honour --filter exactly like the suite body will. An explicit
+  /// `--suite <name>` ignores this and fails loudly inside the suite.
+  std::function<std::string(const SuiteOptions&)> all_skip;
   std::uint64_t seed = 1;
   std::vector<TableSpec> tables;
   /// Escape hatch for suites that are not a plain (workload x config)
@@ -101,6 +114,14 @@ struct ExperimentSpec {
 /// All registered experiment specs. First use registers the builtin specs
 /// covering every legacy bench binary.
 [[nodiscard]] Registry<ExperimentSpec>& specRegistry();
+
+/// The workload names `spec` resolves to BEFORE --filter is applied: an
+/// empty spec list expands to the paper set, "trace:*" to every
+/// registered trace workload (possibly none here — resolveWorkloads
+/// aborts on that with a MALEC_TRACE_DIR hint, the --all gating in
+/// malec_bench skips with a note instead).
+[[nodiscard]] std::vector<std::string> suiteWorkloadNames(
+    const ExperimentSpec& spec);
 
 /// Execute one spec: resolve workloads/configs, run the grid through
 /// runMatrixParallel (or the custom body), build each TableSpec with its

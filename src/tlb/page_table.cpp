@@ -13,14 +13,27 @@ PageId PageTable::translate(PageId vpage) {
   auto it = map_.find(vpage);
   if (it != map_.end()) return it->second;
   ++walks_;
-  // splitmix-style mix keyed by the seed; collisions are acceptable (two
-  // virtual pages sharing a frame is harmless for this study).
+  // splitmix-style mix keyed by the seed picks the preferred frame...
   std::uint64_t x = (static_cast<std::uint64_t>(vpage) + seed_) *
                     0x9E3779B97F4A7C15ull;
   x ^= x >> 30;
   x *= 0xBF58476D1CE4E5B9ull;
   x ^= x >> 27;
-  const PageId ppage = static_cast<PageId>(x % phys_pages_);
+  PageId ppage = static_cast<PageId>(x % phys_pages_);
+  // ...and linear probing keeps the mapping collision-free while frames
+  // remain: two virtual pages sharing a frame is NOT harmless — way-table
+  // validity maintenance finds resident pages by physical ID and repairs
+  // only the first match, so an aliased frame leaves the other page's way
+  // entry stale (a wrong-way reduced access aborts the run). Only an
+  // over-subscribed physical space (more mapped pages than frames — far
+  // beyond any modelled working set) falls back to sharing.
+  if (used_.size() < phys_pages_) {
+    while (used_.count(ppage) != 0) {
+      ++ppage;
+      if (ppage == phys_pages_) ppage = 0;
+    }
+    used_.insert(ppage);
+  }
   map_.emplace(vpage, ppage);
   return ppage;
 }

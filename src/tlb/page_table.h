@@ -1,15 +1,17 @@
 // Deterministic flat page table.
 //
-// Virtual pages map to physical pages through a keyed mixing function, so
-// translations are stable across a run, distinct pages collide rarely within
-// the modelled physical space, and no per-page state needs allocating. The
-// mapping is invertible in practice for our working sets because we memoise
-// the assignments that were actually handed out (needed for reverse lookups
-// in tests).
+// Virtual pages map to physical pages through a keyed mixing function plus
+// linear probing, so translations are stable across a run and distinct
+// pages NEVER collide while free frames remain (way-table validity
+// maintenance keys off the physical page and silently breaks under frame
+// aliasing). The mapping depends on first-touch order, which is itself
+// deterministic for every trace source. Assignments are memoised (needed
+// for probing and for reverse lookups in tests).
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/types.h"
 
@@ -36,6 +38,7 @@ class PageTable {
   std::uint64_t seed_;
   Cycle walk_latency_ = 30;
   std::unordered_map<PageId, PageId> map_;
+  std::unordered_set<PageId> used_;
   std::uint64_t walks_ = 0;
 };
 

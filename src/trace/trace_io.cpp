@@ -4,9 +4,17 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/binio.h"
 #include "common/check.h"
 
 namespace malec::trace {
+
+using binio::fnv1a;
+using binio::get32;
+using binio::get64;
+using binio::kFnvOffset;
+using binio::put32;
+using binio::put64;
 
 namespace {
 
@@ -28,23 +36,6 @@ constexpr std::size_t kNumLayoutParams = 7;
 /// Largest access size accepted for a memory record; the modelled machine
 /// never issues accesses wider than two 64-byte lines' worth.
 constexpr std::uint32_t kMaxAccessSize = 128;
-
-void put64(std::uint8_t* p, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-void put32(std::uint8_t* p, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-std::uint64_t get64(const std::uint8_t* p) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-  return v;
-}
-std::uint32_t get32(const std::uint8_t* p) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
-  return v;
-}
 
 void encode(const InstrRecord& r, std::uint8_t* buf) {
   put64(buf + 0, r.seq);
@@ -77,18 +68,6 @@ bool decode(const std::uint8_t* buf, InstrRecord& r, std::string& err) {
   r.dep_distance = get32(buf + 18);
   r.addr_dep_distance = get32(buf + 22);
   return true;
-}
-
-/// FNV-1a 64-bit, the v2 record checksum.
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
-
-std::uint64_t fnv1a(std::uint64_t h, const std::uint8_t* p, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= kFnvPrime;
-  }
-  return h;
 }
 
 }  // namespace

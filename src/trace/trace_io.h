@@ -2,23 +2,10 @@
 //
 // Lets users capture a synthetic stream once and replay it (or bring their
 // own traces from a real simulator) — the on-disk format is a fixed-width
-// little-endian record stream with a small header.
-//
-// On-disk format (all fields little-endian):
-//
-//   v2 header (52 bytes):
-//     off  0  u32  magic            "MALC" (0x4D414C43)
-//     off  4  u32  version          2
-//     off  8  u64  record count     patched on close()
-//     off 16  u64  FNV-1a checksum  over all record bytes, patched on close()
-//     off 24  7×u32 AddressLayout   addr_bits, page_bytes, line_bytes,
-//                                   sub_block_bytes, l1_bytes, l1_assoc,
-//                                   l1_banks of the capturing system
-//   v1 header (16 bytes, still readable): magic, version=1, record count —
-//     no checksum, no layout.
-//
-//   record (26 bytes): u64 seq, u64 vaddr, u8 kind (0..2), u8 size
-//     (memory ops: 1..128 bytes), u32 dep_distance, u32 addr_dep_distance.
+// little-endian record stream with a small header. The byte-level format
+// specification (v1/v2 header layouts, the 26-byte record, checksum and
+// compatibility rules) lives in docs/FILE_FORMATS.md; this header only
+// documents the API behaviour.
 //
 // Both ends move data in multi-record blocks (not one 26-byte stdio call
 // per record), and the reader validates the header record count against the

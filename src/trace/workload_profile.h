@@ -21,6 +21,15 @@ struct WorkloadProfile {
   std::string trace_path;
   [[nodiscard]] bool isTrace() const { return !trace_path.empty(); }
 
+  /// Non-empty = phase-sampled replay: instead of streaming the whole
+  /// capture, runOne simulates only the intervals this `.mplan` file (see
+  /// phase/sample_plan.h) selects — each primed by a warmup prefix whose
+  /// stats and energy are gated off — and reports the weighted phase
+  /// combination. Only meaningful together with trace_path; the plan is
+  /// validated against the trace's record count and checksum at run time.
+  std::string sample_plan_path;
+  [[nodiscard]] bool isSampled() const { return !sample_plan_path.empty(); }
+
   // --- instruction mix -----------------------------------------------------
   /// Fraction of instructions that reference memory (paper avg 40 %;
   /// SPEC-INT 45 %, SPEC-FP 40 %, MediaBench2 37 %).

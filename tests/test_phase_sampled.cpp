@@ -1,0 +1,237 @@
+// Phase-sampled replay through runOne: the determinism contract the docs
+// claim (bit-identical reports across repeated and parallel runs), the
+// plan/trace binding, the warmup StatGate, and the death tests for corrupt
+// or mismatched .mplan sidecars.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "energy/energy_account.h"
+#include "phase/planner.h"
+#include "phase/sample_plan.h"
+#include "sim/presets.h"
+#include "sim/registry.h"
+#include "sim/suite.h"
+#include "trace/workloads.h"
+
+namespace malec::sim {
+namespace {
+
+std::string tmpPath(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+/// Capture a synthetic benchmark and write a sample plan next to it.
+/// Returns the trace path (plan at the .mplan sidecar path).
+std::string captureWithPlan(const char* bench, const char* name,
+                            std::uint64_t instrs,
+                            std::uint64_t interval_size,
+                            std::uint32_t phases, std::uint64_t warmup) {
+  const std::string path = tmpPath(name);
+  RunConfig rc;
+  rc.workload = trace::workloadByName(bench);
+  rc.interface_cfg = presetMalec();
+  rc.system = defaultSystem();
+  rc.instructions = instrs;
+  captureTrace(rc, path);
+  phase::PlanParams params;
+  params.interval_size = interval_size;
+  params.phases = phases;
+  params.warmup_instructions = warmup;
+  const phase::SamplePlan plan = phase::buildSamplePlan(path, params);
+  std::string err;
+  EXPECT_TRUE(
+      phase::saveSamplePlan(plan, phase::planSidecarPath(path), err))
+      << err;
+  return path;
+}
+
+void expectBitIdentical(const RunOutput& a, const RunOutput& b) {
+  EXPECT_EQ(a.benchmark, b.benchmark);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.ipc, b.ipc);
+  EXPECT_EQ(a.dynamic_pj, b.dynamic_pj);
+  EXPECT_EQ(a.leakage_pj, b.leakage_pj);
+  EXPECT_EQ(a.total_pj, b.total_pj);
+  EXPECT_EQ(a.way_coverage, b.way_coverage);
+  EXPECT_EQ(a.l1_load_miss_rate, b.l1_load_miss_rate);
+  EXPECT_EQ(a.merged_load_fraction, b.merged_load_fraction);
+  EXPECT_EQ(a.ifc.load_l1_accesses, b.ifc.load_l1_accesses);
+  EXPECT_EQ(a.ifc.load_l1_misses, b.ifc.load_l1_misses);
+  EXPECT_EQ(a.ifc.loads_submitted, b.ifc.loads_submitted);
+  EXPECT_EQ(a.ifc.merged_loads, b.ifc.merged_loads);
+  EXPECT_EQ(a.core.loads, b.core.loads);
+  EXPECT_EQ(a.core.stores, b.core.stores);
+  // The full energy report, every event counter and pJ cell.
+  EXPECT_EQ(a.energy_detail.toTable(), b.energy_detail.toTable());
+}
+
+RunConfig sampledConfig(const std::string& trace_path) {
+  RunConfig rc;
+  rc.workload = sampledWorkload(traceWorkload(trace_path));
+  rc.interface_cfg = presetMalec();
+  rc.system = defaultSystem();
+  rc.instructions = 0;  // the plan decides what is simulated
+  return rc;
+}
+
+TEST(PhaseSampled, BitIdenticalAcrossRepeatedAndParallelRuns) {
+  const std::string path =
+      captureWithPlan("gcc", "det.mtrace", 20'000, 4'000, 3, 1'000);
+  const RunConfig rc = sampledConfig(path);
+
+  // The docs-claimed determinism contract: the same SamplePlan twice in
+  // series, then the same runs through the parallel pool, all bit-equal.
+  const RunOutput serial_a = runOne(rc);
+  const RunOutput serial_b = runOne(rc);
+  expectBitIdentical(serial_a, serial_b);
+
+  const auto outs = runManyParallel({rc, rc, rc, rc}, 4);
+  ASSERT_EQ(outs.size(), 4u);
+  for (const auto& o : outs) expectBitIdentical(serial_a, o);
+
+  EXPECT_EQ(serial_a.benchmark, "trace:det:sampled");
+  // The estimate reports the FULL trace's instruction count...
+  EXPECT_EQ(serial_a.instructions, 20'000u);
+  EXPECT_GT(serial_a.cycles, 0u);
+  EXPECT_GT(serial_a.total_pj, 0.0);
+  std::remove(phase::planSidecarPath(path).c_str());
+  std::remove(path.c_str());
+}
+
+TEST(PhaseSampled, EstimateTracksFullReplay) {
+  const std::string path =
+      captureWithPlan("gcc", "track.mtrace", 40'000, 5'000, 4, 5'000);
+  RunConfig full;
+  full.workload = traceWorkload(path);
+  full.interface_cfg = presetMalec();
+  full.system = defaultSystem();
+  full.instructions = 0;
+  const RunOutput o_full = runOne(full);
+  const RunOutput o_smpl = runOne(sampledConfig(path));
+
+  // Not bit-equal (it is an estimate) but close: generous 20% bands keep
+  // the test robust while still catching a broken combination rule, which
+  // is off by integer factors when wrong.
+  EXPECT_EQ(o_smpl.instructions, o_full.instructions);
+  EXPECT_NEAR(o_smpl.ipc, o_full.ipc, 0.2 * o_full.ipc);
+  EXPECT_NEAR(o_smpl.total_pj, o_full.total_pj, 0.2 * o_full.total_pj);
+  EXPECT_NEAR(o_smpl.l1_load_miss_rate, o_full.l1_load_miss_rate,
+              0.2 * o_full.l1_load_miss_rate + 0.01);
+  std::remove(phase::planSidecarPath(path).c_str());
+  std::remove(path.c_str());
+}
+
+TEST(PhaseSampled, WarmupIsExcludedFromStats) {
+  // Two plans over one trace, identical picks, one with warmup: the
+  // measured instruction/energy totals must reflect only the picked
+  // intervals either way (warmup primes state but never enters counts), so
+  // the reported load count stays close while cycles/misses improve.
+  const std::string path =
+      captureWithPlan("gcc", "warm.mtrace", 20'000, 4'000, 2, 0);
+  const RunOutput cold = runOne(sampledConfig(path));
+
+  phase::SamplePlan plan;
+  std::string err;
+  ASSERT_TRUE(
+      phase::loadSamplePlan(phase::planSidecarPath(path), plan, err));
+  plan.warmup_instructions = 4'000;
+  ASSERT_TRUE(
+      phase::saveSamplePlan(plan, phase::planSidecarPath(path), err));
+  const RunOutput warm = runOne(sampledConfig(path));
+
+  // Same picks, same weights -> the scaled load estimate is identical;
+  // only the state (and with it cycles/misses) may differ.
+  EXPECT_EQ(cold.core.loads, warm.core.loads);
+  EXPECT_EQ(cold.instructions, warm.instructions);
+  std::remove(phase::planSidecarPath(path).c_str());
+  std::remove(path.c_str());
+}
+
+TEST(PhaseSampledDeathTest, MissingPlanSidecarAbortsWithHint) {
+  const std::string path = tmpPath("noplan.mtrace");
+  RunConfig rc;
+  rc.workload = trace::workloadByName("gcc");
+  rc.interface_cfg = presetMalec();
+  rc.system = defaultSystem();
+  rc.instructions = 1'000;
+  captureTrace(rc, path);
+  EXPECT_DEATH((void)sampledWorkload(traceWorkload(path)),
+               "trace_tools phases");
+  std::remove(path.c_str());
+}
+
+TEST(PhaseSampledDeathTest, TruncatedPlanAborts) {
+  const std::string path =
+      captureWithPlan("gcc", "trunc_run.mtrace", 10'000, 2'000, 2, 500);
+  const std::string plan_path = phase::planSidecarPath(path);
+  // Chop the last byte off the plan.
+  std::FILE* f = std::fopen(plan_path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<char> bytes(static_cast<std::size_t>(size));
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  f = std::fopen(plan_path.c_str(), "wb");
+  std::fwrite(bytes.data(), 1, bytes.size() - 1, f);
+  std::fclose(f);
+  EXPECT_DEATH((void)sampledWorkload(traceWorkload(path)), "truncated");
+  std::remove(plan_path.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(PhaseSampledDeathTest, CorruptPlanAborts) {
+  const std::string path =
+      captureWithPlan("gcc", "corrupt_run.mtrace", 10'000, 2'000, 2, 500);
+  const std::string plan_path = phase::planSidecarPath(path);
+  std::FILE* f = std::fopen(plan_path.c_str(), "r+b");
+  std::fseek(f, 64 + 2, SEEK_SET);  // inside the first pick entry
+  const int orig = std::fgetc(f);
+  std::fseek(f, 64 + 2, SEEK_SET);
+  std::fputc(orig ^ 0xFF, f);
+  std::fclose(f);
+  EXPECT_DEATH((void)sampledWorkload(traceWorkload(path)),
+               "checksum mismatch");
+  std::remove(plan_path.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(PhaseSampledDeathTest, PlanFromDifferentTraceAborts) {
+  // Build the plan from one capture, apply it to a longer one: the
+  // record-count/checksum binding must refuse.
+  const std::string path =
+      captureWithPlan("gcc", "bind.mtrace", 10'000, 2'000, 2, 500);
+  RunConfig other;
+  other.workload = trace::workloadByName("gcc");
+  other.interface_cfg = presetMalec();
+  other.system = defaultSystem();
+  other.instructions = 12'000;
+  captureTrace(other, path);  // overwrite with a different capture
+  RunConfig rc;
+  rc.workload = traceWorkload(path);
+  rc.workload.sample_plan_path = phase::planSidecarPath(path);
+  rc.workload.name += ":sampled";
+  rc.interface_cfg = presetMalec();
+  rc.system = defaultSystem();
+  rc.instructions = 0;
+  EXPECT_DEATH((void)runOne(rc), "different trace");
+  std::remove(phase::planSidecarPath(path).c_str());
+  std::remove(path.c_str());
+}
+
+TEST(PhaseSampledDeathTest, InstructionCapDoesNotCompose) {
+  const std::string path =
+      captureWithPlan("gcc", "cap.mtrace", 10'000, 2'000, 2, 500);
+  RunConfig rc = sampledConfig(path);
+  rc.instructions = 5'000;
+  EXPECT_DEATH((void)runOne(rc), "instruction cap");
+  std::remove(phase::planSidecarPath(path).c_str());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace malec::sim
