@@ -6,7 +6,13 @@
 //   trace_tools analyze <file>
 //       Fig.1-style locality report
 //   trace_tools run <file> [--config NAME] [--instr N] [--seed S]
-//       simulate a captured trace through the shared experiment runner
+//       simulate a captured trace through the shared experiment runner.
+//       --ckpt-out PATH [--ckpt-every N] writes a full-state `.mckpt`
+//       checkpoint every N retired instructions (N defaults to
+//       MALEC_CKPT_EVERY); --from-ckpt PATH resumes one — the resumed
+//       run's report is bit-identical to the uninterrupted run. With
+//       --sampled, --warmup-ckpt PATH caches the per-pick warm states so
+//       repeated sweeps of the same (trace, plan, config) skip warmup.
 //   trace_tools synth <benchmark> [--config NAME] [--instr N] [--seed S]
 //       the equivalent direct synthetic run, same report — `diff` its
 //       output against `run` on a capture of the same benchmark to verify
@@ -49,6 +55,10 @@ struct RunFlags {
   std::uint64_t seed = 1;
   bool sampled = false;  ///< replay through a sample plan
   std::string plan;      ///< explicit plan path ("" = the .mplan sidecar)
+  std::string ckpt_out;  ///< write a .mckpt here every ckpt_every instrs
+  std::uint64_t ckpt_every = 0;  ///< 0 = MALEC_CKPT_EVERY
+  std::string from_ckpt;     ///< resume from this .mckpt
+  std::string warmup_ckpt;   ///< sampled warmup-state cache
 };
 
 /// Parse trailing [--config NAME] [--instr N] [--seed S] [--sampled
@@ -72,6 +82,12 @@ bool parseRunFlags(int argc, char** argv, int first, RunFlags& out,
       out.instructions = sim::parseU64Strict(value(), "--instr");
     else if (allow_run_flags && arg == "--sampled") out.sampled = true;
     else if (allow_run_flags && arg == "--plan") out.plan = value();
+    else if (allow_run_flags && arg == "--ckpt-out") out.ckpt_out = value();
+    else if (allow_run_flags && arg == "--ckpt-every")
+      out.ckpt_every = sim::parseU64Strict(value(), "--ckpt-every");
+    else if (allow_run_flags && arg == "--from-ckpt") out.from_ckpt = value();
+    else if (allow_run_flags && arg == "--warmup-ckpt")
+      out.warmup_ckpt = value();
     else if (arg == "--seed") out.seed = sim::parseU64Strict(value(), "--seed");
     else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
@@ -118,12 +134,23 @@ void printRunSummary(const sim::RunOutput& out) {
 }
 
 int runWorkload(const trace::WorkloadProfile& wl, const RunFlags& flags) {
+  // A cadence with nowhere to write would silently checkpoint nothing —
+  // reject like every other flag misuse. (MALEC_CKPT_EVERY alone is fine:
+  // that is ambient configuration, consulted only when an output is set.)
+  if (flags.ckpt_every != 0 && flags.ckpt_out.empty()) {
+    std::fprintf(stderr, "--ckpt-every needs --ckpt-out\n");
+    std::exit(2);
+  }
   sim::RunConfig rc;
   rc.workload = wl;
   rc.interface_cfg = configByName(flags.config);
   rc.system = sim::defaultSystem();
   rc.instructions = flags.instructions;
   rc.seed = flags.seed;
+  rc.ckpt_out = flags.ckpt_out;
+  rc.ckpt_every = flags.ckpt_every;
+  rc.start_ckpt = flags.from_ckpt;
+  rc.warmup_ckpt = flags.warmup_ckpt;
   printRunSummary(sim::runOne(rc));
   return 0;
 }
@@ -197,6 +224,18 @@ int cmdRun(const std::string& path, int argc, char** argv, int first) {
   if (!parseRunFlags(argc, argv, first, flags)) return 2;
   if (!flags.plan.empty() && !flags.sampled) {
     std::fprintf(stderr, "--plan only makes sense with --sampled\n");
+    return 2;
+  }
+  if (!flags.warmup_ckpt.empty() && !flags.sampled) {
+    std::fprintf(stderr,
+                 "--warmup-ckpt only makes sense with --sampled (full runs "
+                 "use --ckpt-out/--from-ckpt)\n");
+    return 2;
+  }
+  if (flags.sampled && (!flags.ckpt_out.empty() || !flags.from_ckpt.empty())) {
+    std::fprintf(stderr,
+                 "--sampled does not take --ckpt-out/--from-ckpt — its "
+                 "checkpoint reuse is the warmup cache (--warmup-ckpt)\n");
     return 2;
   }
   if (flags.sampled) {
@@ -297,8 +336,8 @@ int cmdSynth(const std::string& bench, int argc, char** argv, int first) {
   if (!parseRunFlags(argc, argv, first, flags)) return 2;
   // Synthetic runs have no plan to sample — reject rather than silently
   // print a full run the user believes was sampled.
-  if (flags.sampled || !flags.plan.empty()) {
-    std::fprintf(stderr, "synth does not take --sampled/--plan\n");
+  if (flags.sampled || !flags.plan.empty() || !flags.warmup_ckpt.empty()) {
+    std::fprintf(stderr, "synth does not take --sampled/--plan/--warmup-ckpt\n");
     return 2;
   }
   if (sim::workloadRegistry().tryGet(bench) == nullptr) {
@@ -329,9 +368,12 @@ int main(int argc, char** argv) {
                "  %s gen <benchmark> <N> <file> [--seed S]\n"
                "  %s analyze <file>\n"
                "  %s run <file> [--config NAME] [--instr N] [--seed S]"
-               " [--sampled [--plan PATH]]\n"
+               " [--sampled [--plan PATH] [--warmup-ckpt PATH]]\n"
+               "             [--ckpt-out PATH [--ckpt-every N]]"
+               " [--from-ckpt PATH]\n"
                "  %s synth <benchmark> [--config NAME] [--instr N]"
-               " [--seed S]\n"
+               " [--seed S] [--ckpt-out PATH [--ckpt-every N]]"
+               " [--from-ckpt PATH]\n"
                "  %s phases <file> [--interval N] [--phases K] [--warmup W]"
                " [--seed S] [--out PATH]\n",
                argv[0], argv[0], argv[0], argv[0], argv[0]);

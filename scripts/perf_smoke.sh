@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Pinned-budget performance smoke: times a fig4a sweep, a trace replay and
+# a checkpoint save/resume pass, and writes the wall-clock numbers to
+# BENCH_ckpt.json — the first point of the bench trajectory, so perf
+# regressions show up as a diffable artifact instead of an anecdote.
+#
+# Usage: scripts/perf_smoke.sh <build-dir> [out.json]
+# Budgets are pinned here (NOT via MALEC_INSTR) so runs are comparable
+# across CI invocations regardless of the suite-shrinking env.
+set -euo pipefail
+
+build_dir="${1:?usage: perf_smoke.sh <build-dir> [out.json]}"
+out="${2:-BENCH_ckpt.json}"
+
+instr=60000        # fig4a grid budget per run
+trace_instr=120000 # capture length for the replay + checkpoint passes
+ckpt_every=50000
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+now() { date +%s.%N; }
+elapsed() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.3f", b - a }'; }
+
+# 1. fig4a sweep (full workload x config grid, table sink to /dev/null).
+t0="$(now)"
+MALEC_INSTR="$instr" "$build_dir/malec_bench" --suite fig4a \
+  --sink table > /dev/null
+t1="$(now)"
+fig4a_s="$(elapsed "$t0" "$t1")"
+
+# 2. trace replay: capture once, replay through the default config.
+#    MALEC_INSTR=0 pins the replays to the whole capture — a CI-level
+#    MALEC_INSTR (e.g. 20000) would otherwise cap them below ckpt_every
+#    and the checkpoint pass would never write a file to resume.
+"$build_dir/trace_tools" gen gcc "$trace_instr" "$workdir/perf.mtrace" \
+  > /dev/null
+t0="$(now)"
+MALEC_INSTR=0 "$build_dir/trace_tools" run "$workdir/perf.mtrace" > /dev/null
+t1="$(now)"
+replay_s="$(elapsed "$t0" "$t1")"
+
+# 3. checkpoint pass: a checkpointing run, then a resume in a NEW process;
+#    the two reports must byte-diff clean (the determinism contract).
+t0="$(now)"
+MALEC_INSTR=0 "$build_dir/trace_tools" run "$workdir/perf.mtrace" \
+  --ckpt-out "$workdir/perf.mckpt" --ckpt-every "$ckpt_every" \
+  > "$workdir/full.txt"
+t1="$(now)"
+ckpt_save_s="$(elapsed "$t0" "$t1")"
+
+t0="$(now)"
+MALEC_INSTR=0 "$build_dir/trace_tools" run "$workdir/perf.mtrace" \
+  --from-ckpt "$workdir/perf.mckpt" > "$workdir/resumed.txt"
+t1="$(now)"
+ckpt_resume_s="$(elapsed "$t0" "$t1")"
+
+diff "$workdir/full.txt" "$workdir/resumed.txt" > /dev/null || {
+  echo "perf_smoke: resumed report differs from the straight-through run" >&2
+  exit 1
+}
+
+cat > "$out" <<JSON
+{
+  "bench": "perf_smoke",
+  "budgets": {"fig4a_instr": $instr, "trace_instr": $trace_instr,
+              "ckpt_every": $ckpt_every},
+  "fig4a_s": $fig4a_s,
+  "trace_replay_s": $replay_s,
+  "ckpt_save_s": $ckpt_save_s,
+  "ckpt_resume_s": $ckpt_resume_s
+}
+JSON
+echo "perf_smoke: wrote $out"
+cat "$out"

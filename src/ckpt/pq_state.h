@@ -1,0 +1,37 @@
+// Checkpoint helpers for the (cycle, seq) priority queues the simulator
+// uses for completion events. std::priority_queue hides its container, so
+// save drains a copy in pop order and load re-pushes element by element.
+// That round trip is exact for these queues: every (cycle, seq) pair is
+// unique (a sequence number completes at most once), so pop order is a
+// total order and independent of the heap's internal array layout.
+#pragma once
+
+#include <cstdint>
+
+#include "ckpt/state_io.h"
+
+namespace malec::ckpt {
+
+template <class PQ>
+void savePairQueue(StateWriter& w, const PQ& pq) {
+  PQ copy = pq;
+  w.u64(copy.size());
+  while (!copy.empty()) {
+    w.u64(copy.top().first);
+    w.u64(copy.top().second);
+    copy.pop();
+  }
+}
+
+template <class PQ>
+void loadPairQueue(StateReader& r, PQ& pq) {
+  pq = PQ();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t first = r.u64();
+    const std::uint64_t second = r.u64();
+    pq.emplace(first, second);
+  }
+}
+
+}  // namespace malec::ckpt

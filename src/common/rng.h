@@ -55,6 +55,14 @@ class Rng {
     return Rng(state_ ^ (salt * 0xBF58476D1CE4E5B9ull) ^ 0x94D049BB133111EBull);
   }
 
+  /// Raw generator state, for checkpoint/restore: setState(state()) makes
+  /// another Rng continue this one's stream exactly.
+  [[nodiscard]] std::uint64_t state() const { return state_; }
+  void setState(std::uint64_t s) {
+    MALEC_DCHECK(s != 0);  // xorshift64* has no zero state
+    state_ = s;
+  }
+
  private:
   std::uint64_t state_;
 };

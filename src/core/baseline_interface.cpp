@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ckpt/pq_state.h"
+#include "ckpt/state_io.h"
 #include "common/check.h"
 
 namespace malec::core {
@@ -210,6 +212,46 @@ void BaselineInterface::drainCompletions(Cycle now,
 bool BaselineInterface::quiesced() const {
   return pending_loads_.empty() && completions_.empty() && sb_.size() == 0 &&
          !pending_mbe_.has_value();
+}
+
+void BaselineInterface::saveState(ckpt::StateWriter& w) const {
+  l1_.saveState(w);
+  l2_.saveState(w);
+  hier_.saveState(w);
+  engine_.saveState(w);
+  sb_.saveState(w);
+  mb_.saveState(w);
+  w.u64(pending_loads_.size());
+  for (const MemOp& op : pending_loads_) saveMemOp(w, op);
+  w.u8(pending_mbe_.has_value() ? 1 : 0);
+  if (pending_mbe_.has_value()) lsq::MergeBuffer::saveEntry(w, *pending_mbe_);
+  ckpt::savePairQueue(w, completions_);
+  for (const auto field : kInterfaceCounterFields) w.u64(stats_.*field);
+  w.u64(now_);
+}
+
+void BaselineInterface::loadState(ckpt::StateReader& r) {
+  l1_.loadState(r);
+  l2_.loadState(r);
+  hier_.loadState(r);
+  engine_.loadState(r);
+  sb_.loadState(r);
+  mb_.loadState(r);
+  const std::uint64_t pending = r.u64();
+  // canAcceptLoad() bounds the backlog at ports + 2; a checkpoint past
+  // that is from a different configuration (or corrupt beyond checksums).
+  MALEC_CHECK_MSG(pending <= loadPortsPerCycle() + 2u,
+                  "pending-load checkpoint exceeds this port organisation");
+  pending_loads_.assign(static_cast<std::size_t>(pending), MemOp{});
+  for (MemOp& op : pending_loads_) op = loadMemOp(r);
+  if (r.u8() != 0) {
+    pending_mbe_ = lsq::MergeBuffer::loadEntry(r);
+  } else {
+    pending_mbe_.reset();
+  }
+  ckpt::loadPairQueue(r, completions_);
+  for (const auto field : kInterfaceCounterFields) stats_.*field = r.u64();
+  now_ = r.u64();
 }
 
 }  // namespace malec::core

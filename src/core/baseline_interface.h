@@ -44,6 +44,8 @@ class BaselineInterface final : public MemInterface {
   void drainCompletions(Cycle now, std::vector<SeqNum>& out) override;
   [[nodiscard]] bool quiesced() const override;
   [[nodiscard]] const InterfaceStats& stats() const override { return stats_; }
+  void saveState(ckpt::StateWriter& w) const override;
+  void loadState(ckpt::StateReader& r) override;
 
   [[nodiscard]] const TranslationEngine& engine() const { return engine_; }
   [[nodiscard]] const mem::L1Cache& l1() const { return l1_; }

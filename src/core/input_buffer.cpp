@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/state_io.h"
 #include "common/check.h"
 
 namespace malec::core {
@@ -111,6 +112,34 @@ void InputBuffer::remove(const std::vector<std::size_t>& indices) {
     MALEC_CHECK(*it < entries_.size());
     entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(*it));
   }
+}
+
+void InputBuffer::saveState(ckpt::StateWriter& w) const {
+  w.u64(entries_.size());
+  for (const Entry& e : entries_) {
+    saveMemOp(w, e.op);
+    w.u8(e.is_mbe ? 1 : 0);
+    w.u64(e.not_before);
+    w.u64(e.arrival);
+    w.u64(e.order);
+  }
+  w.u64(next_order_);
+}
+
+void InputBuffer::loadState(ckpt::StateReader& r) {
+  const std::uint64_t n = r.u64();
+  // Structural bound: carried + newly-computed loads plus the one MBE slot.
+  MALEC_CHECK_MSG(n <= carry_slots_ + agu_slots_ + 1u,
+                  "input-buffer checkpoint exceeds this capacity");
+  entries_.assign(static_cast<std::size_t>(n), Entry{});
+  for (Entry& e : entries_) {
+    e.op = loadMemOp(r);
+    e.is_mbe = r.u8() != 0;
+    e.not_before = r.u64();
+    e.arrival = r.u64();
+    e.order = r.u64();
+  }
+  next_order_ = r.u64();
 }
 
 }  // namespace malec::core

@@ -21,6 +21,11 @@
 #include "common/types.h"
 #include "core/mem_interface.h"
 
+namespace malec::ckpt {
+class StateReader;
+class StateWriter;
+}  // namespace malec::ckpt
+
 namespace malec::core {
 
 class InputBuffer {
@@ -73,6 +78,11 @@ class InputBuffer {
   /// "should the Input Buffer's storage elements be insufficient, one or
   /// more address computation units are stalled").
   [[nodiscard]] bool overCommitted(Cycle now) const;
+
+  /// Checkpoint/restore of all mutable state; restore requires an
+  /// identically-configured instance (geometry mismatches abort).
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
 
  private:
   std::uint32_t carry_slots_;

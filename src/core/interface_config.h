@@ -24,6 +24,10 @@ enum class InterfaceKind {
   kMalec,       ///< Page-Based Access Grouping (+ optional way determination)
 };
 
+/// NOTE: every field below feeds sim::runBindingHash() (checkpoint
+/// binding, src/sim/experiment.cpp) — a new knob MUST be added there too,
+/// or checkpoints taken under different values of it would silently
+/// resume each other.
 struct InterfaceConfig {
   std::string name = "MALEC";
   InterfaceKind kind = InterfaceKind::kMalec;
@@ -86,6 +90,8 @@ struct InterfaceConfig {
 };
 
 /// System-level parameters (Table II).
+/// NOTE: every field feeds sim::runBindingHash() (checkpoint binding) —
+/// a new parameter MUST be added there too.
 struct SystemConfig {
   AddressLayout layout{};
   std::uint32_t rob_entries = 168;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ckpt/pq_state.h"
+#include "ckpt/state_io.h"
 #include "common/check.h"
 
 namespace malec::core {
@@ -413,6 +415,61 @@ void MalecInterface::drainCompletions(Cycle now, std::vector<SeqNum>& out) {
 bool MalecInterface::quiesced() const {
   return ib_.empty() && completions_.empty() && sb_.size() == 0 &&
          !pending_mbe_.has_value();
+}
+
+void MalecInterface::saveState(ckpt::StateWriter& w) const {
+  // Every live member in declaration order. The per-cycle scratch buffers
+  // (group_scratch_ & co.) are rebuilt from scratch inside serviceGroup()
+  // each cycle, so they carry no state across the checkpoint boundary.
+  l1_.saveState(w);
+  l2_.saveState(w);
+  hier_.saveState(w);
+  engine_.saveState(w);
+  w.u8(wdu_ != nullptr ? 1 : 0);
+  if (wdu_) wdu_->saveState(w);
+  sb_.saveState(w);
+  mb_.saveState(w);
+  ib_.saveState(w);
+  w.u8(pending_mbe_.has_value() ? 1 : 0);
+  if (pending_mbe_.has_value()) lsq::MergeBuffer::saveEntry(w, *pending_mbe_);
+  ckpt::savePairQueue(w, completions_);
+  for (const auto field : kInterfaceCounterFields) w.u64(stats_.*field);
+  w.u64(now_);
+  w.u64(window_accesses_);
+  w.u64(window_misses_);
+  w.u64(window_lookups_);
+  w.u64(window_known_);
+  w.u64(bypass_windows_);
+  w.u32(high_miss_windows_);
+}
+
+void MalecInterface::loadState(ckpt::StateReader& r) {
+  l1_.loadState(r);
+  l2_.loadState(r);
+  hier_.loadState(r);
+  engine_.loadState(r);
+  const bool has_wdu = r.u8() != 0;
+  MALEC_CHECK_MSG(has_wdu == (wdu_ != nullptr),
+                  "checkpoint disagrees with this configuration about the "
+                  "WDU — config mismatch");
+  if (wdu_) wdu_->loadState(r);
+  sb_.loadState(r);
+  mb_.loadState(r);
+  ib_.loadState(r);
+  if (r.u8() != 0) {
+    pending_mbe_ = lsq::MergeBuffer::loadEntry(r);
+  } else {
+    pending_mbe_.reset();
+  }
+  ckpt::loadPairQueue(r, completions_);
+  for (const auto field : kInterfaceCounterFields) stats_.*field = r.u64();
+  now_ = r.u64();
+  window_accesses_ = r.u64();
+  window_misses_ = r.u64();
+  window_lookups_ = r.u64();
+  window_known_ = r.u64();
+  bypass_windows_ = r.u64();
+  high_miss_windows_ = r.u32();
 }
 
 }  // namespace malec::core

@@ -45,6 +45,8 @@ class MalecInterface final : public MemInterface {
   void drainCompletions(Cycle now, std::vector<SeqNum>& out) override;
   [[nodiscard]] bool quiesced() const override;
   [[nodiscard]] const InterfaceStats& stats() const override { return stats_; }
+  void saveState(ckpt::StateWriter& w) const override;
+  void loadState(ckpt::StateReader& r) override;
 
   // --- inspection (tests, reports) -----------------------------------------
   [[nodiscard]] const TranslationEngine& engine() const { return engine_; }

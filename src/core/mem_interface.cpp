@@ -2,7 +2,25 @@
 
 #include <iterator>
 
+#include "ckpt/state_io.h"
+
 namespace malec::core {
+
+void saveMemOp(ckpt::StateWriter& w, const MemOp& op) {
+  w.u64(op.seq);
+  w.u8(op.is_load ? 1 : 0);
+  w.u64(op.vaddr);
+  w.u8(op.size);
+}
+
+MemOp loadMemOp(ckpt::StateReader& r) {
+  MemOp op;
+  op.seq = r.u64();
+  op.is_load = r.u8() != 0;
+  op.vaddr = r.u64();
+  op.size = r.u8();
+  return op;
+}
 
 // Every InterfaceStats field is a u64 counter enumerated in
 // kInterfaceCounterFields; this trips when a field is added there or here

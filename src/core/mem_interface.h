@@ -13,6 +13,11 @@
 
 #include "common/types.h"
 
+namespace malec::ckpt {
+class StateReader;
+class StateWriter;
+}  // namespace malec::ckpt
+
 namespace malec::core {
 
 /// A memory operation handed over by an address-computation unit.
@@ -22,6 +27,11 @@ struct MemOp {
   Addr vaddr = 0;
   std::uint8_t size = 8;
 };
+
+/// Shared MemOp checkpoint codec — every holder (input buffer, pending
+/// load backlog) serializes through this one field list.
+void saveMemOp(ckpt::StateWriter& w, const MemOp& op);
+[[nodiscard]] MemOp loadMemOp(ckpt::StateReader& r);
 
 /// Aggregate behavioural counters every interface maintains.
 struct InterfaceStats {
@@ -125,6 +135,16 @@ class MemInterface {
   [[nodiscard]] virtual bool quiesced() const = 0;
 
   [[nodiscard]] virtual const InterfaceStats& stats() const = 0;
+
+  /// Checkpoint/restore of ALL mutable interface state — input buffers,
+  /// arbitration scratch carried across cycles, merge/feedback machinery,
+  /// busy windows, caches, TLBs, way structures and counters. The
+  /// determinism contract (docs/ARCHITECTURE.md): restoring into a
+  /// freshly-constructed interface of the same configuration and
+  /// continuing is bit-identical to never having stopped. Any state a
+  /// subclass forgets to serialize fails the checkpoint test matrix.
+  virtual void saveState(ckpt::StateWriter& w) const = 0;
+  virtual void loadState(ckpt::StateReader& r) = 0;
 };
 
 }  // namespace malec::core

@@ -1,5 +1,6 @@
 #include "core/translation_engine.h"
 
+#include "ckpt/state_io.h"
 #include "common/check.h"
 #include "waydet/way_info.h"
 
@@ -205,6 +206,34 @@ void TranslationEngine::onLineEvict(Addr paddr_line_base) {
     wt_.clearLine(*tslot, line);
     ea_.count(id_.wt_write);
   }
+}
+
+void TranslationEngine::saveState(ckpt::StateWriter& w) const {
+  pt_.saveState(w);
+  utlb_.saveState(w);
+  tlb_.saveState(w);
+  uwt_.saveState(w);
+  wt_.saveState(w);
+  last_entry_.saveState(w);
+  w.u64(way_lookups_);
+  w.u64(way_known_);
+  w.u64(feedbacks_);
+  w.u8(suspended_ ? 1 : 0);
+}
+
+void TranslationEngine::loadState(ckpt::StateReader& r) {
+  pt_.loadState(r);
+  utlb_.loadState(r);
+  tlb_.loadState(r);
+  uwt_.loadState(r);
+  wt_.loadState(r);
+  last_entry_.loadState(r);
+  way_lookups_ = r.u64();
+  way_known_ = r.u64();
+  feedbacks_ = r.u64();
+  // Restore the raw flag, NOT through setSuspended(): the transition hook
+  // flushes way tables on resume, which must not fire for a state copy.
+  suspended_ = r.u8() != 0;
 }
 
 }  // namespace malec::core

@@ -18,6 +18,11 @@
 #include "tlb/tlb.h"
 #include "waydet/way_table.h"
 
+namespace malec::ckpt {
+class StateReader;
+class StateWriter;
+}  // namespace malec::ckpt
+
 namespace malec::core {
 
 class TranslationEngine {
@@ -85,6 +90,12 @@ class TranslationEngine {
   /// Test access to the way tables.
   [[nodiscard]] const waydet::WayTable& wt() const { return wt_; }
   [[nodiscard]] const waydet::WayTable& uwt() const { return uwt_; }
+
+  /// Checkpoint/restore of the full translation-side state: page table,
+  /// uTLB/TLB (including replacement bookkeeping), uWT/WT, the last-entry
+  /// register, the bypass flag and every coverage counter.
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
 
  private:
   void installIntoUtlb(PageId vpage, PageId ppage, std::uint32_t tlb_slot,

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <iterator>
+#include <utility>
 
+#include "ckpt/pq_state.h"
+#include "ckpt/state_io.h"
 #include "common/check.h"
 
 namespace malec::cpu {
@@ -180,8 +183,23 @@ void CoreModel::doDispatch() {
   if (stalled) ++stats_.dispatch_stall_cycles;
 }
 
+void CoreModel::setCheckpointHook(std::uint64_t every,
+                                  std::function<void()> cb) {
+  MALEC_CHECK_MSG(every > 0, "checkpoint interval must be > 0");
+  ckpt_every_ = every;
+  ckpt_next_ = stats_.instructions + every;
+  ckpt_cb_ = std::move(cb);
+}
+
 CoreStats CoreModel::run(Cycle max_cycles, Cycle start_cycle) {
-  now_ = start_cycle;
+  if (resumed_) {
+    // Continuing a restored pipeline: the clock, base and statistics all
+    // came from the checkpoint — the caller's start_cycle is meaningless.
+    resumed_ = false;
+  } else {
+    now_ = start_cycle;
+    run_base_ = start_cycle;
+  }
   while (true) {
     mem_.beginCycle(now_);
 
@@ -219,10 +237,125 @@ CoreStats CoreModel::run(Cycle max_cycles, Cycle start_cycle) {
     ++now_;
     if (trace_done_ && !has_staged_ && rob_.empty() && mem_.quiesced())
       break;
-    if (max_cycles != 0 && now_ - start_cycle >= max_cycles) break;
+    if (max_cycles != 0 && now_ - run_base_ >= max_cycles) break;
+    // Checkpoint AFTER the continue decision: the hook only fires at a
+    // boundary the uninterrupted run also crosses into, so a resumed run
+    // re-enters the loop exactly like the original would have.
+    if (ckpt_every_ != 0 && stats_.instructions >= ckpt_next_) {
+      while (ckpt_next_ <= stats_.instructions) ckpt_next_ += ckpt_every_;
+      ckpt_cb_();
+    }
   }
-  stats_.cycles = now_ - start_cycle;
+  stats_.cycles = now_ - run_base_;
   return stats_;
+}
+
+namespace {
+
+void saveRecord(ckpt::StateWriter& w, const trace::InstrRecord& r) {
+  w.u64(r.seq);
+  w.u8(static_cast<std::uint8_t>(r.kind));
+  w.u64(r.vaddr);
+  w.u8(r.size);
+  w.u32(r.dep_distance);
+  w.u32(r.addr_dep_distance);
+}
+
+void loadRecord(ckpt::StateReader& r, trace::InstrRecord& out) {
+  out.seq = r.u64();
+  out.kind = static_cast<trace::InstrKind>(r.u8());
+  out.vaddr = r.u64();
+  out.size = r.u8();
+  out.dep_distance = r.u32();
+  out.addr_dep_distance = r.u32();
+}
+
+}  // namespace
+
+void CoreModel::saveState(ckpt::StateWriter& w) const {
+  w.u64(head_seq_);
+  w.u64(rob_.size());
+  for (const RobEntry& e : rob_) {
+    saveRecord(w, e.instr);
+    w.u8(e.pending_deps);
+    w.u8(static_cast<std::uint8_t>((e.agu_done ? 1 : 0) |
+                                   (e.completed ? 2 : 0)));
+  }
+  w.u8(trace_done_ ? 1 : 0);
+  w.u64(now_);
+  w.u64(run_base_);
+  w.u8(has_staged_ ? 1 : 0);
+  if (has_staged_) saveRecord(w, staged_);
+  // dependents_ is an unordered map — serialize sorted by producer seq so
+  // the same state always produces the same checkpoint bytes. The
+  // per-producer dependent lists keep their insertion order (it is the
+  // wakeup order).
+  std::vector<SeqNum> producers;
+  producers.reserve(dependents_.size());
+  for (const auto& [seq, deps] : dependents_) producers.push_back(seq);
+  std::sort(producers.begin(), producers.end());
+  w.u64(producers.size());
+  for (const SeqNum seq : producers) {
+    const auto& deps = dependents_.at(seq);
+    w.u64(seq);
+    w.u64(deps.size());
+    for (const SeqNum d : deps) w.u64(d);
+  }
+  w.u64(ready_exec_.size());
+  for (const SeqNum s : ready_exec_) w.u64(s);
+  w.u64(ready_loads_.size());
+  for (const SeqNum s : ready_loads_) w.u64(s);
+  w.u64(store_order_.size());
+  for (const SeqNum s : store_order_) w.u64(s);
+  ckpt::savePairQueue(w, exec_events_);
+  lq_.saveState(w);
+  w.u64(stats_.cycles);
+  w.u64(stats_.instructions);
+  for (const auto field : kCoreScaledCounterFields) w.u64(stats_.*field);
+}
+
+void CoreModel::loadState(ckpt::StateReader& r) {
+  head_seq_ = r.u64();
+  rob_.clear();
+  const std::uint64_t rob_n = r.u64();
+  for (std::uint64_t i = 0; i < rob_n; ++i) {
+    RobEntry e;
+    loadRecord(r, e.instr);
+    e.pending_deps = r.u8();
+    const std::uint8_t f = r.u8();
+    e.agu_done = (f & 1) != 0;
+    e.completed = (f & 2) != 0;
+    rob_.push_back(std::move(e));
+  }
+  trace_done_ = r.u8() != 0;
+  now_ = r.u64();
+  run_base_ = r.u64();
+  has_staged_ = r.u8() != 0;
+  if (has_staged_) loadRecord(r, staged_);
+  dependents_.clear();
+  const std::uint64_t producers = r.u64();
+  for (std::uint64_t i = 0; i < producers; ++i) {
+    const SeqNum seq = r.u64();
+    std::vector<SeqNum>& deps = dependents_[seq];
+    deps.resize(static_cast<std::size_t>(r.u64()));
+    for (SeqNum& d : deps) d = r.u64();
+  }
+  ready_exec_.clear();
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i)
+    ready_exec_.push_back(r.u64());
+  ready_loads_.clear();
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i)
+    ready_loads_.push_back(r.u64());
+  store_order_.clear();
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i)
+    store_order_.push_back(r.u64());
+  ckpt::loadPairQueue(r, exec_events_);
+  lq_.loadState(r);
+  stats_.cycles = r.u64();
+  stats_.instructions = r.u64();
+  for (const auto field : kCoreScaledCounterFields) stats_.*field = r.u64();
+  ckpt_next_ = stats_.instructions + ckpt_every_;
+  resumed_ = true;
 }
 
 void CoreModel::dispatchRecord(const trace::InstrRecord& r) {

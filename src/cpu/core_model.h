@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +26,11 @@
 #include "core/mem_interface.h"
 #include "lsq/load_queue.h"
 #include "trace/record.h"
+
+namespace malec::ckpt {
+class StateReader;
+class StateWriter;
+}  // namespace malec::ckpt
 
 namespace malec::cpu {
 
@@ -74,6 +80,24 @@ class CoreModel {
   /// "busy until" timestamps. Reported cycles stay relative to the start.
   CoreStats run(Cycle max_cycles = 0, Cycle start_cycle = 0);
 
+  /// Invoke `cb` at the first end-of-cycle boundary at which at least
+  /// `every` further instructions have retired (then re-arm `every`
+  /// later, and so on). The callback runs at a consistent instruction
+  /// boundary — commit done, interface cycle finished — which is where
+  /// the run layer snapshots the full simulation state. The hook never
+  /// fires on the run's final cycle: a checkpoint is only taken where
+  /// continuing is possible, so a resumed run re-enters the cycle loop
+  /// exactly like the uninterrupted run did.
+  void setCheckpointHook(std::uint64_t every, std::function<void()> cb);
+
+  /// Checkpoint/restore of the whole pipeline: ROB, staging slot, ready
+  /// queues, store order, dependency graph, in-flight execution events,
+  /// LQ occupancy, clock and statistics. After loadState, the next run()
+  /// call continues the restored cycle (its start_cycle argument is
+  /// ignored) — bit-identical to the run that never stopped.
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
+
  private:
   struct RobEntry {
     trace::InstrRecord instr;
@@ -102,6 +126,15 @@ class CoreModel {
   SeqNum head_seq_ = 0;  ///< seq of rob_.front()
   bool trace_done_ = false;
   Cycle now_ = 0;
+  /// Clock value the (original) run started at — reported cycles and the
+  /// max_cycles bound stay relative to it across checkpoint/resume.
+  Cycle run_base_ = 0;
+  /// Set by loadState: the next run() continues the restored timeline
+  /// instead of resetting the clock to its start_cycle argument.
+  bool resumed_ = false;
+  std::uint64_t ckpt_every_ = 0;
+  std::uint64_t ckpt_next_ = 0;
+  std::function<void()> ckpt_cb_;
   /// One-slot staging area for a record pulled from the trace that could
   /// not dispatch (LQ full) — re-tried first next cycle.
   trace::InstrRecord staged_{};

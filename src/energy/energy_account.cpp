@@ -1,5 +1,8 @@
 #include "energy/energy_account.h"
 
+#include "ckpt/state_io.h"
+#include "common/binio.h"
+
 namespace malec::energy {
 
 namespace {
@@ -119,6 +122,42 @@ StatSet EnergyAccount::report(Cycle cycles, double clock_ghz) const {
 
 void EnergyAccount::clearCounts() {
   for (Event& ev : events_) ev.count = 0;
+}
+
+namespace {
+
+/// FNV-1a over the (sorted) name -> id mapping: a cheap fingerprint of the
+/// event space a checkpoint's counters index into.
+std::uint64_t eventSpaceHash(const std::map<std::string, EnergyAccount::EventId>& index) {
+  std::uint64_t h = binio::kFnvOffset;
+  for (const auto& [name, id] : index) {
+    h = binio::fnv1a(h, reinterpret_cast<const std::uint8_t*>(name.data()),
+                     name.size());
+    std::uint8_t idb[4];
+    binio::put32(idb, id);
+    h = binio::fnv1a(h, idb, sizeof idb);
+  }
+  return h;
+}
+
+}  // namespace
+
+void EnergyAccount::saveState(ckpt::StateWriter& w) const {
+  w.u64(eventSpaceHash(index_));
+  w.u8(counting_ != 0 ? 1 : 0);
+  w.u64(events_.size());
+  for (const Event& ev : events_) w.u64(ev.count);
+}
+
+void EnergyAccount::loadState(ckpt::StateReader& r) {
+  MALEC_CHECK_MSG(r.u64() == eventSpaceHash(index_),
+                  "checkpoint was taken under a different energy-event "
+                  "inventory — config mismatch");
+  counting_ = r.u8() != 0 ? 1 : 0;
+  MALEC_CHECK_MSG(r.u64() == events_.size(),
+                  "checkpoint event-counter count disagrees with this "
+                  "account");
+  for (Event& ev : events_) ev.count = r.u64();
 }
 
 }  // namespace malec::energy

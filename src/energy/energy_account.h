@@ -22,6 +22,11 @@
 #include "common/stats.h"
 #include "common/types.h"
 
+namespace malec::ckpt {
+class StateReader;
+class StateWriter;
+}  // namespace malec::ckpt
+
 namespace malec::energy {
 
 /// Accumulates (event -> count) and (structure -> leakage) and produces an
@@ -104,6 +109,14 @@ class EnergyAccount {
 
   /// Reset counts (keeps event/leakage definitions and ids).
   void clearCounts();
+
+  /// Checkpoint/restore of the dynamic counters and gate state. The event
+  /// inventory itself is NOT stored — it is reconstructed by running the
+  /// same defineEnergies/constructor sequence — but a hash of the (name,
+  /// id) mapping is, so a checkpoint restored into an account with a
+  /// different event space aborts instead of mis-crediting counts.
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
 
  private:
   struct Event {

@@ -6,9 +6,12 @@
 // statistics.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_set>
+#include <vector>
 
+#include "ckpt/state_io.h"
 #include "common/check.h"
 #include "common/types.h"
 
@@ -39,6 +42,24 @@ class LoadQueue {
   }
 
   [[nodiscard]] std::size_t peakOccupancy() const { return peak_; }
+
+  /// Checkpoint/restore of the in-flight load set and peak statistic.
+  void saveState(ckpt::StateWriter& w) const {
+    // live_ is an unordered set — serialize sorted so the same state
+    // always produces the same checkpoint bytes.
+    std::vector<SeqNum> live(live_.begin(), live_.end());
+    std::sort(live.begin(), live.end());
+    w.u64(live.size());
+    for (const SeqNum s : live) w.u64(s);
+    w.u64(peak_);
+  }
+  void loadState(ckpt::StateReader& r) {
+    live_.clear();
+    const std::uint64_t n = r.u64();
+    MALEC_CHECK_MSG(n <= capacity_, "LQ checkpoint exceeds this capacity");
+    for (std::uint64_t i = 0; i < n; ++i) live_.insert(r.u64());
+    peak_ = static_cast<std::size_t>(r.u64());
+  }
 
  private:
   std::uint32_t capacity_;

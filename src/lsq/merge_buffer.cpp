@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/state_io.h"
 #include "common/check.h"
 
 namespace malec::lsq {
@@ -67,6 +68,48 @@ bool MergeBuffer::coversLoad(Addr vaddr, std::uint8_t size,
   }
   if (covered) ++forwards_;
   return covered;
+}
+
+
+void MergeBuffer::saveEntry(ckpt::StateWriter& w, const Entry& e) {
+  w.u64(e.line_base);
+  w.u64(e.byte_mask);
+  w.u64(e.lru);
+  w.u32(e.merged_stores);
+}
+
+MergeBuffer::Entry MergeBuffer::loadEntry(ckpt::StateReader& r) {
+  Entry e;
+  e.line_base = r.u64();
+  e.byte_mask = r.u64();
+  e.lru = r.u64();
+  e.merged_stores = r.u32();
+  return e;
+}
+
+void MergeBuffer::saveState(ckpt::StateWriter& w) const {
+  w.u64(entries_.size());
+  for (const Entry& e : entries_) saveEntry(w, e);
+  w.u64(tick_);
+  w.u64(merges_);
+  w.u64(forwards_);
+  w.u64(page_compares_);
+  w.u64(offset_compares_);
+  w.u64(full_compares_);
+}
+
+void MergeBuffer::loadState(ckpt::StateReader& r) {
+  const std::uint64_t n = r.u64();
+  MALEC_CHECK_MSG(n <= capacity_,
+                  "merge-buffer checkpoint exceeds this capacity");
+  entries_.assign(static_cast<std::size_t>(n), Entry{});
+  for (Entry& e : entries_) e = loadEntry(r);
+  tick_ = r.u64();
+  merges_ = r.u64();
+  forwards_ = r.u64();
+  page_compares_ = r.u64();
+  offset_compares_ = r.u64();
+  full_compares_ = r.u64();
 }
 
 }  // namespace malec::lsq

@@ -10,6 +10,11 @@
 #include "common/address.h"
 #include "common/types.h"
 
+namespace malec::ckpt {
+class StateReader;
+class StateWriter;
+}  // namespace malec::ckpt
+
 namespace malec::lsq {
 
 class MergeBuffer {
@@ -20,6 +25,11 @@ class MergeBuffer {
     std::uint64_t lru = 0;
     std::uint32_t merged_stores = 0;
   };
+
+  /// Shared Entry checkpoint codec — the buffer itself and every holder
+  /// of a pending eviction serialize through this one field list.
+  static void saveEntry(ckpt::StateWriter& w, const Entry& e);
+  [[nodiscard]] static Entry loadEntry(ckpt::StateReader& r);
 
   MergeBuffer(std::uint32_t capacity, AddressLayout layout)
       : capacity_(capacity), layout_(layout) {}
@@ -43,6 +53,11 @@ class MergeBuffer {
 
   [[nodiscard]] std::uint64_t forwards() const { return forwards_; }
   [[nodiscard]] std::uint64_t mergesTotal() const { return merges_; }
+
+  /// Checkpoint/restore of all mutable state; restore requires an
+  /// identically-configured instance (geometry mismatches abort).
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
 
  private:
   [[nodiscard]] std::uint64_t maskFor(Addr vaddr, std::uint8_t size) const;

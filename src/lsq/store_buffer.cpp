@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/state_io.h"
 #include "common/check.h"
 
 namespace malec::lsq {
@@ -60,6 +61,38 @@ bool StoreBuffer::hasOverlap(Addr vaddr, std::uint8_t size) const {
   return std::any_of(entries_.begin(), entries_.end(), [&](const Entry& e) {
     return e.vaddr < hi && e.vaddr + e.size > lo;
   });
+}
+
+
+void StoreBuffer::saveState(ckpt::StateWriter& w) const {
+  w.u64(entries_.size());
+  for (const Entry& e : entries_) {
+    w.u64(e.seq);
+    w.u64(e.vaddr);
+    w.u8(e.size);
+    w.u8(e.committed ? 1 : 0);
+  }
+  w.u64(full_compares_);
+  w.u64(page_compares_);
+  w.u64(offset_compares_);
+  w.u64(forwards_);
+}
+
+void StoreBuffer::loadState(ckpt::StateReader& r) {
+  const std::uint64_t n = r.u64();
+  MALEC_CHECK_MSG(n <= capacity_,
+                  "store-buffer checkpoint exceeds this capacity");
+  entries_.assign(static_cast<std::size_t>(n), Entry{});
+  for (Entry& e : entries_) {
+    e.seq = r.u64();
+    e.vaddr = r.u64();
+    e.size = r.u8();
+    e.committed = r.u8() != 0;
+  }
+  full_compares_ = r.u64();
+  page_compares_ = r.u64();
+  offset_compares_ = r.u64();
+  forwards_ = r.u64();
 }
 
 }  // namespace malec::lsq

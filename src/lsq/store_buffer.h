@@ -17,6 +17,11 @@
 #include "common/address.h"
 #include "common/types.h"
 
+namespace malec::ckpt {
+class StateReader;
+class StateWriter;
+}  // namespace malec::ckpt
+
 namespace malec::lsq {
 
 class StoreBuffer {
@@ -62,6 +67,11 @@ class StoreBuffer {
     return offset_compares_;
   }
   [[nodiscard]] std::uint64_t forwards() const { return forwards_; }
+
+  /// Checkpoint/restore of all mutable state; restore requires an
+  /// identically-configured instance (geometry mismatches abort).
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
 
  private:
   std::uint32_t capacity_;

@@ -1,5 +1,6 @@
 #include "mem/l1_cache.h"
 
+#include "ckpt/state_io.h"
 #include "common/check.h"
 
 namespace malec::mem {
@@ -109,6 +110,32 @@ std::uint64_t L1Cache::validLines() const {
   for (const Line& ln : lines_)
     if (ln.valid) ++n;
   return n;
+}
+
+
+void L1Cache::saveState(ckpt::StateWriter& w) const {
+  w.u64(lines_.size());
+  for (const Line& ln : lines_) {
+    w.u8(static_cast<std::uint8_t>((ln.valid ? 1 : 0) | (ln.dirty ? 2 : 0)));
+    w.u64(ln.tag);
+  }
+  repl_->saveState(w);
+  w.u64(fills_);
+  w.u64(evictions_);
+}
+
+void L1Cache::loadState(ckpt::StateReader& r) {
+  MALEC_CHECK_MSG(r.u64() == lines_.size(),
+                  "L1 checkpoint state does not fit this cache geometry");
+  for (Line& ln : lines_) {
+    const std::uint8_t f = r.u8();
+    ln.valid = (f & 1) != 0;
+    ln.dirty = (f & 2) != 0;
+    ln.tag = r.u64();
+  }
+  repl_->loadState(r);
+  fills_ = r.u64();
+  evictions_ = r.u64();
 }
 
 }  // namespace malec::mem

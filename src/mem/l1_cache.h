@@ -24,6 +24,11 @@
 #include "common/types.h"
 #include "mem/replacement.h"
 
+namespace malec::ckpt {
+class StateReader;
+class StateWriter;
+}  // namespace malec::ckpt
+
 namespace malec::mem {
 
 class L1Cache {
@@ -70,6 +75,11 @@ class L1Cache {
 
   /// Number of valid lines (tests / occupancy checks).
   [[nodiscard]] std::uint64_t validLines() const;
+
+  /// Checkpoint/restore of all mutable state; restore requires an
+  /// identically-configured instance (geometry mismatches abort).
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
 
  private:
   struct Line {

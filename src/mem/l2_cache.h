@@ -10,6 +10,11 @@
 #include "common/types.h"
 #include "mem/replacement.h"
 
+namespace malec::ckpt {
+class StateReader;
+class StateWriter;
+}  // namespace malec::ckpt
+
 namespace malec::mem {
 
 class L2Cache {
@@ -39,6 +44,11 @@ class L2Cache {
 
   [[nodiscard]] std::uint32_t sets() const { return sets_; }
   [[nodiscard]] std::uint64_t fills() const { return fills_; }
+
+  /// Checkpoint/restore of all mutable state; restore requires an
+  /// identically-configured instance (geometry mismatches abort).
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
 
  private:
   struct Line {

@@ -1,5 +1,10 @@
 #include "mem/memory_hierarchy.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "ckpt/state_io.h"
 #include "common/check.h"
 
 namespace malec::mem {
@@ -80,6 +85,40 @@ MemoryHierarchy::MissOutcome MemoryHierarchy::missAccess(Addr paddr,
   out.l1_way = fill.way;
   pending_[line_base] = {out.ready_cycle, fill.way};
   return out;
+}
+
+
+void MemoryHierarchy::saveState(ckpt::StateWriter& w) const {
+  // pending_ is an unordered map — serialize sorted by line base so the
+  // same state always produces the same checkpoint bytes.
+  std::vector<std::pair<Addr, std::pair<Cycle, WayIdx>>> pend(
+      pending_.begin(), pending_.end());
+  std::sort(pend.begin(), pend.end());
+  w.u64(pend.size());
+  for (const auto& [line, rdy] : pend) {
+    w.u64(line);
+    w.u64(rdy.first);
+    w.u8(static_cast<std::uint8_t>(rdy.second));
+  }
+  w.u64(l2_hits_);
+  w.u64(l2_misses_);
+  w.u64(l1_writebacks_);
+  w.u64(mshr_merges_);
+}
+
+void MemoryHierarchy::loadState(ckpt::StateReader& r) {
+  pending_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Addr line = r.u64();
+    const Cycle ready = r.u64();
+    const WayIdx way = static_cast<WayIdx>(r.u8());
+    pending_[line] = {ready, way};
+  }
+  l2_hits_ = r.u64();
+  l2_misses_ = r.u64();
+  l1_writebacks_ = r.u64();
+  mshr_merges_ = r.u64();
 }
 
 }  // namespace malec::mem

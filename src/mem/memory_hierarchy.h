@@ -16,6 +16,11 @@
 #include "mem/l1_cache.h"
 #include "mem/l2_cache.h"
 
+namespace malec::ckpt {
+class StateReader;
+class StateWriter;
+}  // namespace malec::ckpt
+
 namespace malec::mem {
 
 class MemoryHierarchy {
@@ -56,6 +61,11 @@ class MemoryHierarchy {
   [[nodiscard]] std::uint64_t l2Misses() const { return l2_misses_; }
   [[nodiscard]] std::uint64_t l1Writebacks() const { return l1_writebacks_; }
   [[nodiscard]] std::uint64_t mshrMerges() const { return mshr_merges_; }
+
+  /// Checkpoint/restore of outstanding-miss tracking and counters; restore requires an
+  /// identically-configured instance (geometry mismatches abort).
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
 
  private:
   void dropExpired(Cycle now);

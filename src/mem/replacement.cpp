@@ -1,5 +1,6 @@
 #include "mem/replacement.h"
 
+#include "ckpt/state_io.h"
 #include "common/check.h"
 
 namespace malec::mem {
@@ -34,6 +35,19 @@ std::uint32_t LruPolicy::victim(std::uint32_t set, std::uint64_t allowed_mask) {
   return best;
 }
 
+void LruPolicy::saveState(ckpt::StateWriter& w) const {
+  w.u64(tick_);
+  w.u64(stamp_.size());
+  for (const std::uint64_t s : stamp_) w.u64(s);
+}
+
+void LruPolicy::loadState(ckpt::StateReader& r) {
+  tick_ = r.u64();
+  MALEC_CHECK_MSG(r.u64() == stamp_.size(),
+                  "LRU state does not fit this geometry");
+  for (std::uint64_t& s : stamp_) s = r.u64();
+}
+
 // --- Random -----------------------------------------------------------
 
 RandomPolicy::RandomPolicy(std::uint32_t sets, std::uint32_t ways, Rng rng)
@@ -52,6 +66,12 @@ std::uint32_t RandomPolicy::victim(std::uint32_t, std::uint64_t allowed_mask) {
     if (allowed_mask & (1ull << w)) candidates[n++] = w;
   return candidates[rng_.below(n)];
 }
+
+void RandomPolicy::saveState(ckpt::StateWriter& w) const {
+  w.u64(rng_.state());
+}
+
+void RandomPolicy::loadState(ckpt::StateReader& r) { rng_.setState(r.u64()); }
 
 // --- Second chance ------------------------------------------------------
 
@@ -92,6 +112,22 @@ std::uint32_t SecondChancePolicy::victim(std::uint32_t set,
     if (allowed_mask & (1ull << w)) return w;
   MALEC_CHECK(false);
   return 0;
+}
+
+void SecondChancePolicy::saveState(ckpt::StateWriter& w) const {
+  w.u64(ref_.size());
+  for (const std::uint8_t b : ref_) w.u8(b);
+  w.u64(hand_.size());
+  for (const std::uint32_t h : hand_) w.u32(h);
+}
+
+void SecondChancePolicy::loadState(ckpt::StateReader& r) {
+  MALEC_CHECK_MSG(r.u64() == ref_.size(),
+                  "second-chance state does not fit this geometry");
+  for (std::uint8_t& b : ref_) b = r.u8();
+  MALEC_CHECK_MSG(r.u64() == hand_.size(),
+                  "second-chance state does not fit this geometry");
+  for (std::uint32_t& h : hand_) h = r.u32();
 }
 
 std::unique_ptr<ReplacementPolicy> makePolicy(ReplacementKind kind,

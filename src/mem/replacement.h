@@ -11,6 +11,11 @@
 
 #include "common/rng.h"
 
+namespace malec::ckpt {
+class StateReader;
+class StateWriter;
+}  // namespace malec::ckpt
+
 namespace malec::mem {
 
 /// Chooses victims within one set of `ways` ways. `allowed_mask` restricts
@@ -26,6 +31,12 @@ class ReplacementPolicy {
   /// Pick a victim way within `set` among `allowed_mask`.
   [[nodiscard]] virtual std::uint32_t victim(std::uint32_t set,
                                              std::uint64_t allowed_mask) = 0;
+
+  /// Checkpoint/restore of the policy's mutable state (recency stamps,
+  /// clock hands, RNG stream). Restoring into an identically-configured
+  /// policy makes victim selection continue bit-identically.
+  virtual void saveState(ckpt::StateWriter& w) const = 0;
+  virtual void loadState(ckpt::StateReader& r) = 0;
 };
 
 /// True LRU via per-set recency stamps.
@@ -36,6 +47,8 @@ class LruPolicy final : public ReplacementPolicy {
   void fill(std::uint32_t set, std::uint32_t way) override;
   [[nodiscard]] std::uint32_t victim(std::uint32_t set,
                                      std::uint64_t allowed_mask) override;
+  void saveState(ckpt::StateWriter& w) const override;
+  void loadState(ckpt::StateReader& r) override;
 
  private:
   std::uint32_t ways_;
@@ -51,6 +64,8 @@ class RandomPolicy final : public ReplacementPolicy {
   void fill(std::uint32_t set, std::uint32_t way) override;
   [[nodiscard]] std::uint32_t victim(std::uint32_t set,
                                      std::uint64_t allowed_mask) override;
+  void saveState(ckpt::StateWriter& w) const override;
+  void loadState(ckpt::StateReader& r) override;
 
  private:
   std::uint32_t ways_;
@@ -67,6 +82,8 @@ class SecondChancePolicy final : public ReplacementPolicy {
   void fill(std::uint32_t set, std::uint32_t way) override;
   [[nodiscard]] std::uint32_t victim(std::uint32_t set,
                                      std::uint64_t allowed_mask) override;
+  void saveState(ckpt::StateWriter& w) const override;
+  void loadState(ckpt::StateReader& r) override;
 
  private:
   std::uint32_t ways_;

@@ -4,7 +4,10 @@
 #include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -14,6 +17,8 @@
 #include <cmath>
 #include <iterator>
 
+#include "ckpt/state_io.h"
+#include "common/binio.h"
 #include "common/check.h"
 #include "energy/energy_account.h"
 #include "phase/sample_plan.h"
@@ -26,13 +31,20 @@ namespace malec::sim {
 
 namespace {
 
+/// Env knob accessor — defined with the other env helpers below.
+std::uint64_t envU64(const char* name, std::uint64_t dflt);
+
 /// The pluggable trace source behind runOne(): a synthetic generator for
 /// profile workloads (the original, bit-identical path) or a file reader
 /// for trace-backed ones. `reader` stays null for synthetic sources and
-/// lets the caller verify the stream survived intact after the run.
+/// lets the caller verify the stream survived intact after the run;
+/// `synth`/`limited` expose the concrete objects the checkpoint layer
+/// saves and restores.
 struct ResolvedSource {
   std::unique_ptr<trace::TraceSource> src;
   trace::TraceReader* reader = nullptr;
+  trace::SyntheticTraceGenerator* synth = nullptr;
+  trace::LimitedTraceSource* limited = nullptr;
   std::uint64_t instructions = 0;  ///< effective stream length
 };
 
@@ -89,8 +101,10 @@ void verifyReaderTail(trace::TraceReader& reader, const std::string& path) {
 ResolvedSource makeTraceSource(const RunConfig& rc) {
   ResolvedSource rs;
   if (!rc.workload.isTrace()) {
-    rs.src = std::make_unique<trace::SyntheticTraceGenerator>(
+    auto gen = std::make_unique<trace::SyntheticTraceGenerator>(
         rc.workload, rc.system.layout, rc.instructions, rc.seed);
+    rs.synth = gen.get();
+    rs.src = std::move(gen);
     rs.instructions = rc.instructions;
     return rs;
   }
@@ -102,7 +116,9 @@ ResolvedSource makeTraceSource(const RunConfig& rc) {
   std::uint64_t n = rc.instructions == 0 ? total
                                          : std::min(rc.instructions, total);
   if (n < total) {
-    rs.src = std::make_unique<trace::LimitedTraceSource>(std::move(rd), n);
+    auto lim = std::make_unique<trace::LimitedTraceSource>(std::move(rd), n);
+    rs.limited = lim.get();
+    rs.src = std::move(lim);
   } else {
     rs.src = std::move(rd);
   }
@@ -145,6 +161,260 @@ class SegmentSource final : public trace::TraceSource {
 
 RunOutput runOneSampled(const RunConfig& rc);
 
+// --- checkpoint orchestration (.mckpt, src/ckpt) ----------------------------
+//
+// A checkpoint binds to one exact run: the full interface + system
+// configuration, seed and instruction budget are fingerprinted into the
+// meta section, the workload by its statistical profile (synthetic) or by
+// the trace's record count + checksum (like `.mplan`). Restoring under
+// anything else is a hard error — a checkpoint silently applied to a
+// different run would produce plausible-looking nonsense.
+
+/// Canonical little-endian byte stream of a value sequence, FNV-1a hashed.
+class BindingHasher {
+ public:
+  void u64(std::uint64_t v) {
+    std::uint8_t b[8];
+    binio::put64(b, v);
+    h_ = binio::fnv1a(h_, b, sizeof b);
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    h_ = binio::fnv1a(h_, reinterpret_cast<const std::uint8_t*>(s.data()),
+                      s.size());
+  }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = binio::kFnvOffset;
+};
+
+void hashLayout(BindingHasher& h, const AddressLayout& l) {
+  h.u64(l.addrBits());
+  h.u64(l.pageBytes());
+  h.u64(l.lineBytes());
+  h.u64(l.subBlockBytes());
+  h.u64(l.l1Bytes());
+  h.u64(l.l1Assoc());
+  h.u64(l.l1Banks());
+}
+
+void hashProfile(BindingHasher& h, const trace::WorkloadProfile& wl) {
+  // Every statistical parameter the generator draws from. The trace and
+  // plan paths are deliberately NOT hashed — files may move; trace-backed
+  // runs bind by record count + checksum instead.
+  h.f64(wl.mem_fraction);
+  h.f64(wl.load_share);
+  h.u64(wl.streams);
+  h.f64(wl.p_switch_stream);
+  h.f64(wl.p_same_page);
+  h.f64(wl.p_sequential);
+  h.u64(wl.stride_bytes);
+  h.f64(wl.p_same_line);
+  h.u64(wl.ws_pages);
+  h.f64(wl.hot_fraction);
+  h.u64(wl.hot_pages);
+  h.f64(wl.p_stream_advance);
+  h.f64(wl.dep_on_load);
+  h.u64(wl.dep_distance_cap);
+  h.f64(wl.addr_dep_on_load);
+  h.f64(wl.dep_on_prev);
+  h.f64(wl.store_p_same_page);
+  h.f64(wl.store_p_adjacent);
+  h.f64(wl.store_near_load);
+  h.u64(wl.access_size);
+}
+
+/// Fingerprint of everything that shapes a run besides the trace bytes:
+/// interface config, system config, seed, budget and the workload's
+/// synthetic statistics.
+std::uint64_t runBindingHash(const RunConfig& rc) {
+  BindingHasher h;
+  const core::InterfaceConfig& c = rc.interface_cfg;
+  h.str(c.name);
+  h.u64(static_cast<std::uint64_t>(c.kind));
+  h.u64(c.l1_latency);
+  h.u64(c.agu_load_only);
+  h.u64(c.agu_load_store);
+  h.u64(c.agu_store_only);
+  h.u64(c.l1_extra_rd_ports);
+  h.u64(c.tlb_extra_rd_ports);
+  h.u64(c.ib_carry_slots);
+  h.u64(c.ib_group_comparators);
+  h.u64(c.result_buses);
+  h.u64(c.merge_window);
+  h.u64(c.merge_loads ? 1 : 0);
+  h.u64(c.subblocked_pair_read ? 1 : 0);
+  h.u64(static_cast<std::uint64_t>(c.waydet));
+  h.u64(c.wdu_entries);
+  h.u64(c.last_entry_feedback ? 1 : 0);
+  h.u64(c.last_entry_depth);
+  h.u64(c.adaptive_bypass ? 1 : 0);
+  h.u64(c.bypass_window);
+  h.f64(c.bypass_threshold);
+  h.f64(c.bypass_min_coverage);
+  const core::SystemConfig& s = rc.system;
+  hashLayout(h, s.layout);
+  h.u64(s.rob_entries);
+  h.u64(s.fetch_width);
+  h.u64(s.issue_width);
+  h.u64(s.commit_width);
+  h.u64(s.lq_entries);
+  h.u64(s.sb_entries);
+  h.u64(s.mb_entries);
+  h.u64(s.utlb_entries);
+  h.u64(s.tlb_entries);
+  h.u64(s.l2_latency);
+  h.u64(s.dram_latency);
+  h.u64(s.page_walk_latency);
+  h.u64(s.mshrs);
+  h.f64(s.clock_ghz);
+  h.u64(s.seed);
+  h.u64(rc.seed);
+  h.u64(rc.instructions);
+  hashProfile(h, rc.workload);
+  return h.value();
+}
+
+void writeMetaSection(ckpt::StateWriter& w, const RunConfig& rc,
+                      const ResolvedSource& src) {
+  w.beginSection("meta");
+  w.u64(runBindingHash(rc));
+  w.str(rc.workload.name);
+  w.u8(rc.workload.isTrace() ? 1 : 0);
+  if (src.reader != nullptr) {
+    w.u64(src.reader->total());
+    w.u64(src.reader->expectedChecksum());
+  }
+  w.endSection();
+}
+
+/// Validate the meta section against `rc` + the freshly-opened source.
+/// Aborts with a specific message per mismatch class.
+void checkMetaSection(ckpt::StateReader& r, const std::string& path,
+                      const RunConfig& rc, const ResolvedSource& src) {
+  r.openSection("meta");
+  if (r.u64() != runBindingHash(rc)) {
+    const std::string msg =
+        "checkpoint '" + path +
+        "' was taken under a different run configuration (interface/system "
+        "parameters, seed, instruction budget or workload statistics) — it "
+        "cannot resume this run";
+    MALEC_CHECK_MSG(false, msg.c_str());
+  }
+  const std::string wl_name = r.str();
+  if (wl_name != rc.workload.name) {
+    const std::string msg = "checkpoint '" + path + "' was taken from "
+                            "workload '" + wl_name + "', not '" +
+                            rc.workload.name + "'";
+    MALEC_CHECK_MSG(false, msg.c_str());
+  }
+  const bool was_trace = r.u8() != 0;
+  MALEC_CHECK_MSG(was_trace == rc.workload.isTrace(),
+                  "checkpoint disagrees with this run about the trace "
+                  "source kind");
+  if (was_trace) {
+    const std::uint64_t total = r.u64();
+    const std::uint64_t sum = r.u64();
+    if (total != src.reader->total() ||
+        sum != src.reader->expectedChecksum()) {
+      const std::string msg =
+          "checkpoint '" + path + "' was taken from a different trace than "
+          "'" + rc.workload.trace_path + "' (record count or checksum "
+          "mismatch) — a checkpoint never applies across captures";
+      MALEC_CHECK_MSG(false, msg.c_str());
+    }
+  }
+  r.endSection();
+}
+
+void saveSourceState(ckpt::StateWriter& w, const ResolvedSource& src) {
+  w.beginSection("source");
+  if (src.reader != nullptr) {
+    w.u64(src.reader->consumed());
+    w.u64(src.reader->runningChecksum());
+  } else {
+    src.synth->saveState(w);
+  }
+  w.endSection();
+}
+
+void loadSourceState(ckpt::StateReader& r, ResolvedSource& src) {
+  r.openSection("source");
+  if (src.reader != nullptr) {
+    const std::uint64_t pos = r.u64();
+    const std::uint64_t sum = r.u64();
+    if (!src.reader->seekTo(pos, sum))
+      MALEC_CHECK_MSG(false, src.reader->error().c_str());
+    if (src.limited != nullptr) src.limited->setServed(pos);
+  } else {
+    src.synth->loadState(r);
+  }
+  r.endSection();
+}
+
+/// Snapshot the complete simulation state into `rc.ckpt_out` — called from
+/// the core's end-of-cycle hook, so everything sits at a consistent
+/// instruction boundary.
+void saveRunState(const RunConfig& rc, const ResolvedSource& src,
+                  const energy::EnergyAccount& ea,
+                  const core::MemInterface& ifc, const cpu::CoreModel& core) {
+  ckpt::StateWriter w;
+  writeMetaSection(w, rc, src);
+  saveSourceState(w, src);
+  w.beginSection("core");
+  core.saveState(w);
+  w.endSection();
+  w.beginSection("interface");
+  ifc.saveState(w);
+  w.endSection();
+  w.beginSection("energy");
+  ea.saveState(w);
+  w.endSection();
+  std::string err;
+  if (!w.writeTo(rc.ckpt_out, err)) MALEC_CHECK_MSG(false, err.c_str());
+}
+
+/// Fingerprint of a sample plan — the warmup cache binds to the exact pick
+/// set, not just the trace.
+std::uint64_t planFingerprint(const phase::SamplePlan& plan) {
+  BindingHasher h;
+  h.u64(plan.interval_size);
+  h.u64(plan.warmup_instructions);
+  h.u64(plan.trace_records);
+  h.u64(plan.trace_checksum);
+  h.u64(plan.picks.size());
+  for (const phase::PhasePick& p : plan.picks) {
+    h.u64(p.interval_index);
+    h.u64(p.weight_instructions);
+  }
+  return h.value();
+}
+
+/// Restore `rc.start_ckpt` into the freshly-constructed simulation stack.
+void restoreRunState(const RunConfig& rc, ResolvedSource& src,
+                     energy::EnergyAccount& ea, core::MemInterface& ifc,
+                     cpu::CoreModel& core) {
+  ckpt::StateReader r(rc.start_ckpt);
+  if (!r.ok()) MALEC_CHECK_MSG(false, r.error().c_str());
+  checkMetaSection(r, rc.start_ckpt, rc, src);
+  loadSourceState(r, src);
+  r.openSection("core");
+  core.loadState(r);
+  r.endSection();
+  r.openSection("interface");
+  ifc.loadState(r);
+  r.endSection();
+  r.openSection("energy");
+  ea.loadState(r);
+  r.endSection();
+}
+
 /// The metrics every run derives identically from its counters: energy
 /// rollups from the account and the rate fields from out.ifc. Shared by
 /// the full-replay and phase-sampled paths so the two can never diverge
@@ -173,6 +443,9 @@ void finalizeDerivedMetrics(RunOutput& out, const energy::EnergyAccount& ea,
 
 RunOutput runOne(const RunConfig& rc) {
   if (rc.workload.isSampled()) return runOneSampled(rc);
+  MALEC_CHECK_MSG(rc.warmup_ckpt.empty(),
+                  "warmup_ckpt is a sampled-replay feature — full runs "
+                  "checkpoint via ckpt_out/start_ckpt");
 
   energy::EnergyAccount ea;
   defineEnergies(ea, rc.interface_cfg, rc.system);
@@ -181,8 +454,37 @@ RunOutput runOne(const RunConfig& rc) {
   auto ifc = makeInterface(rc.interface_cfg, rc.system, ea);
   cpu::CoreModel core(rc.system, rc.interface_cfg, *src.src, *ifc);
 
+  MALEC_CHECK_MSG(rc.ckpt_every == 0 || !rc.ckpt_out.empty(),
+                  "ckpt_every has nowhere to write — set ckpt_out too");
+  if (!rc.start_ckpt.empty()) restoreRunState(rc, src, ea, *ifc, core);
+  bool wrote_ckpt = false;
+  if (!rc.ckpt_out.empty()) {
+    const std::uint64_t every =
+        rc.ckpt_every != 0 ? rc.ckpt_every : envU64("MALEC_CKPT_EVERY", 0);
+    MALEC_CHECK_MSG(every != 0,
+                    "a checkpoint output path needs an interval — set "
+                    "ckpt_every (--ckpt-every) or MALEC_CKPT_EVERY");
+    core.setCheckpointHook(
+        every, [&rc, &src, &ea, &ifc, &core, &wrote_ckpt] {
+          saveRunState(rc, src, ea, *ifc, core);
+          wrote_ckpt = true;
+        });
+  }
+
   // Safety bound: no workload should need 60 cycles per instruction.
   const cpu::CoreStats cs = core.run(src.instructions * 60 + 100'000);
+
+  // A FRESH run that asked for checkpoints but retired fewer instructions
+  // than one interval would exit 0 with no file — and the user would only
+  // find out at resume time, after the expensive run is gone. (A resumed
+  // run legitimately ends without crossing another boundary.)
+  if (!rc.ckpt_out.empty() && rc.start_ckpt.empty() && !wrote_ckpt) {
+    const std::string msg =
+        "checkpoint interval exceeds the run: no checkpoint was written to "
+        "'" + rc.ckpt_out + "' — lower ckpt_every/MALEC_CKPT_EVERY below "
+        "the instruction budget";
+    MALEC_CHECK_MSG(false, msg.c_str());
+  }
 
   if (src.reader != nullptr)
     verifyReaderTail(*src.reader, rc.workload.trace_path);
@@ -242,6 +544,69 @@ RunOutput runOneSampled(const RunConfig& rc) {
     MALEC_CHECK_MSG(false, msg.c_str());
   }
 
+  MALEC_CHECK_MSG(rc.ckpt_out.empty() && rc.start_ckpt.empty(),
+                  "sampled replay does not compose with ckpt_out/start_ckpt "
+                  "— its checkpoint reuse is the warmup cache (warmup_ckpt "
+                  "/ MALEC_CKPT_WARMUP_DIR)");
+
+  // Warmup cache: a `.mckpt` holding every pick's measurement-entry state.
+  // First run of a (trace, plan, config, seed) combination writes it;
+  // later identical runs restore each pick's state and skip all
+  // fast-forward decoding and warmup simulation. Results are bit-identical
+  // either way: the restored states are exactly what the skipped work
+  // would have recomputed.
+  std::string cache_path = rc.warmup_ckpt;
+  if (cache_path.empty()) {
+    if (const char* dir = std::getenv("MALEC_CKPT_WARMUP_DIR");
+        dir != nullptr && dir[0] != '\0') {
+      BindingHasher key;
+      key.u64(runBindingHash(rc));
+      key.u64(planFingerprint(plan));
+      char hex[17];
+      std::snprintf(hex, sizeof hex, "%016llx",
+                    static_cast<unsigned long long>(key.value()));
+      cache_path = std::string(dir) + "/warmup_" + hex + ".mckpt";
+    }
+  }
+  std::unique_ptr<ckpt::StateReader> cache_in;
+  std::unique_ptr<ckpt::StateWriter> cache_out;
+  if (!cache_path.empty()) {
+    std::error_code ec;
+    if (std::filesystem::exists(cache_path, ec)) {
+      cache_in = std::make_unique<ckpt::StateReader>(cache_path);
+      if (!cache_in->ok()) MALEC_CHECK_MSG(false, cache_in->error().c_str());
+      cache_in->openSection("meta");
+      if (cache_in->u64() != runBindingHash(rc) ||
+          cache_in->u64() != planFingerprint(plan)) {
+        const std::string msg =
+            "warmup cache '" + cache_path + "' was written for a different "
+            "(trace, plan, config, seed) combination — delete it or point "
+            "warmup_ckpt elsewhere";
+        MALEC_CHECK_MSG(false, msg.c_str());
+      }
+      const std::uint64_t total = cache_in->u64();
+      const std::uint64_t sum = cache_in->u64();
+      if (total != rd.total() || sum != rd.expectedChecksum()) {
+        const std::string msg =
+            "warmup cache '" + cache_path + "' was computed from a "
+            "different trace than '" + rc.workload.trace_path + "'";
+        MALEC_CHECK_MSG(false, msg.c_str());
+      }
+      MALEC_CHECK_MSG(cache_in->u64() == plan.picks.size(),
+                      "warmup cache pick count disagrees with the plan");
+      cache_in->endSection();
+    } else {
+      cache_out = std::make_unique<ckpt::StateWriter>();
+      cache_out->beginSection("meta");
+      cache_out->u64(runBindingHash(rc));
+      cache_out->u64(planFingerprint(plan));
+      cache_out->u64(rd.total());
+      cache_out->u64(rd.expectedChecksum());
+      cache_out->u64(plan.picks.size());
+      cache_out->endSection();
+    }
+  }
+
   // Weighted-combination accumulators: full-trace estimates as doubles,
   // folded in pick order. est += measured * (cluster weight / measured
   // instructions) scales each representative to the phase it stands for.
@@ -281,26 +646,68 @@ RunOutput runOneSampled(const RunConfig& rc) {
         std::min(plan.warmup_instructions, start - std::min(start, pos));
     const std::uint64_t warm_start = start - warm;
 
-    // Fast-forward: decode-only, no simulation — this skip is where the
-    // wall-clock win over a full replay comes from.
-    while (pos < warm_start && rd.next(skip)) ++pos;
-    MALEC_CHECK_MSG(pos == warm_start, rd.error().c_str());
+    const std::string pick_key = "pick" + std::to_string(k);
+    if (cache_in != nullptr) {
+      // Warm-state restore: jump the reader and the whole memory system
+      // straight to this pick's measurement entry — the state the skipped
+      // fast-forward + warmup would have recomputed, bit for bit.
+      cache_in->openSection(pick_key + ".source");
+      const std::uint64_t saved_pos = cache_in->u64();
+      const std::uint64_t saved_sum = cache_in->u64();
+      cache_in->endSection();
+      MALEC_CHECK_MSG(saved_pos == start,
+                      "warmup cache pick position disagrees with the plan");
+      if (!rd.seekTo(saved_pos, saved_sum))
+        MALEC_CHECK_MSG(false, rd.error().c_str());
+      pos = saved_pos;
+      cache_in->openSection(pick_key + ".clock");
+      sim_clock = cache_in->u64();
+      cache_in->endSection();
+      cache_in->openSection(pick_key + ".interface");
+      ifc->loadState(*cache_in);
+      cache_in->endSection();
+      cache_in->openSection(pick_key + ".energy");
+      ea.loadState(*cache_in);
+      cache_in->endSection();
+    } else {
+      // Fast-forward: decode-only, no simulation — this skip is where the
+      // wall-clock win over a full replay comes from.
+      while (pos < warm_start && rd.next(skip)) ++pos;
+      MALEC_CHECK_MSG(pos == warm_start, rd.error().c_str());
 
-    if (warm > 0) {
-      // Warmup: primes caches/TLB/WDU; the StatGate drops its energy and
-      // the stats snapshot below removes its counters.
-      energy::StatGate gate(ea);
-      SegmentSource wsrc(rd, warm);
-      cpu::CoreModel wcore(rc.system, rc.interface_cfg, wsrc, *ifc);
-      const cpu::CoreStats ws = wcore.run(warm * 60 + 100'000, sim_clock);
-      sim_clock += ws.cycles;
-      // An under-consumed warmup (reader failure or the safety bound) would
-      // silently desynchronise `pos` from the reader and shift every later
-      // segment onto the wrong intervals.
-      MALEC_CHECK_MSG(ws.instructions == warm,
-                      "sampled warmup did not retire every instruction");
-      pos += warm;
-      gate.open();
+      if (warm > 0) {
+        // Warmup: primes caches/TLB/WDU; the StatGate drops its energy and
+        // the stats snapshot below removes its counters.
+        energy::StatGate gate(ea);
+        SegmentSource wsrc(rd, warm);
+        cpu::CoreModel wcore(rc.system, rc.interface_cfg, wsrc, *ifc);
+        const cpu::CoreStats ws = wcore.run(warm * 60 + 100'000, sim_clock);
+        sim_clock += ws.cycles;
+        // An under-consumed warmup (reader failure or the safety bound)
+        // would silently desynchronise `pos` from the reader and shift
+        // every later segment onto the wrong intervals.
+        MALEC_CHECK_MSG(ws.instructions == warm,
+                        "sampled warmup did not retire every instruction");
+        pos += warm;
+        gate.open();
+      }
+      if (cache_out != nullptr) {
+        // Measurement-entry snapshot — exactly what the restore path above
+        // loads back on the next run of this combination.
+        cache_out->beginSection(pick_key + ".source");
+        cache_out->u64(rd.consumed());
+        cache_out->u64(rd.runningChecksum());
+        cache_out->endSection();
+        cache_out->beginSection(pick_key + ".clock");
+        cache_out->u64(sim_clock);
+        cache_out->endSection();
+        cache_out->beginSection(pick_key + ".interface");
+        ifc->saveState(*cache_out);
+        cache_out->endSection();
+        cache_out->beginSection(pick_key + ".energy");
+        ea.saveState(*cache_out);
+        cache_out->endSection();
+      }
     }
     const core::InterfaceStats warm_snap = ifc->stats();
     for (energy::EnergyAccount::EventId id = 0; id < ea.eventTypes(); ++id)
@@ -315,6 +722,32 @@ RunOutput runOneSampled(const RunConfig& rc) {
     MALEC_CHECK_MSG(rd.ok(), rd.error().c_str());
     MALEC_CHECK_MSG(cs.instructions == end - start,
                     "sampled interval did not retire every instruction");
+    if (cache_out != nullptr) {
+      // Running checksum at measurement end — the restore path's per-pick
+      // integrity reference (see below).
+      cache_out->beginSection(pick_key + ".endsum");
+      cache_out->u64(rd.runningChecksum());
+      cache_out->endSection();
+    }
+    if (cache_in != nullptr) {
+      // Each restore seeds the reader with the CACHED running checksum, so
+      // the final tail verification alone would only vouch for the last
+      // measured window. Holding every window's measured hash against the
+      // value recorded at cache-write time closes that gap: a byte flipped
+      // inside any simulated stretch is a hard error, exactly like the
+      // sequential sampled path. (The skipped gaps were fully verified
+      // when the cache was written; skipping them is the cache's point.)
+      cache_in->openSection(pick_key + ".endsum");
+      const std::uint64_t end_sum = cache_in->u64();
+      cache_in->endSection();
+      if (rd.runningChecksum() != end_sum) {
+        const std::string msg =
+            "'" + rc.workload.trace_path + "': record checksum mismatch "
+            "inside a sampled measurement window — the trace changed since "
+            "warmup cache '" + cache_path + "' was written";
+        MALEC_CHECK_MSG(false, msg.c_str());
+      }
+    }
 
     const double scale = static_cast<double>(pick.weight_instructions) /
                          static_cast<double>(cs.instructions);
@@ -337,6 +770,15 @@ RunOutput runOneSampled(const RunConfig& rc) {
   // Hash the remainder so a sampled replay vouches for the whole file's
   // integrity exactly like a capped full replay does.
   verifyReaderTail(rd, rc.workload.trace_path);
+
+  // The warmup cache is only written after the whole pass (tail checksum
+  // included) succeeded — and atomically, so parallel runs of the same
+  // combination race benignly (all write identical bytes).
+  if (cache_out != nullptr) {
+    std::string err;
+    if (!cache_out->writeTo(cache_path, err))
+      MALEC_CHECK_MSG(false, err.c_str());
+  }
 
   // One internally-consistent estimate: round the combined counters once,
   // then derive every reported rate and energy from the rounded values the

@@ -29,6 +29,30 @@ struct RunConfig {
   /// replayed trace this caps the stream (0 = the whole file).
   std::uint64_t instructions = 200'000;
   std::uint64_t seed = 1;
+
+  // --- checkpointing (docs/ARCHITECTURE.md "Checkpoint determinism") -------
+  /// Non-empty = write a full-state `.mckpt` checkpoint to this path every
+  /// `ckpt_every` retired instructions (0 falls back to MALEC_CKPT_EVERY;
+  /// both 0 with an output path set is a hard error — a checkpoint file
+  /// with no cadence would silently never be written). Each checkpoint
+  /// atomically replaces the previous one, so the file always holds the
+  /// newest resumable state. Not available in sampled mode.
+  std::string ckpt_out;
+  std::uint64_t ckpt_every = 0;
+  /// Non-empty = restore this `.mckpt` and continue instead of starting
+  /// fresh. The checkpoint must bind to this exact run — same interface
+  /// and system configuration, seed, instruction budget and workload
+  /// (trace binding by record count + checksum, like `.mplan`); anything
+  /// else is a hard error. The continued run's RunOutput and energy
+  /// report are bit-identical to the run that never stopped.
+  std::string start_ckpt;
+  /// Sampled replay only: warmup-state cache. The first run of a (trace,
+  /// plan, config, seed) combination writes every pick's
+  /// measurement-entry state to this file; later identical runs restore
+  /// those states and skip all fast-forward decoding and warmup
+  /// simulation — same RunOutput, bit for bit. Empty = derive a keyed
+  /// path under MALEC_CKPT_WARMUP_DIR when that is set, else off.
+  std::string warmup_ckpt;
 };
 
 struct RunOutput {

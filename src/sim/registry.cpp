@@ -15,14 +15,23 @@ namespace {
 
 constexpr const char* kTraceScheme = "trace:";
 constexpr const char* kTraceExt = ".mtrace";
+constexpr const char* kSampledSuffix = ":sampled";
 
 /// "traces/gcc.mtrace" -> "gcc".
 std::string traceStem(const std::string& path) {
   return std::filesystem::path(path).stem().string();
 }
 
+[[nodiscard]] bool endsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 /// One trace-replay workload per *.mtrace in `dir`, sorted by filename so
-/// the registration (and table-row) order is stable across platforms.
+/// the registration (and table-row) order is stable across platforms. A
+/// trace with a VALID `.mplan` sidecar additionally registers its
+/// phase-sampled variant ("trace:<stem>:sampled"); a missing or unusable
+/// sidecar just skips the variant — the phase_sampled suite reports why.
 void registerTraceDir(Registry<trace::WorkloadProfile>& reg,
                       const std::string& dir) {
   std::error_code ec;
@@ -40,6 +49,15 @@ void registerTraceDir(Registry<trace::WorkloadProfile>& reg,
   for (const auto& p : paths) {
     const auto wl = traceWorkload(p);
     reg.add(wl.name, wl);
+    const std::string plan_path = phase::planSidecarPath(p);
+    if (!std::filesystem::exists(plan_path, ec)) continue;
+    phase::SamplePlan plan;
+    std::string err;
+    if (!phase::loadSamplePlan(plan_path, plan, err)) continue;
+    trace::TraceReader probe(p);
+    if (!probe.ok() || !phase::planBindsTo(plan, probe)) continue;
+    const auto sampled = sampledWorkloadUnchecked(wl);
+    reg.add(sampled.name, sampled);
   }
 }
 
@@ -106,6 +124,30 @@ trace::WorkloadProfile resolveWorkload(const std::string& name) {
   const auto& reg = workloadRegistry();
   if (const trace::WorkloadProfile* p = reg.tryGet(name)) return *p;
   if (name.rfind(kTraceScheme, 0) == 0) {
+    // A ":sampled" suffix selects phase-sampled replay of the named trace
+    // — it must never be swallowed into the file path (a path ending in
+    // ":sampled" is no trace anyone captured). The suffix only counts when
+    // a non-empty base remains after stripping it: the degenerate name
+    // "trace:sampled" means the path "sampled", not a sampled nothing.
+    if (endsWith(name, kSampledSuffix) &&
+        name.size() >
+            std::string(kTraceScheme).size() +
+                std::string(kSampledSuffix).size()) {
+      const std::string base_name =
+          name.substr(0, name.size() - std::string(kSampledSuffix).size());
+      // "trace:<stem>:sampled" for a registered stem whose sidecar was
+      // missing/stale at scan time: resolve through the registered base so
+      // the error names the plan, not a nonexistent file called "<stem>".
+      if (const trace::WorkloadProfile* base = reg.tryGet(base_name))
+        return sampledWorkload(*base);
+      auto wl =
+          traceWorkload(base_name.substr(std::string(kTraceScheme).size()));
+      wl.name = base_name;  // keep the user-supplied path form (see below)
+      // sampledWorkload validates the plan sidecar up front — a missing
+      // plan aborts here with the `trace_tools phases` hint — and appends
+      // ":sampled", restoring exactly the name that was asked for.
+      return sampledWorkload(wl);
+    }
     auto wl = traceWorkload(name.substr(std::string(kTraceScheme).size()));
     // Keep the user-supplied form: two ad-hoc paths with the same stem
     // must stay distinguishable in table rows and sink records, and the
@@ -114,6 +156,27 @@ trace::WorkloadProfile resolveWorkload(const std::string& name) {
     return wl;
   }
   return reg.get(name);  // aborts with the registry inventory
+}
+
+void validateSampledWorkload(const trace::WorkloadProfile& wl) {
+  MALEC_CHECK_MSG(wl.isTrace() && wl.isSampled(),
+                  "validateSampledWorkload() needs a sampled trace workload");
+  phase::SamplePlan plan;
+  std::string err;
+  if (!phase::loadSamplePlan(wl.sample_plan_path, plan, err)) {
+    const std::string msg = err + " — write a plan with `trace_tools phases " +
+                            wl.trace_path + "`";
+    MALEC_CHECK_MSG(false, msg.c_str());
+  }
+  trace::TraceReader probe(wl.trace_path);
+  if (!probe.ok()) MALEC_CHECK_MSG(false, probe.error().c_str());
+  if (!phase::planBindsTo(plan, probe)) {
+    const std::string msg =
+        "sample plan '" + wl.sample_plan_path +
+        "' was computed from a different trace than '" + wl.trace_path +
+        "' — re-run `trace_tools phases`";
+    MALEC_CHECK_MSG(false, msg.c_str());
+  }
 }
 
 Registry<PresetFn>& presetRegistry() {

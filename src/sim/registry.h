@@ -91,9 +91,19 @@ using PresetFn = std::function<core::InterfaceConfig()>;
 [[nodiscard]] trace::WorkloadProfile traceWorkload(const std::string& path);
 
 /// Resolve a workload name: registry hit first; otherwise a "trace:<path>"
-/// name is treated as a trace file path and built on the fly; anything else
-/// aborts with the registry inventory.
+/// name is treated as a trace file path and built on the fly — with an
+/// optional ":sampled" suffix selecting phase-sampled replay through the
+/// trace's `.mplan` sidecar (validated up front, `trace_tools phases` hint
+/// on a missing plan); anything else aborts with the registry inventory.
 [[nodiscard]] trace::WorkloadProfile resolveWorkload(const std::string& name);
+
+/// Up-front probing for an already-built sampled workload — the sampled
+/// counterpart of the header validation traceWorkload() performs: loads
+/// the plan and checks it binds to the trace, aborting (with a
+/// `trace_tools phases` hint) BEFORE any simulation starts. Suite
+/// materialization calls this for every sampled profile so a bad sidecar
+/// can never abort a sweep after other rows already ran.
+void validateSampledWorkload(const trace::WorkloadProfile& wl);
 
 /// Register every *.mtrace in `dir` (sorted by filename) as a trace-replay
 /// workload — the MALEC_TRACE_DIR scan, callable directly for additional

@@ -839,23 +839,38 @@ ExperimentSpec specPhaseSampled() {
           .count();
     };
     for (const auto& wl : ctx.workloads) {
-      const std::string plan_path = phase::planSidecarPath(wl.trace_path);
-      // Keep a plan-less, corrupt-plan or stale-plan capture from
-      // aborting a directory-wide run (malec_bench --all with
-      // MALEC_TRACE_DIR set); the final check below still fails loudly —
-      // with these notes emitted first — when NO capture has a usable
-      // plan.
+      // An explicitly-named sampled workload (a registry ":sampled" entry
+      // or an ad-hoc "trace:<path>:sampled") IS the sampled half of its
+      // row; its full-replay half simply strips the plan. A plain trace
+      // workload derives its sampled half from the .mplan sidecar.
+      trace::WorkloadProfile full_wl = wl;
+      trace::WorkloadProfile sampled;
       phase::SamplePlan plan;
-      std::string why;
-      if (!usableSamplePlan(wl, &plan, &why)) {
-        notes += "skipping " + wl.name + " (" + why +
-                 " — run `trace_tools phases " + wl.trace_path + "`)\n";
-        continue;
+      if (wl.isSampled()) {
+        full_wl.sample_plan_path.clear();
+        sampled = wl;
+        std::string err;
+        // Suite materialization validated this plan up front; a file that
+        // changed since is a hard error, not a skip.
+        if (!phase::loadSamplePlan(wl.sample_plan_path, plan, err))
+          MALEC_CHECK_MSG(false, err.c_str());
+      } else {
+        const std::string plan_path = phase::planSidecarPath(wl.trace_path);
+        // Keep a plan-less, corrupt-plan or stale-plan capture from
+        // aborting a directory-wide run (malec_bench --all with
+        // MALEC_TRACE_DIR set); the final check below still fails loudly —
+        // with these notes emitted first — when NO capture has a usable
+        // plan.
+        std::string why;
+        if (!usableSamplePlan(wl, &plan, &why)) {
+          notes += "skipping " + wl.name + " (" + why +
+                   " — run `trace_tools phases " + wl.trace_path + "`)\n";
+          continue;
+        }
+        // Unchecked variant: usableSamplePlan just validated this exact
+        // plan, so only the naming/sidecar convention is needed.
+        sampled = sampledWorkloadUnchecked(wl, plan_path);
       }
-      // Unchecked variant: usableSamplePlan just validated this exact
-      // plan, so only the naming/sidecar convention is needed.
-      const trace::WorkloadProfile sampled =
-          sampledWorkloadUnchecked(wl, plan_path);
       notes += strf(
           "%s: %llu records, %llu intervals of %llu, %zu phases, "
           "simulates %.1f%% (warmup %llu/pick)\n",
@@ -869,7 +884,7 @@ ExperimentSpec specPhaseSampled() {
           static_cast<unsigned long long>(plan.warmup_instructions));
       for (const auto& cfg : ctx.configs) {
         RunConfig full;
-        full.workload = wl;
+        full.workload = full_wl;
         full.interface_cfg = cfg;
         full.system = defaultSystem();
         full.instructions = 0;  // whole trace / whole plan

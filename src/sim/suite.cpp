@@ -51,8 +51,13 @@ std::vector<std::string> suiteWorkloadNames(const ExperimentSpec& spec) {
   std::vector<std::string> names;
   for (const auto& name : base) {
     if (name == "trace:*") {
+      // Plain replays only: the scan also registers "trace:<stem>:sampled"
+      // variants, and those must not leak extra rows into trace_replay (or
+      // sampled-of-sampled workloads into phase_sampled) — sampled
+      // workloads run where a spec names them explicitly.
       for (const auto& n : reg.names())
-        if (n.rfind("trace:", 0) == 0) names.push_back(n);
+        if (n.rfind("trace:", 0) == 0 && !reg.get(n).isSampled())
+          names.push_back(n);
     } else {
       names.push_back(name);
     }
@@ -84,7 +89,14 @@ std::vector<trace::WorkloadProfile> resolveWorkloads(
     if (!opts.workload_filter.empty() &&
         name.find(opts.workload_filter) == std::string::npos)
       continue;
-    wls.push_back(resolveWorkload(name));
+    trace::WorkloadProfile wl = resolveWorkload(name);
+    // Sampled workloads carry a plan path that would otherwise only be
+    // opened mid-sweep — validate it now (the sampled counterpart of the
+    // trace-header probing traceWorkload does), so a missing, corrupt or
+    // stale sidecar fails before ANY simulation starts instead of after
+    // other rows already ran.
+    if (wl.isSampled()) validateSampledWorkload(wl);
+    wls.push_back(std::move(wl));
   }
   return wls;
 }

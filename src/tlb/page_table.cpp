@@ -1,5 +1,10 @@
 #include "tlb/page_table.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "ckpt/state_io.h"
 #include "common/check.h"
 
 namespace malec::tlb {
@@ -36,6 +41,34 @@ PageId PageTable::translate(PageId vpage) {
   }
   map_.emplace(vpage, ppage);
   return ppage;
+}
+
+
+void PageTable::saveState(ckpt::StateWriter& w) const {
+  // map_ is an unordered map — serialize sorted by virtual page so the
+  // same state always produces the same checkpoint bytes. used_ is NOT
+  // stored: it is exactly the set of mapped frames and is rebuilt on load.
+  std::vector<std::pair<PageId, PageId>> entries(map_.begin(), map_.end());
+  std::sort(entries.begin(), entries.end());
+  w.u64(entries.size());
+  for (const auto& [vpage, ppage] : entries) {
+    w.u32(vpage);
+    w.u32(ppage);
+  }
+  w.u64(walks_);
+}
+
+void PageTable::loadState(ckpt::StateReader& r) {
+  map_.clear();
+  used_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const PageId vpage = r.u32();
+    const PageId ppage = r.u32();
+    map_.emplace(vpage, ppage);
+    used_.insert(ppage);
+  }
+  walks_ = r.u64();
 }
 
 }  // namespace malec::tlb

@@ -15,6 +15,11 @@
 
 #include "common/types.h"
 
+namespace malec::ckpt {
+class StateReader;
+class StateWriter;
+}  // namespace malec::ckpt
+
 namespace malec::tlb {
 
 class PageTable {
@@ -32,6 +37,11 @@ class PageTable {
   void setWalkLatency(Cycle c) { walk_latency_ = c; }
 
   [[nodiscard]] std::uint64_t walks() const { return walks_; }
+
+  /// Checkpoint/restore of all mutable state; restore requires an
+  /// a page table built with the same seed and frame count.
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
 
  private:
   std::uint32_t phys_pages_;

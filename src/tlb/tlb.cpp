@@ -1,5 +1,6 @@
 #include "tlb/tlb.h"
 
+#include "ckpt/state_io.h"
 #include "common/check.h"
 
 namespace malec::tlb {
@@ -69,6 +70,34 @@ void Tlb::invalidate(std::uint32_t slot) {
 const Tlb::Entry& Tlb::entry(std::uint32_t slot) const {
   MALEC_CHECK(slot < slots_.size());
   return slots_[slot];
+}
+
+
+void Tlb::saveState(ckpt::StateWriter& w) const {
+  w.u64(slots_.size());
+  for (const Entry& e : slots_) {
+    w.u8(e.valid ? 1 : 0);
+    w.u32(e.vpage);
+    w.u32(e.ppage);
+  }
+  repl_->saveState(w);
+  w.u64(hits_);
+  w.u64(misses_);
+  w.u64(evictions_);
+}
+
+void Tlb::loadState(ckpt::StateReader& r) {
+  MALEC_CHECK_MSG(r.u64() == slots_.size(),
+                  "TLB checkpoint state does not fit this geometry");
+  for (Entry& e : slots_) {
+    e.valid = r.u8() != 0;
+    e.vpage = r.u32();
+    e.ppage = r.u32();
+  }
+  repl_->loadState(r);
+  hits_ = r.u64();
+  misses_ = r.u64();
+  evictions_ = r.u64();
 }
 
 }  // namespace malec::tlb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/state_io.h"
 #include "common/check.h"
 
 namespace malec::trace {
@@ -174,6 +175,45 @@ bool SyntheticTraceGenerator::next(InstrRecord& out) {
     ++since_last_load_;
   }
   return true;
+}
+
+void SyntheticTraceGenerator::saveState(ckpt::StateWriter& w) const {
+  w.u64(rng_.state());
+  w.u64(emitted_);
+  w.u64(seq_);
+  w.u64(streams_.size());
+  for (const Stream& st : streams_) {
+    w.u32(st.page_index);
+    w.u64(st.offset);
+  }
+  w.u32(active_stream_);
+  w.u8(has_last_load_ ? 1 : 0);
+  w.u64(last_load_line_base_);
+  w.u32(store_stream_.page_index);
+  w.u64(store_stream_.offset);
+  w.u8(has_last_store_ ? 1 : 0);
+  w.u64(last_store_addr_);
+  w.u32(since_last_load_);
+}
+
+void SyntheticTraceGenerator::loadState(ckpt::StateReader& r) {
+  rng_.setState(r.u64());
+  emitted_ = r.u64();
+  seq_ = r.u64();
+  MALEC_CHECK_MSG(r.u64() == streams_.size(),
+                  "generator checkpoint does not fit this profile");
+  for (Stream& st : streams_) {
+    st.page_index = r.u32();
+    st.offset = r.u64();
+  }
+  active_stream_ = r.u32();
+  has_last_load_ = r.u8() != 0;
+  last_load_line_base_ = r.u64();
+  store_stream_.page_index = r.u32();
+  store_stream_.offset = r.u64();
+  has_last_store_ = r.u8() != 0;
+  last_store_addr_ = r.u64();
+  since_last_load_ = r.u32();
 }
 
 }  // namespace malec::trace

@@ -15,6 +15,11 @@
 #include "trace/record.h"
 #include "trace/workload_profile.h"
 
+namespace malec::ckpt {
+class StateReader;
+class StateWriter;
+}  // namespace malec::ckpt
+
 namespace malec::trace {
 
 class SyntheticTraceGenerator final : public TraceSource {
@@ -29,6 +34,13 @@ class SyntheticTraceGenerator final : public TraceSource {
 
   [[nodiscard]] const WorkloadProfile& profile() const { return profile_; }
   [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+
+  /// Checkpoint/restore of the generator's position: RNG stream, stream
+  /// cursors and history registers. Restoring into a generator built from
+  /// the same (profile, layout, length, seed) continues the identical
+  /// record sequence.
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
 
  private:
   struct Stream {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 
 #include "common/binio.h"
 #include "common/check.h"
@@ -300,6 +301,32 @@ bool TraceReader::finishChecksum() {
     return false;
   }
   return ok_;
+}
+
+bool TraceReader::seekTo(std::uint64_t n, std::uint64_t checksum_run) {
+  if (!ok_ || f_ == nullptr) return false;
+  if (n > total_) {
+    fail("checkpoint position " + std::to_string(n) + " exceeds the " +
+         std::to_string(total_) + "-record stream");
+    return false;
+  }
+  // u64 math first, then a range check before the narrowing to fseek's
+  // long — a Simpoint-scale offset must not wrap on 32-bit-long platforms.
+  const std::uint64_t off = static_cast<std::uint64_t>(header_bytes_) +
+                            n * static_cast<std::uint64_t>(kRecordBytes);
+  if (off > static_cast<std::uint64_t>(std::numeric_limits<long>::max())) {
+    fail("checkpointed position is beyond fseek range on this platform");
+    return false;
+  }
+  if (std::fseek(f_, static_cast<long>(off), SEEK_SET) != 0) {
+    fail("cannot seek to the checkpointed position");
+    return false;
+  }
+  read_ = n;
+  buf_.clear();
+  buf_pos_ = 0;
+  checksum_run_ = checksum_run;
+  return true;
 }
 
 void TraceReader::reset() {

@@ -86,6 +86,18 @@ class TraceReader final : public TraceSource {
   /// mismatch is a sticky failure like any other. No-op for v1 files and
   /// fully-drained streams (next() already verified those). Returns ok().
   bool finishChecksum();
+  /// Records served so far — the stream position a checkpoint stores.
+  [[nodiscard]] std::uint64_t consumed() const { return read_; }
+  /// Running FNV-1a over the served records (v2) — stored alongside the
+  /// position so a restored reader can still verify the whole file.
+  [[nodiscard]] std::uint64_t runningChecksum() const {
+    return checksum_run_;
+  }
+  /// Reposition to record `n` with the running checksum as of that point
+  /// (both from a checkpoint of this exact file). The caller is
+  /// responsible for the binding check (record count + header checksum);
+  /// an out-of-range position is a hard error. Returns ok().
+  bool seekTo(std::uint64_t n, std::uint64_t checksum_run);
   [[nodiscard]] bool ok() const { return ok_; }
   /// Human-readable description of the first failure ("" while ok()).
   [[nodiscard]] const std::string& error() const { return error_; }
@@ -157,6 +169,12 @@ class LimitedTraceSource final : public TraceSource {
     inner_->reset();
     served_ = 0;
   }
+
+  /// Checkpoint support: records served through the cap so far. After the
+  /// wrapped reader is repositioned (TraceReader::seekTo), setServed()
+  /// realigns the cap with it.
+  [[nodiscard]] std::uint64_t served() const { return served_; }
+  void setServed(std::uint64_t n) { served_ = n; }
 
  private:
   std::unique_ptr<TraceSource> inner_;

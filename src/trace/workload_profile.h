@@ -11,6 +11,10 @@
 
 namespace malec::trace {
 
+/// NOTE: every statistical field below feeds sim::runBindingHash()
+/// (checkpoint binding, src/sim/experiment.cpp) — a new generator
+/// parameter MUST be added to hashProfile() there too, or checkpoints of
+/// different workloads could silently resume each other.
 struct WorkloadProfile {
   std::string name;
   std::string suite;  ///< "SPEC-INT", "SPEC-FP", "MediaBench2" or "trace"

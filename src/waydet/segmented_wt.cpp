@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/state_io.h"
 #include "common/check.h"
 
 namespace malec::waydet {
@@ -117,6 +118,39 @@ std::uint32_t SegmentedWayTable::storageBits() const {
 
 std::uint32_t SegmentedWayTable::flatStorageBits() const {
   return p_.slots * 2 * p_.lines_per_page;
+}
+
+
+void SegmentedWayTable::saveState(ckpt::StateWriter& w) const {
+  w.u64(pool_.size());
+  for (const Chunk& c : pool_) {
+    w.u8(c.valid ? 1 : 0);
+    w.u32(c.slot);
+    w.u32(c.index);
+    w.u64(c.lru);
+    w.u64(c.codes.size());
+    for (const WayCode code : c.codes) w.u8(code);
+  }
+  w.u64(tick_);
+  w.u64(allocs_);
+  w.u64(evictions_);
+}
+
+void SegmentedWayTable::loadState(ckpt::StateReader& r) {
+  MALEC_CHECK_MSG(r.u64() == pool_.size(),
+                  "segmented-WT checkpoint does not fit this geometry");
+  for (Chunk& c : pool_) {
+    c.valid = r.u8() != 0;
+    c.slot = r.u32();
+    c.index = r.u32();
+    c.lru = r.u64();
+    const std::uint64_t codes = r.u64();
+    c.codes.assign(static_cast<std::size_t>(codes), kCodeUnknown);
+    for (WayCode& code : c.codes) code = r.u8();
+  }
+  tick_ = r.u64();
+  allocs_ = r.u64();
+  evictions_ = r.u64();
 }
 
 }  // namespace malec::waydet

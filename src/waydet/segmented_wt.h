@@ -22,6 +22,11 @@
 #include "common/types.h"
 #include "waydet/way_info.h"
 
+namespace malec::ckpt {
+class StateReader;
+class StateWriter;
+}  // namespace malec::ckpt
+
 namespace malec::waydet {
 
 class SegmentedWayTable {
@@ -63,6 +68,11 @@ class SegmentedWayTable {
   [[nodiscard]] std::uint32_t flatStorageBits() const;
 
   [[nodiscard]] const Params& params() const { return p_; }
+
+  /// Checkpoint/restore of all mutable state; restore requires an
+  /// identically-configured instance (geometry mismatches abort).
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
 
  private:
   struct Chunk {

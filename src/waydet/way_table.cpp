@@ -1,5 +1,6 @@
 #include "waydet/way_table.h"
 
+#include "ckpt/state_io.h"
 #include "common/check.h"
 
 namespace malec::waydet {
@@ -89,6 +90,38 @@ std::optional<std::uint32_t> LastEntryRegister::match(PageId vpage) const {
   for (auto it = fifo_.rbegin(); it != fifo_.rend(); ++it)
     if (it->vpage == vpage) return it->slot;
   return std::nullopt;
+}
+
+
+void WayTable::saveState(ckpt::StateWriter& w) const {
+  w.u64(codes_.size());
+  for (const WayCode c : codes_) w.u8(c);
+}
+
+void WayTable::loadState(ckpt::StateReader& r) {
+  MALEC_CHECK_MSG(r.u64() == codes_.size(),
+                  "way-table checkpoint state does not fit this geometry");
+  for (WayCode& c : codes_) c = r.u8();
+}
+
+void LastEntryRegister::saveState(ckpt::StateWriter& w) const {
+  w.u64(fifo_.size());
+  for (const Item& it : fifo_) {
+    w.u32(it.slot);
+    w.u32(it.vpage);
+  }
+}
+
+void LastEntryRegister::loadState(ckpt::StateReader& r) {
+  fifo_.clear();
+  const std::uint64_t n = r.u64();
+  MALEC_CHECK_MSG(n <= depth_, "last-entry checkpoint exceeds the FIFO depth");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Item it;
+    it.slot = r.u32();
+    it.vpage = r.u32();
+    fifo_.push_back(it);
+  }
 }
 
 }  // namespace malec::waydet

@@ -27,6 +27,11 @@
 #include "common/types.h"
 #include "waydet/way_info.h"
 
+namespace malec::ckpt {
+class StateReader;
+class StateWriter;
+}  // namespace malec::ckpt
+
 namespace malec::waydet {
 
 class WayTable {
@@ -70,6 +75,11 @@ class WayTable {
     return excludedWay(line_in_page, page_salt, banks_, assoc_);
   }
 
+  /// Checkpoint/restore of all mutable state; restore requires an
+  /// identically-configured instance (geometry mismatches abort).
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
+
  private:
   std::uint32_t slots_;
   std::uint32_t lines_per_page_;
@@ -93,6 +103,11 @@ class LastEntryRegister {
   [[nodiscard]] std::optional<std::uint32_t> match(PageId vpage) const;
 
   void clear() { fifo_.clear(); }
+
+  /// Checkpoint/restore of all mutable state; restore requires an
+  /// identically-configured instance (geometry mismatches abort).
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
 
  private:
   struct Item {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/state_io.h"
 #include "common/check.h"
 
 namespace malec::waydet {
@@ -57,6 +58,34 @@ void Wdu::invalidate(LineAddr line) {
       return;
     }
   }
+}
+
+
+void Wdu::saveState(ckpt::StateWriter& w) const {
+  w.u64(slots_.size());
+  for (const Slot& s : slots_) {
+    w.u8(s.valid ? 1 : 0);
+    w.u64(s.line);
+    w.u8(static_cast<std::uint8_t>(s.way));
+    w.u64(s.lru);
+  }
+  w.u64(tick_);
+  w.u64(searches_);
+  w.u64(hits_);
+}
+
+void Wdu::loadState(ckpt::StateReader& r) {
+  MALEC_CHECK_MSG(r.u64() == slots_.size(),
+                  "WDU checkpoint state does not fit this geometry");
+  for (Slot& s : slots_) {
+    s.valid = r.u8() != 0;
+    s.line = r.u64();
+    s.way = static_cast<WayIdx>(r.u8());
+    s.lru = r.u64();
+  }
+  tick_ = r.u64();
+  searches_ = r.u64();
+  hits_ = r.u64();
 }
 
 }  // namespace malec::waydet

@@ -20,6 +20,11 @@
 
 #include "common/types.h"
 
+namespace malec::ckpt {
+class StateReader;
+class StateWriter;
+}  // namespace malec::ckpt
+
 namespace malec::waydet {
 
 class Wdu {
@@ -39,6 +44,11 @@ class Wdu {
   [[nodiscard]] std::uint32_t entries() const { return capacity_; }
   [[nodiscard]] std::uint64_t searches() const { return searches_; }
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
+
+  /// Checkpoint/restore of all mutable state; restore requires an
+  /// identically-configured instance (geometry mismatches abort).
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
 
  private:
   struct Slot {

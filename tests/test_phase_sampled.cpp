@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -147,6 +149,135 @@ TEST(PhaseSampled, WarmupIsExcludedFromStats) {
   // only the state (and with it cycles/misses) may differ.
   EXPECT_EQ(cold.core.loads, warm.core.loads);
   EXPECT_EQ(cold.instructions, warm.instructions);
+  std::remove(phase::planSidecarPath(path).c_str());
+  std::remove(path.c_str());
+}
+
+TEST(PhaseSampled, RegistryScanAutoRegistersSampledVariant) {
+  const std::string dir = std::string(::testing::TempDir()) + "smp_scan";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+  // One capture WITH a valid sidecar plan, one without.
+  {
+    RunConfig rc;
+    rc.workload = trace::workloadByName("gcc");
+    rc.interface_cfg = presetMalec();
+    rc.system = defaultSystem();
+    rc.instructions = 8'000;
+    captureTrace(rc, dir + "/planned.mtrace");
+    captureTrace(rc, dir + "/planless.mtrace");
+    phase::PlanParams params;
+    params.interval_size = 2'000;
+    params.phases = 2;
+    const phase::SamplePlan plan =
+        phase::buildSamplePlan(dir + "/planned.mtrace", params);
+    std::string err;
+    ASSERT_TRUE(
+        phase::saveSamplePlan(plan, dir + "/planned.mplan", err))
+        << err;
+  }
+  registerTraceWorkloadsFrom(dir);
+  EXPECT_TRUE(workloadRegistry().has("trace:planned"));
+  EXPECT_TRUE(workloadRegistry().has("trace:planned:sampled"));
+  EXPECT_TRUE(workloadRegistry().has("trace:planless"));
+  // No sidecar, no sampled variant.
+  EXPECT_FALSE(workloadRegistry().has("trace:planless:sampled"));
+  const auto& smp = workloadRegistry().get("trace:planned:sampled");
+  EXPECT_TRUE(smp.isSampled());
+  EXPECT_EQ(smp.sample_plan_path, dir + "/planned.mplan");
+}
+
+TEST(PhaseSampled, WarmupCacheWriteAndRestoreAreBitIdentical) {
+  const std::string path =
+      captureWithPlan("gcc", "wcache.mtrace", 30'000, 5'000, 3, 5'000);
+  const std::string cache = tmpPath("wcache.mckpt");
+  const RunConfig plain = sampledConfig(path);
+  RunConfig cached = plain;
+  cached.warmup_ckpt = cache;
+
+  const RunOutput base = runOne(plain);
+  // First cached run executes warmup normally and writes the cache...
+  const RunOutput writing = runOne(cached);
+  expectBitIdentical(base, writing);
+  ASSERT_TRUE(std::filesystem::exists(cache));
+  // ...later identical runs restore every pick's measurement-entry state
+  // and skip all fast-forward + warmup — still bit-identical.
+  const RunOutput restored = runOne(cached);
+  expectBitIdentical(base, restored);
+  // And under the parallel pool (racing writers are benign: atomic rename
+  // of identical bytes).
+  const auto outs = runManyParallel({cached, cached, plain}, 3);
+  for (const auto& o : outs) expectBitIdentical(base, o);
+  std::remove(cache.c_str());
+  std::remove(phase::planSidecarPath(path).c_str());
+  std::remove(path.c_str());
+}
+
+TEST(PhaseSampled, WarmupCacheDirEnvDerivesKeyedPath) {
+  const std::string path =
+      captureWithPlan("gcc", "wdir.mtrace", 20'000, 4'000, 2, 2'000);
+  const std::string dir = std::string(::testing::TempDir()) + "wckpt_dir";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+  const RunConfig rc = sampledConfig(path);
+  const RunOutput base = runOne(rc);
+  ASSERT_EQ(setenv("MALEC_CKPT_WARMUP_DIR", dir.c_str(), 1), 0);
+  const RunOutput writing = runOne(rc);   // writes <dir>/warmup_<key>.mckpt
+  const RunOutput restored = runOne(rc);  // restores it
+  ASSERT_EQ(unsetenv("MALEC_CKPT_WARMUP_DIR"), 0);
+  expectBitIdentical(base, writing);
+  expectBitIdentical(base, restored);
+  std::size_t cache_files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    cache_files += e.path().extension() == ".mckpt";
+  EXPECT_EQ(cache_files, 1u);
+  std::filesystem::remove_all(dir);
+  std::remove(phase::planSidecarPath(path).c_str());
+  std::remove(path.c_str());
+}
+
+TEST(PhaseSampledDeathTest, WarmupCacheRestoreCatchesWindowCorruption) {
+  // A cache-restoring run skips the gaps but still READS every measured
+  // window — a byte flipped inside one must be a hard error, exactly like
+  // the sequential sampled path, not a silently different simulation.
+  const std::string path =
+      captureWithPlan("gcc", "wcorrupt.mtrace", 30'000, 5'000, 3, 2'000);
+  const std::string cache = tmpPath("wcorrupt.mckpt");
+  RunConfig rc = sampledConfig(path);
+  rc.warmup_ckpt = cache;
+  (void)runOne(rc);  // writes the cache
+
+  phase::SamplePlan plan;
+  std::string err;
+  ASSERT_TRUE(loadSamplePlan(phase::planSidecarPath(path), plan, err)) << err;
+  // Flip a vaddr byte (stays decodable) inside the FIRST pick's window —
+  // only the per-window checksum reference can catch it on restore.
+  const long record =
+      static_cast<long>(plan.picks[0].interval_index * plan.interval_size) +
+      7;
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  std::fseek(f, 52 + record * 26 + 9, SEEK_SET);
+  const int orig = std::fgetc(f);
+  std::fseek(f, 52 + record * 26 + 9, SEEK_SET);
+  std::fputc(orig ^ 0xFF, f);
+  std::fclose(f);
+  EXPECT_DEATH((void)runOne(rc),
+               "checksum mismatch inside a sampled measurement window");
+  std::remove(cache.c_str());
+  std::remove(phase::planSidecarPath(path).c_str());
+  std::remove(path.c_str());
+}
+
+TEST(PhaseSampledDeathTest, StaleWarmupCacheAborts) {
+  const std::string path =
+      captureWithPlan("gcc", "wstale.mtrace", 20'000, 4'000, 2, 2'000);
+  const std::string cache = tmpPath("wstale.mckpt");
+  RunConfig rc = sampledConfig(path);
+  rc.warmup_ckpt = cache;
+  (void)runOne(rc);  // writes the cache for seed 1
+  rc.seed = 2;       // same cache file, different combination
+  EXPECT_DEATH((void)runOne(rc), "different \\(trace, plan, config, seed\\)");
+  std::remove(cache.c_str());
   std::remove(phase::planSidecarPath(path).c_str());
   std::remove(path.c_str());
 }

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "phase/planner.h"
+#include "phase/sample_plan.h"
 #include "sim/presets.h"
 #include "sim/registry.h"
 #include "sim/suite.h"
@@ -309,6 +311,95 @@ TEST(TraceReplay, TraceStarExpandsToRegisteredTraces) {
   ASSERT_EQ(sink.rendered.size(), 3u);
   EXPECT_NE(sink.rendered[0].find("trace:a_scan"), std::string::npos);
   EXPECT_EQ(sink.rendered[0].find("trace:b_scan"), std::string::npos);
+}
+
+/// Capture a trace and write a valid .mplan sidecar next to it.
+std::string captureWithSidecarPlan(const char* bench, const char* name,
+                                   std::uint64_t instrs) {
+  const std::string path = tmpPath(name);
+  captureTrace(syntheticConfig(bench, presetMalec(), instrs), path);
+  phase::PlanParams params;
+  params.interval_size = instrs / 4;
+  params.phases = 2;
+  params.warmup_instructions = instrs / 8;
+  const phase::SamplePlan plan = phase::buildSamplePlan(path, params);
+  std::string err;
+  EXPECT_TRUE(phase::saveSamplePlan(plan, phase::planSidecarPath(path), err))
+      << err;
+  return path;
+}
+
+// The ad-hoc ":sampled" resolution form: the suffix selects sampled replay
+// and must never be swallowed into the file path.
+TEST(TraceReplay, AdHocSampledNameResolution) {
+  const std::string path =
+      captureWithSidecarPlan("gcc", "adhoc_smp.mtrace", 8'000);
+  const auto wl = resolveWorkload("trace:" + path + ":sampled");
+  EXPECT_EQ(wl.name, "trace:" + path + ":sampled");
+  EXPECT_TRUE(wl.isTrace());
+  EXPECT_TRUE(wl.isSampled());
+  EXPECT_EQ(wl.trace_path, path);
+  EXPECT_EQ(wl.sample_plan_path, phase::planSidecarPath(path));
+  std::remove(phase::planSidecarPath(path).c_str());
+  std::remove(path.c_str());
+}
+
+// The degenerate name "trace:sampled" is the path "sampled", not a sampled
+// replay of an empty base — it must reach the ordinary cannot-open-trace
+// diagnostic, never an uncaught substr exception.
+TEST(TraceReplayDeathTest, BareSampledNameIsAPathNotASuffix) {
+  EXPECT_DEATH((void)resolveWorkload("trace:sampled"),
+               "cannot open 'sampled'");
+}
+
+TEST(TraceReplayDeathTest, AdHocSampledWithoutPlanAbortsWithHint) {
+  const std::string path = tmpPath("adhoc_noplan.mtrace");
+  captureTrace(syntheticConfig("gcc", presetMalec(), 500), path);
+  // Previously this either aborted as an unknown registry name or tried to
+  // open a file literally called "<path>:sampled"; now it resolves the
+  // trace and fails on the missing plan, with the fix-it hint.
+  EXPECT_DEATH((void)resolveWorkload("trace:" + path + ":sampled"),
+               "trace_tools phases");
+  std::remove(path.c_str());
+}
+
+// End-to-end through the malec_bench engine: a spec naming an ad-hoc
+// sampled workload materializes (plan validated up front), runs, and keeps
+// the user-supplied name in table rows.
+TEST(TraceReplay, AdHocSampledRunsThroughSuite) {
+  const std::string path =
+      captureWithSidecarPlan("gcc", "suite_smp.mtrace", 8'000);
+  const std::string name = "trace:" + path + ":sampled";
+  ExperimentSpec spec = specRegistry().get("trace_replay");
+  spec.workloads = {name};
+  // Sampled replay streams whole plans; instruction budgets don't compose.
+  spec.whole_stream_only = true;
+  SuiteOptions opts;
+  opts.progress = false;
+  CaptureSink sink;
+  runSuite(spec, opts, {&sink});
+  ASSERT_EQ(sink.rendered.size(), 3u);
+  EXPECT_NE(sink.rendered[0].find(name), std::string::npos);
+  std::remove(phase::planSidecarPath(path).c_str());
+  std::remove(path.c_str());
+}
+
+// A bad sidecar must fail at spec materialization — BEFORE any simulation
+// starts — not mid-sweep after other rows already ran.
+TEST(TraceReplayDeathTest, StaleSampledPlanFailsBeforeAnySimulation) {
+  const std::string path =
+      captureWithSidecarPlan("gcc", "stale_smp.mtrace", 8'000);
+  // Invalidate the plan binding by re-capturing the trace underneath it.
+  captureTrace(syntheticConfig("gcc", presetMalec(), 9'000), path);
+  ExperimentSpec spec = specRegistry().get("trace_replay");
+  spec.workloads = {"trace:" + path};  // a good row first...
+  spec.workloads.push_back("trace:" + path + ":sampled");  // ...then the bad
+  spec.whole_stream_only = true;
+  SuiteOptions opts;
+  opts.progress = false;
+  EXPECT_DEATH(runSuite(spec, opts, {}), "different trace");
+  std::remove(phase::planSidecarPath(path).c_str());
+  std::remove(path.c_str());
 }
 
 }  // namespace
