@@ -10,6 +10,18 @@
 //   malec_bench --json PATH                 JSON-lines output file ('-' = stdout)
 //   malec_bench --instr N --seed N --jobs N budget / seed / worker overrides
 //
+// Fault-tolerant process sharding (docs/ARCHITECTURE.md, "Fault-tolerance
+// contract"): one suite's grid spread over supervised worker PROCESSES
+// with a crash-resumable journal —
+//
+//   malec_bench --suite fig4a --workers 4 --journal sweep.mjournal
+//   malec_bench --suite fig4a --workers 4 --resume sweep.mjournal
+//   malec_bench ... --task-timeout 60000      per-task SIGKILL timeout [ms]
+//
+// (--worker is the internal per-task entry the coordinator fork/execs;
+// MALEC_TASK_TIMEOUT / MALEC_SWEEP_RETRIES / MALEC_SWEEP_BACKOFF_MS tune
+// supervision, MALEC_FAULT_SPEC injects deterministic faults for tests.)
+//
 // Defaults: console table sink; a CSV sink is added when MALEC_CSV_DIR is
 // set (the legacy behaviour, now just one sink among several); MALEC_INSTR
 // and MALEC_JOBS keep working unless --instr / --jobs override them.
@@ -18,6 +30,8 @@
 // Table-I interfaces (capture files with `trace_tools gen`), and
 // `--suite phase_sampled` compares sampled vs full replay for captures
 // with a `.mplan` sidecar (write plans with `trace_tools phases`).
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +42,7 @@
 #include <vector>
 
 #include "sim/suite.h"
+#include "sweep/coordinator.h"
 
 namespace {
 
@@ -37,9 +52,24 @@ int usage(const char* argv0, int code) {
   std::fprintf(stderr,
                "usage: %s [--list] [--suite NAME]... [--all] [--filter SUB]\n"
                "          [--sink table|csv|json]... [--csv-dir DIR]\n"
-               "          [--json PATH] [--instr N] [--seed N] [--jobs N]\n",
+               "          [--json PATH] [--instr N] [--seed N] [--jobs N]\n"
+               "          [--workers N --journal PATH | --resume PATH]\n"
+               "          [--task-timeout MS]\n",
                argv0);
   return code;
+}
+
+/// Path of this very binary, for the coordinator to fork/exec workers —
+/// /proc/self/exe is immune to cwd changes and PATH games; argv[0] is the
+/// fallback for exotic mounts.
+std::string selfPath(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
 }
 
 void listSpecs() {
@@ -63,6 +93,15 @@ int main(int argc, char** argv) {
   std::string csv_dir, json_path;
   std::vector<std::string> suites;
   sim::SuiteOptions opts;
+
+  // Sweep-coordinator / worker-mode state.
+  bool worker_mode = false;
+  bool have_task = false, have_result = false;
+  std::uint32_t worker_task = 0, worker_attempt = 0;
+  std::string worker_result;
+  sweep::SweepOptions sweep_opts;
+  bool want_workers = false, want_journal = false, want_resume = false;
+  bool want_timeout = false;
 
   auto needValue = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -110,6 +149,38 @@ int main(int argc, char** argv) {
         return 2;
       }
       opts.jobs = static_cast<unsigned>(jobs);
+    } else if (arg == "--workers") {
+      const std::uint64_t w = sim::parseU64Strict(needValue(i), "--workers");
+      if (w == 0 || w > sweep::kMaxWorkers) {
+        std::fprintf(stderr, "--workers must be in [1, %llu]\n",
+                     static_cast<unsigned long long>(sweep::kMaxWorkers));
+        return 2;
+      }
+      sweep_opts.workers = static_cast<unsigned>(w);
+      want_workers = true;
+    } else if (arg == "--journal") {
+      sweep_opts.journal = needValue(i);
+      want_journal = true;
+    } else if (arg == "--resume") {
+      sweep_opts.journal = needValue(i);
+      sweep_opts.resume = true;
+      want_resume = true;
+    } else if (arg == "--task-timeout") {
+      sweep_opts.task_timeout_ms =
+          sim::parseU64Strict(needValue(i), "--task-timeout");
+      want_timeout = true;
+    } else if (arg == "--worker") {
+      worker_mode = true;
+    } else if (arg == "--task") {
+      worker_task = static_cast<std::uint32_t>(
+          sim::parseU64Strict(needValue(i), "--task"));
+      have_task = true;
+    } else if (arg == "--attempt") {
+      worker_attempt = static_cast<std::uint32_t>(
+          sim::parseU64Strict(needValue(i), "--attempt"));
+    } else if (arg == "--result") {
+      worker_result = needValue(i);
+      have_result = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0], 0);
     } else {
@@ -121,6 +192,60 @@ int main(int argc, char** argv) {
   if (list) {
     listSpecs();
     return 0;
+  }
+
+  // --- internal worker mode -------------------------------------------------
+  // The coordinator fork/execs `malec_bench --worker --suite S --task K
+  // --attempt A --result PATH [--instr N --seed N --filter SUB]`: run ONE
+  // grid cell with the exact RunConfig the in-process matrix would build
+  // and hand the RunOutput back through a checksummed result file.
+  if (worker_mode) {
+    if (suites.size() != 1 || !have_task || !have_result || all) {
+      std::fprintf(stderr,
+                   "--worker needs exactly one --suite plus --task and "
+                   "--result (coordinator-internal mode)\n");
+      return 2;
+    }
+    const sim::ExperimentSpec* spec = sim::specRegistry().tryGet(suites[0]);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "worker: unknown suite '%s'\n", suites[0].c_str());
+      return 1;
+    }
+    opts.progress = false;
+    return sweep::runWorkerTask(*spec, opts, worker_task, worker_attempt,
+                                worker_result);
+  }
+  if (have_task || have_result) {
+    std::fprintf(stderr, "--task/--attempt/--result need --worker\n");
+    return 2;
+  }
+
+  // --- sharded-sweep flag validation ----------------------------------------
+  const bool sharded = want_workers || want_journal || want_resume;
+  if (want_timeout && !sharded) {
+    std::fprintf(stderr,
+                 "--task-timeout only applies to sharded sweeps "
+                 "(--workers/--journal/--resume)\n");
+    return 2;
+  }
+  if (sharded) {
+    if (want_journal && want_resume) {
+      std::fprintf(stderr, "--journal and --resume are mutually exclusive "
+                           "(--resume names the journal)\n");
+      return 2;
+    }
+    if (!want_journal && !want_resume) {
+      std::fprintf(stderr,
+                   "--workers needs a journal: add --journal PATH (fresh "
+                   "sweep) or --resume PATH (continue a crashed one)\n");
+      return 2;
+    }
+    if (all || suites.size() != 1) {
+      std::fprintf(stderr,
+                   "a sharded sweep coordinates exactly one --suite "
+                   "(the journal binds to one grid)\n");
+      return 2;
+    }
   }
   if (all) {
     // --all means "everything runnable": a suite whose preconditions this
@@ -242,10 +367,18 @@ int main(int argc, char** argv) {
   std::vector<sim::ResultSink*> sinks;
   for (const auto& s : owned) sinks.push_back(s.get());
 
-  for (const auto& name : suites)
-    sim::runSuite(sim::specRegistry().get(name), opts, sinks);
+  int code = 0;
+  if (sharded) {
+    sweep::resolveSweepTuning(sweep_opts);
+    sweep_opts.worker_path = selfPath(argv[0]);
+    code = sweep::runSuiteCoordinated(sim::specRegistry().get(suites[0]), opts,
+                                      sweep_opts, sinks);
+  } else {
+    for (const auto& name : suites)
+      sim::runSuite(sim::specRegistry().get(name), opts, sinks);
+  }
 
   owned.clear();
   if (json_file != nullptr) std::fclose(json_file);
-  return 0;
+  return code;
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Pinned-budget performance smoke: times a fig4a sweep, a trace replay and
-# a checkpoint save/resume pass, and writes the wall-clock numbers to
-# BENCH_ckpt.json — the first point of the bench trajectory, so perf
-# regressions show up as a diffable artifact instead of an anecdote.
+# a checkpoint save/resume pass (-> BENCH_ckpt.json), plus the
+# process-sharded coordinator against the same in-process grid
+# (-> BENCH_sweep.json beside it) — so both perf regressions and
+# coordinator overhead show up as diffable artifacts instead of
+# anecdotes.
 #
 # Usage: scripts/perf_smoke.sh <build-dir> [out.json]
 # Budgets are pinned here (NOT via MALEC_INSTR) so runs are comparable
@@ -60,6 +62,29 @@ diff "$workdir/full.txt" "$workdir/resumed.txt" > /dev/null || {
   exit 1
 }
 
+# 4. coordinator overhead: the same small grid in-process vs sharded
+#    across worker processes. The two reports must byte-diff clean (the
+#    fault-tolerance contract) and the timing delta IS the coordinator's
+#    price — fork/exec, journal fsyncs, result-file round trips.
+sweep_workers=2
+t0="$(now)"
+MALEC_INSTR="$instr" "$build_dir/malec_bench" --suite fig4a --filter gcc \
+  --jobs "$sweep_workers" > "$workdir/sweep_inproc.txt"
+t1="$(now)"
+sweep_inproc_s="$(elapsed "$t0" "$t1")"
+
+t0="$(now)"
+MALEC_INSTR="$instr" "$build_dir/malec_bench" --suite fig4a --filter gcc \
+  --workers "$sweep_workers" --journal "$workdir/perf.mjournal" \
+  > "$workdir/sweep_coord.txt"
+t1="$(now)"
+sweep_coord_s="$(elapsed "$t0" "$t1")"
+
+diff "$workdir/sweep_inproc.txt" "$workdir/sweep_coord.txt" > /dev/null || {
+  echo "perf_smoke: coordinated sweep differs from the in-process run" >&2
+  exit 1
+}
+
 cat > "$out" <<JSON
 {
   "bench": "perf_smoke",
@@ -73,3 +98,16 @@ cat > "$out" <<JSON
 JSON
 echo "perf_smoke: wrote $out"
 cat "$out"
+
+sweep_out="$(dirname "$out")/BENCH_sweep.json"
+cat > "$sweep_out" <<JSON
+{
+  "bench": "sweep_coordinator_overhead",
+  "budgets": {"fig4a_instr": $instr, "workers": $sweep_workers,
+              "grid": "fig4a --filter gcc (1 workload x 5 configs)"},
+  "inprocess_s": $sweep_inproc_s,
+  "coordinated_s": $sweep_coord_s
+}
+JSON
+echo "perf_smoke: wrote $sweep_out"
+cat "$sweep_out"

@@ -1,10 +1,13 @@
 #include "ckpt/state_io.h"
 
+#include <signal.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 
@@ -26,6 +29,35 @@ constexpr std::size_t kHeaderBytes = 32;
 
 std::uint64_t checksum(const std::uint8_t* p, std::size_t n) {
   return binio::fnv1a(binio::kFnvOffset, p, n);
+}
+
+/// Reap temp files a crashed (or SIGKILLed) writer left next to `path`:
+/// anything matching `<basename>.tmp.<pid>.<serial>` whose pid no longer
+/// exists. A temp belonging to a LIVE process is another writer mid-write
+/// of the same checkpoint — racing but healthy — and must be left alone;
+/// its atomic rename will win or lose on its own. Cleanup failures are
+/// deliberately silent: stale temps waste disk, they never corrupt.
+void removeStaleTemps(const std::string& path) {
+  const std::filesystem::path target(path);
+  const std::string prefix = target.filename().string() + ".tmp.";
+  std::filesystem::path dir = target.parent_path();
+  if (dir.empty()) dir = ".";
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    const char* rest = name.c_str() + prefix.size();
+    char* end = nullptr;
+    errno = 0;
+    const long pid = std::strtol(rest, &end, 10);
+    if (errno != 0 || end == rest || *end != '.' || pid <= 0) continue;
+    // Signal 0 probes existence without sending anything. EPERM means the
+    // pid exists but belongs to someone else — also alive, keep the file.
+    if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH) continue;
+    std::filesystem::remove(entry.path(), ec);
+  }
 }
 
 }  // namespace
@@ -113,6 +145,10 @@ bool StateWriter::writeTo(const std::string& path, std::string& err) const {
   // the same checkpoint (e.g. parallel first-runs populating one warmup
   // cache) would interleave writes into one inode and expose a torn file
   // under `path`; with unique temps the last atomic rename simply wins.
+  // A worker SIGKILLed mid-write (sweep supervision does exactly that on
+  // timeouts) leaves its unique temp behind forever — sweep one up per
+  // write so checkpoint directories do not accumulate dead `.tmp.*` files.
+  removeStaleTemps(path);
   static std::atomic<std::uint64_t> temp_serial{0};
   const std::string tmp =
       path + ".tmp." + std::to_string(::getpid()) + "." +

@@ -127,9 +127,9 @@ Table buildTable(const TableSpec& ts, const SuiteContext& ctx) {
 
 }  // namespace
 
-void runSuite(const ExperimentSpec& spec, const SuiteOptions& opts,
-              const std::vector<ResultSink*>& sinks) {
-  SuiteContext ctx{spec, opts};
+void resolveSuiteContext(SuiteContext& ctx) {
+  const ExperimentSpec& spec = ctx.spec;
+  const SuiteOptions& opts = ctx.opts;
   if (spec.whole_stream_only) {
     if (opts.instructions > 0) {
       const std::string msg =
@@ -156,18 +156,36 @@ void runSuite(const ExperimentSpec& spec, const SuiteOptions& opts,
     MALEC_CHECK_MSG(false, msg.c_str());
   }
   if (spec.configs) ctx.configs = spec.configs();
-  ctx.sinks = sinks;
+}
 
+SuiteInfo suiteInfo(const SuiteContext& ctx) {
   SuiteInfo info;
-  info.name = spec.name;
-  info.title = spec.title;
+  info.name = ctx.spec.name;
+  info.title = ctx.spec.title;
   info.instructions = ctx.instructions;
   info.seed = ctx.seed;
   info.jobs = ctx.jobs;
+  return info;
+}
+
+void emitSuiteTables(SuiteContext& ctx) {
+  for (const TableSpec& ts : ctx.spec.tables)
+    ctx.emitTable(buildTable(ts, ctx), ts.name, ts.precision);
+  if (!ctx.spec.paper_anchor.empty()) ctx.emitText(ctx.spec.paper_anchor + "\n");
+}
+
+void runSuite(const ExperimentSpec& spec, const SuiteOptions& opts,
+              const std::vector<ResultSink*>& sinks) {
+  SuiteContext ctx{spec, opts};
+  resolveSuiteContext(ctx);
+  ctx.sinks = sinks;
+
+  const SuiteInfo info = suiteInfo(ctx);
   for (ResultSink* s : sinks) s->beginSuite(info);
 
   if (spec.custom) {
     spec.custom(ctx);
+    if (!spec.paper_anchor.empty()) ctx.emitText(spec.paper_anchor + "\n");
   } else {
     MALEC_CHECK_MSG(spec.configs != nullptr,
                     "spec without custom body needs a configuration set");
@@ -177,11 +195,9 @@ void runSuite(const ExperimentSpec& spec, const SuiteOptions& opts,
     ctx.results = runMatrixParallel(ctx.workloads, ctx.configs,
                                     ctx.instructions, ctx.seed, ctx.jobs);
     ctx.progressDots();
-    for (const TableSpec& ts : spec.tables)
-      ctx.emitTable(buildTable(ts, ctx), ts.name, ts.precision);
+    emitSuiteTables(ctx);
   }
 
-  if (!spec.paper_anchor.empty()) ctx.emitText(spec.paper_anchor + "\n");
   for (ResultSink* s : sinks) s->endSuite();
 }
 

@@ -123,6 +123,25 @@ struct ExperimentSpec {
 [[nodiscard]] std::vector<std::string> suiteWorkloadNames(
     const ExperimentSpec& spec);
 
+/// Resolve a SuiteContext's options, workloads and configurations —
+/// everything runSuite does BEFORE any simulation. Shared with the sweep
+/// coordinator (src/sweep/), which must shard the exact grid an
+/// in-process run would execute: budget/seed/jobs fallbacks, workload
+/// resolution + filtering (sampled sidecars validated up front), the
+/// empty-filter-match hard error and the config-set factory all live here
+/// once.
+void resolveSuiteContext(SuiteContext& ctx);
+
+/// The SuiteInfo sinks are introduced with, derived from a resolved ctx.
+[[nodiscard]] SuiteInfo suiteInfo(const SuiteContext& ctx);
+
+/// Build each TableSpec over ctx.results and emit tables + the paper
+/// anchor through ctx.sinks — the emission half of runSuite, shared with
+/// the sweep coordinator so a sharded sweep's merged report is
+/// byte-identical to the in-process run. Callers bracket this with
+/// beginSuite()/endSuite() themselves.
+void emitSuiteTables(SuiteContext& ctx);
+
 /// Execute one spec: resolve workloads/configs, run the grid through
 /// runMatrixParallel (or the custom body), build each TableSpec with its
 /// geomean rows, and emit tables + paper anchor through `sinks`.

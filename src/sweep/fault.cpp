@@ -1,0 +1,132 @@
+#include "sweep/fault.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "common/check.h"
+#include "sim/experiment.h"
+
+namespace malec::sweep {
+
+namespace {
+
+[[noreturn]] void badSpec(const std::string& spec, const std::string& why) {
+  const std::string msg = "invalid MALEC_FAULT_SPEC clause '" + spec + "': " +
+                          why +
+                          " (grammar: kill|hang|corrupt-result:task=K"
+                          "[:attempts=N] or truncate-journal[:task=K])";
+  MALEC_CHECK_MSG(false, msg.c_str());
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t at = 0;
+  while (at <= s.size()) {
+    const std::size_t next = s.find(sep, at);
+    if (next == std::string::npos) {
+      parts.push_back(s.substr(at));
+      break;
+    }
+    parts.push_back(s.substr(at, next - at));
+    at = next + 1;
+  }
+  return parts;
+}
+
+FaultClause parseClause(const std::string& clause) {
+  const std::vector<std::string> parts = split(clause, ':');
+  FaultClause fc;
+  if (parts[0] == "kill") fc.kind = FaultClause::Kind::kKill;
+  else if (parts[0] == "hang") fc.kind = FaultClause::Kind::kHang;
+  else if (parts[0] == "corrupt-result")
+    fc.kind = FaultClause::Kind::kCorruptResult;
+  else if (parts[0] == "truncate-journal")
+    fc.kind = FaultClause::Kind::kTruncateJournal;
+  else badSpec(clause, "unknown fault '" + parts[0] + "'");
+
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::size_t eq = parts[i].find('=');
+    if (eq == std::string::npos)
+      badSpec(clause, "expected key=value, got '" + parts[i] + "'");
+    const std::string key = parts[i].substr(0, eq);
+    const std::string val = parts[i].substr(eq + 1);
+    if (key == "task") {
+      fc.task = static_cast<std::uint32_t>(
+          sim::parseU64Strict(val, "MALEC_FAULT_SPEC task"));
+      fc.has_task = true;
+    } else if (key == "attempts") {
+      fc.attempts = static_cast<std::uint32_t>(
+          sim::parseU64Strict(val, "MALEC_FAULT_SPEC attempts"));
+    } else {
+      badSpec(clause, "unknown key '" + key + "'");
+    }
+  }
+  if (!fc.has_task && fc.kind != FaultClause::Kind::kTruncateJournal)
+    badSpec(clause, "worker faults need an explicit task=K");
+  return fc;
+}
+
+}  // namespace
+
+const FaultClause* FaultSpec::match(FaultClause::Kind kind,
+                                    std::uint32_t task,
+                                    std::uint32_t attempt) const {
+  for (const FaultClause& fc : clauses) {
+    if (fc.kind != kind) continue;
+    if (fc.has_task && fc.task != task) continue;
+    if (attempt >= fc.attempts) continue;
+    return &fc;
+  }
+  return nullptr;
+}
+
+FaultSpec parseFaultSpec(const std::string& spec) {
+  FaultSpec fs;
+  if (spec.empty()) return fs;
+  for (const std::string& clause : split(spec, ',')) {
+    if (clause.empty()) badSpec(spec, "empty clause");
+    fs.clauses.push_back(parseClause(clause));
+  }
+  return fs;
+}
+
+FaultSpec faultSpecFromEnv() {
+  const char* env = std::getenv("MALEC_FAULT_SPEC");
+  return parseFaultSpec(env == nullptr ? "" : env);
+}
+
+void maybeInjectStartFault(const FaultSpec& spec, std::uint32_t task,
+                           std::uint32_t attempt) {
+  if (spec.match(FaultClause::Kind::kKill, task, attempt) != nullptr) {
+    std::fprintf(stderr, "[fault] SIGKILL self on task %u attempt %u\n",
+                 task, attempt);
+    ::raise(SIGKILL);
+  }
+  if (spec.match(FaultClause::Kind::kHang, task, attempt) != nullptr) {
+    std::fprintf(stderr, "[fault] hanging on task %u attempt %u\n", task,
+                 attempt);
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+}
+
+void maybeCorruptResult(const FaultSpec& spec, std::uint32_t task,
+                        std::uint32_t attempt, const std::string& path) {
+  if (spec.match(FaultClause::Kind::kCorruptResult, task, attempt) == nullptr)
+    return;
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  MALEC_CHECK_MSG(f != nullptr, "fault injection: cannot reopen result file");
+  // Flip one byte of the last 8 (inside the payload / checksum region) so
+  // the StateIO container fails validation at the coordinator.
+  std::fseek(f, -5, SEEK_END);
+  const int c = std::fgetc(f);
+  std::fseek(f, -5, SEEK_END);
+  std::fputc((c == EOF ? 0 : c) ^ 0xFF, f);
+  std::fclose(f);
+  std::fprintf(stderr, "[fault] corrupted result of task %u attempt %u\n",
+               task, attempt);
+}
+
+}  // namespace malec::sweep
