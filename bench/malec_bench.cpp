@@ -22,9 +22,24 @@
 // MALEC_TASK_TIMEOUT / MALEC_SWEEP_RETRIES / MALEC_SWEEP_BACKOFF_MS tune
 // supervision, MALEC_FAULT_SPEC injects deterministic faults for tests.)
 //
+// Result store (docs/FILE_FORMATS.md, ".mstore v1"): every sink run can
+// land durably in a queryable store, and three subcommands work on it —
+//
+//   malec_bench --suite fig4a --sink store --store results.mstore
+//   malec_bench merge --suite fig4a --journal sweep.mjournal \
+//                     --store results.mstore      sweep artifacts -> store
+//   malec_bench query --store results.mstore \
+//                     [--select COLS] [--where-suite/-workload/-config SUB]\n
+//                     [--seed N] [--sort COL [--desc]] [--group-geomean]
+//                     [--limit N] [--format table|json]
+//   malec_bench explore --suite fig4a --store ex.mstore \
+//                       [--objective ipc,energy] [--rounds N] [--batch N]
+//                       [--resume]                adaptive Pareto search
+//
 // Defaults: console table sink; a CSV sink is added when MALEC_CSV_DIR is
-// set (the legacy behaviour, now just one sink among several); MALEC_INSTR
-// and MALEC_JOBS keep working unless --instr / --jobs override them.
+// set (the legacy behaviour, now just one sink among several), a store
+// sink when MALEC_STORE is set; MALEC_INSTR and MALEC_JOBS keep working
+// unless --instr / --jobs override them.
 // Setting MALEC_TRACE_DIR registers every *.mtrace capture in it as a
 // "trace:<stem>" workload — `--suite trace_replay` runs them through the
 // Table-I interfaces (capture files with `trace_tools gen`), and
@@ -41,8 +56,13 @@
 #include <string>
 #include <vector>
 
+#include "explore/explorer.h"
 #include "sim/suite.h"
+#include "store/query.h"
+#include "store/result_store.h"
+#include "store/store_sink.h"
 #include "sweep/coordinator.h"
+#include "sweep/store_merge.h"
 
 namespace {
 
@@ -51,11 +71,24 @@ using namespace malec;
 int usage(const char* argv0, int code) {
   std::fprintf(stderr,
                "usage: %s [--list] [--suite NAME]... [--all] [--filter SUB]\n"
-               "          [--sink table|csv|json]... [--csv-dir DIR]\n"
-               "          [--json PATH] [--instr N] [--seed N] [--jobs N]\n"
+               "          [--sink table|csv|json|store]... [--csv-dir DIR]\n"
+               "          [--json PATH] [--store PATH]\n"
+               "          [--instr N] [--seed N] [--jobs N]\n"
                "          [--workers N --journal PATH | --resume PATH]\n"
-               "          [--task-timeout MS]\n",
-               argv0);
+               "          [--task-timeout MS]\n"
+               "       %s query --store PATH [--select COL,...]\n"
+               "          [--where-suite SUB] [--where-workload SUB]\n"
+               "          [--where-config SUB] [--seed N] [--sort COL]\n"
+               "          [--desc] [--group-geomean] [--limit N]\n"
+               "          [--format table|json]\n"
+               "       %s merge --suite NAME --store PATH\n"
+               "          [--journal PATH] [--mres PATH]...\n"
+               "          [--filter SUB] [--instr N] [--seed N]\n"
+               "       %s explore --suite NAME --store PATH\n"
+               "          [--objective ipc,energy|...] [--rounds N]\n"
+               "          [--batch N] [--resume] [--filter SUB]\n"
+               "          [--instr N] [--seed N] [--jobs N]\n",
+               argv0, argv0, argv0, argv0);
   return code;
 }
 
@@ -85,12 +118,207 @@ void listSpecs() {
       sim::workloadRegistry().size(), sim::presetRegistry().size());
 }
 
+/// Shared "--flag needs a value" helper for the subcommand parsers.
+const char* needValueAt(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "%s requires a value\n", argv[i]);
+    std::exit(usage(argv[0], 2));
+  }
+  return argv[++i];
+}
+
+/// Split a comma list strictly: empty items ("a,,b", trailing comma) are
+/// hard errors, matching the explorer's objective parsing.
+std::vector<std::string> splitCommaList(const std::string& s,
+                                        const char* what) {
+  std::vector<std::string> out;
+  std::size_t at = 0;
+  while (at <= s.size()) {
+    const std::size_t comma = std::min(s.find(',', at), s.size());
+    const std::string tok = s.substr(at, comma - at);
+    if (tok.empty()) {
+      std::fprintf(stderr, "%s has an empty item in '%s'\n", what, s.c_str());
+      std::exit(2);
+    }
+    out.push_back(tok);
+    at = comma + 1;
+  }
+  return out;
+}
+
+/// `malec_bench query`: load a store, run one query, render it.
+int cmdQuery(int argc, char** argv) {
+  std::string store_path, format = "table";
+  store::QueryOptions q;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--store") {
+      store_path = needValueAt(argc, argv, i);
+    } else if (arg == "--select") {
+      q.select = splitCommaList(needValueAt(argc, argv, i), "--select");
+    } else if (arg == "--where-suite") {
+      q.suite_contains = needValueAt(argc, argv, i);
+    } else if (arg == "--where-workload") {
+      q.workload_contains = needValueAt(argc, argv, i);
+    } else if (arg == "--where-config") {
+      q.config_contains = needValueAt(argc, argv, i);
+    } else if (arg == "--seed") {
+      q.seed = sim::parseU64Strict(needValueAt(argc, argv, i), "--seed");
+      q.have_seed = true;
+    } else if (arg == "--sort") {
+      q.sort_by = needValueAt(argc, argv, i);
+    } else if (arg == "--desc") {
+      q.sort_desc = true;
+    } else if (arg == "--group-geomean") {
+      q.group_geomean = true;
+    } else if (arg == "--limit") {
+      q.limit = sim::parseU64Strict(needValueAt(argc, argv, i), "--limit");
+    } else if (arg == "--format") {
+      format = needValueAt(argc, argv, i);
+      if (format != "table" && format != "json") {
+        std::fprintf(stderr, "unknown --format '%s' (table|json)\n",
+                     format.c_str());
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "query: unknown option '%s'\n", argv[i]);
+      return usage(argv[0], 2);
+    }
+  }
+  if (store_path.empty()) {
+    if (const char* env = std::getenv("MALEC_STORE");
+        env != nullptr && env[0] != '\0')
+      store_path = env;
+  }
+  if (store_path.empty()) {
+    std::fprintf(stderr, "query needs --store PATH (or MALEC_STORE)\n");
+    return 2;
+  }
+  store::ResultStore rs;
+  std::string err;
+  if (!rs.load(store_path, err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  const store::QueryResult r = store::runQuery(rs, q);
+  if (format == "json")
+    store::printQueryJson(r, stdout);
+  else
+    store::printQueryTable(r, stdout);
+  return 0;
+}
+
+/// `malec_bench merge`: sweep artifacts (journal and/or .mres files) ->
+/// one store segment, nothing re-run.
+int cmdMerge(int argc, char** argv) {
+  std::string suite, store_path, journal;
+  std::vector<std::string> mres;
+  sim::SuiteOptions opts;
+  opts.progress = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--suite") {
+      suite = needValueAt(argc, argv, i);
+    } else if (arg == "--store") {
+      store_path = needValueAt(argc, argv, i);
+    } else if (arg == "--journal") {
+      journal = needValueAt(argc, argv, i);
+    } else if (arg == "--mres") {
+      mres.push_back(needValueAt(argc, argv, i));
+    } else if (arg == "--filter") {
+      opts.workload_filter = needValueAt(argc, argv, i);
+    } else if (arg == "--instr") {
+      opts.instructions =
+          sim::parseU64Strict(needValueAt(argc, argv, i), "--instr");
+    } else if (arg == "--seed") {
+      opts.seed = sim::parseU64Strict(needValueAt(argc, argv, i), "--seed");
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "merge: unknown option '%s'\n", argv[i]);
+      return usage(argv[0], 2);
+    }
+  }
+  if (suite.empty() || store_path.empty()) {
+    std::fprintf(stderr, "merge needs --suite NAME and --store PATH\n");
+    return 2;
+  }
+  const sim::ExperimentSpec* spec = sim::specRegistry().tryGet(suite);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "merge: unknown suite '%s'\n", suite.c_str());
+    return 1;
+  }
+  sweep::mergeIntoStore(*spec, opts, journal, mres, store_path);
+  return 0;
+}
+
+/// `malec_bench explore`: adaptive Pareto search over the MALEC axes.
+int cmdExplore(int argc, char** argv) {
+  explore::ExploreOptions ex;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--suite") {
+      ex.suite = needValueAt(argc, argv, i);
+    } else if (arg == "--store") {
+      ex.store = needValueAt(argc, argv, i);
+    } else if (arg == "--objective") {
+      ex.objectives = needValueAt(argc, argv, i);
+    } else if (arg == "--rounds") {
+      ex.rounds = sim::parseU64Strict(needValueAt(argc, argv, i), "--rounds");
+    } else if (arg == "--batch") {
+      ex.batch = sim::parseU64Strict(needValueAt(argc, argv, i), "--batch");
+    } else if (arg == "--resume") {
+      ex.resume = true;
+    } else if (arg == "--filter") {
+      ex.workload_filter = needValueAt(argc, argv, i);
+    } else if (arg == "--instr") {
+      ex.instructions =
+          sim::parseU64Strict(needValueAt(argc, argv, i), "--instr");
+    } else if (arg == "--seed") {
+      ex.seed = sim::parseU64Strict(needValueAt(argc, argv, i), "--seed");
+    } else if (arg == "--jobs") {
+      const std::uint64_t jobs =
+          sim::parseU64Strict(needValueAt(argc, argv, i), "--jobs");
+      if (jobs > std::numeric_limits<unsigned>::max()) {
+        std::fprintf(stderr, "--jobs %llu exceeds the supported range\n",
+                     static_cast<unsigned long long>(jobs));
+        return 2;
+      }
+      ex.jobs = static_cast<unsigned>(jobs);
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "explore: unknown option '%s'\n", argv[i]);
+      return usage(argv[0], 2);
+    }
+  }
+  if (ex.suite.empty() || ex.store.empty()) {
+    std::fprintf(stderr, "explore needs --suite NAME and --store PATH\n");
+    return 2;
+  }
+  sim::ConsoleSink console;
+  std::vector<sim::ResultSink*> sinks = {&console};
+  return explore::runExplore(ex, sinks);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Subcommand dispatch first: `query` / `merge` / `explore` have their
+  // own flag sets (a flag-style first arg falls through to the classic
+  // suite-runner parser).
+  if (argc >= 2 && std::strcmp(argv[1], "query") == 0)
+    return cmdQuery(argc, argv);
+  if (argc >= 2 && std::strcmp(argv[1], "merge") == 0)
+    return cmdMerge(argc, argv);
+  if (argc >= 2 && std::strcmp(argv[1], "explore") == 0)
+    return cmdExplore(argc, argv);
   bool list = false, all = false;
   bool want_table = false, want_csv = false, want_json = false;
-  std::string csv_dir, json_path;
+  bool want_store = false;
+  std::string csv_dir, json_path, store_path;
   std::vector<std::string> suites;
   sim::SuiteOptions opts;
 
@@ -126,8 +354,9 @@ int main(int argc, char** argv) {
       if (kind == "table") want_table = true;
       else if (kind == "csv") want_csv = true;
       else if (kind == "json") want_json = true;
+      else if (kind == "store") want_store = true;
       else {
-        std::fprintf(stderr, "unknown sink '%s' (table|csv|json)\n",
+        std::fprintf(stderr, "unknown sink '%s' (table|csv|json|store)\n",
                      kind.c_str());
         return usage(argv[0], 2);
       }
@@ -137,6 +366,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--json") {
       json_path = needValue(i);
       want_json = true;
+    } else if (arg == "--store") {
+      store_path = needValue(i);
+      want_store = true;
     } else if (arg == "--instr") {
       opts.instructions = sim::parseU64Strict(needValue(i), "--instr");
     } else if (arg == "--seed") {
@@ -327,13 +559,19 @@ int main(int argc, char** argv) {
 
   // --- sink assembly --------------------------------------------------------
   // No explicit --sink selection = legacy behaviour: console table plus a
-  // CSV sink when MALEC_CSV_DIR is set.
-  if (!want_table && !want_csv && !want_json) {
+  // CSV sink when MALEC_CSV_DIR is set (and a store sink when MALEC_STORE
+  // is set).
+  if (!want_table && !want_csv && !want_json && !want_store) {
     want_table = true;
     if (const char* dir = std::getenv("MALEC_CSV_DIR");
         dir != nullptr && dir[0] != '\0') {
       want_csv = true;
       csv_dir = dir;
+    }
+    if (const char* sp = std::getenv("MALEC_STORE");
+        sp != nullptr && sp[0] != '\0') {
+      want_store = true;
+      store_path = sp;
     }
   }
   if (want_csv && csv_dir.empty()) {
@@ -346,11 +584,23 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (want_store && store_path.empty()) {
+    if (const char* sp = std::getenv("MALEC_STORE");
+        sp != nullptr && sp[0] != '\0')
+      store_path = sp;
+    else {
+      std::fprintf(stderr,
+                   "--sink store needs --store PATH (or MALEC_STORE)\n");
+      return 2;
+    }
+  }
 
   std::vector<std::unique_ptr<sim::ResultSink>> owned;
   std::FILE* json_file = nullptr;
   if (want_table) owned.push_back(std::make_unique<sim::ConsoleSink>());
   if (want_csv) owned.push_back(std::make_unique<sim::CsvDirSink>(csv_dir));
+  if (want_store)
+    owned.push_back(std::make_unique<store::StoreSink>(store_path));
   if (want_json) {
     if (json_path.empty() || json_path == "-") {
       owned.push_back(std::make_unique<sim::JsonLinesSink>(stdout));

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Compare a fresh perf-smoke artifact against its committed baseline:
+# every "*_s" timing in the baseline must still exist in the current file
+# and stay within a RATIO tolerance of the baseline value — so a perf
+# regression fails CI as a diffable number, not an anecdote.
+#
+# Usage: scripts/bench_compare.sh <baseline.json> <current.json>
+#
+# The tolerance is deliberately loose (default 5.0x, override with
+# MALEC_BENCH_TOLERANCE): shared CI runners are noisy, and the committed
+# baselines were measured on different hardware. The check exists to
+# catch order-of-magnitude cliffs — an accidentally quadratic merge, an
+# fsync in a loop — not percent-level drift; tighten it on dedicated
+# hardware.
+set -euo pipefail
+
+baseline="${1:?usage: bench_compare.sh <baseline.json> <current.json>}"
+current="${2:?usage: bench_compare.sh <baseline.json> <current.json>}"
+tolerance="${MALEC_BENCH_TOLERANCE:-5.0}"
+
+[ -f "$baseline" ] || { echo "bench_compare: missing $baseline" >&2; exit 1; }
+[ -f "$current" ] || { echo "bench_compare: missing $current" >&2; exit 1; }
+
+# Pull the flat "name_s": value timing pairs out of a perf-smoke JSON
+# (the files are written by perf_smoke.sh with one metric per line).
+metrics() {
+  grep -oE '"[a-z0-9_]+_s": *[0-9.]+' "$1" \
+    | sed -E 's/"([a-z0-9_]+)": *([0-9.]+)/\1 \2/'
+}
+
+fail=0
+found_any=0
+while read -r name base_val; do
+  found_any=1
+  cur_val="$(metrics "$current" | awk -v n="$name" '$1 == n { print $2 }')"
+  if [ -z "$cur_val" ]; then
+    echo "bench_compare: metric '$name' vanished from $current" >&2
+    fail=1
+    continue
+  fi
+  verdict="$(awk -v b="$base_val" -v c="$cur_val" -v t="$tolerance" 'BEGIN {
+    if (b <= 0) { print "skip"; exit }
+    ratio = c / b
+    printf "%.2fx %s\n", ratio, (ratio > t) ? "FAIL" : "ok"
+  }')"
+  echo "bench_compare: $name base=${base_val}s cur=${cur_val}s $verdict"
+  case "$verdict" in *FAIL) fail=1 ;; esac
+done < <(metrics "$baseline")
+
+if [ "$found_any" -eq 0 ]; then
+  echo "bench_compare: no *_s metrics found in $baseline" >&2
+  exit 1
+fi
+if [ "$fail" -ne 0 ]; then
+  echo "bench_compare: regression beyond ${tolerance}x vs $baseline" >&2
+  exit 1
+fi
+echo "bench_compare: $current within ${tolerance}x of $baseline"

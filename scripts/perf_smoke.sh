@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Pinned-budget performance smoke: times a fig4a sweep, a trace replay and
-# a checkpoint save/resume pass (-> BENCH_ckpt.json), plus the
-# process-sharded coordinator against the same in-process grid
-# (-> BENCH_sweep.json beside it) — so both perf regressions and
-# coordinator overhead show up as diffable artifacts instead of
-# anecdotes.
+# a checkpoint save/resume pass (-> BENCH_ckpt.json), the process-sharded
+# coordinator against the same in-process grid (-> BENCH_sweep.json
+# beside it), and the `.mstore` result-store append + query path
+# (-> BENCH_store.json) — so perf regressions, coordinator overhead and
+# store overhead all show up as diffable artifacts instead of anecdotes.
+# scripts/bench_compare.sh diffs these against bench/baselines/ in CI.
 #
 # Usage: scripts/perf_smoke.sh <build-dir> [out.json]
 # Budgets are pinned here (NOT via MALEC_INSTR) so runs are comparable
@@ -85,6 +86,31 @@ diff "$workdir/sweep_inproc.txt" "$workdir/sweep_coord.txt" > /dev/null || {
   exit 1
 }
 
+# 5. result store: the same grid once more with a store sink (the timing
+#    delta vs sweep_inproc_s is the append price: encode + index + atomic
+#    rewrite), then a batch of queries over the written store (load +
+#    validate + select/sort dominate; each query is a fresh process).
+query_iters=10
+t0="$(now)"
+MALEC_INSTR="$instr" "$build_dir/malec_bench" --suite fig4a --filter gcc \
+  --jobs "$sweep_workers" --sink table --sink store \
+  --store "$workdir/perf.mstore" > "$workdir/sweep_store.txt"
+t1="$(now)"
+store_write_s="$(elapsed "$t0" "$t1")"
+
+diff "$workdir/sweep_inproc.txt" "$workdir/sweep_store.txt" > /dev/null || {
+  echo "perf_smoke: store-sink sweep report differs from the plain run" >&2
+  exit 1
+}
+
+t0="$(now)"
+for _ in $(seq "$query_iters"); do
+  "$build_dir/malec_bench" query --store "$workdir/perf.mstore" \
+    --sort ipc --desc --format json > /dev/null
+done
+t1="$(now)"
+store_query_s="$(elapsed "$t0" "$t1")"
+
 cat > "$out" <<JSON
 {
   "bench": "perf_smoke",
@@ -111,3 +137,16 @@ cat > "$sweep_out" <<JSON
 JSON
 echo "perf_smoke: wrote $sweep_out"
 cat "$sweep_out"
+
+store_out="$(dirname "$out")/BENCH_store.json"
+cat > "$store_out" <<JSON
+{
+  "bench": "result_store_throughput",
+  "budgets": {"fig4a_instr": $instr, "grid": "fig4a --filter gcc",
+              "query_iters": $query_iters},
+  "store_write_s": $store_write_s,
+  "store_query_s": $store_query_s
+}
+JSON
+echo "perf_smoke: wrote $store_out"
+cat "$store_out"

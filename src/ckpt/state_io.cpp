@@ -132,8 +132,8 @@ bool StateWriter::writeTo(const std::string& path, std::string& err) const {
   MALEC_CHECK_MSG(open_len_at_ == kNone,
                   "cannot write a checkpoint with an open section");
   std::uint8_t hdr[kHeaderBytes] = {};
-  put32(hdr + 0, kCkptMagic);
-  put32(hdr + 4, kCkptVersion);
+  put32(hdr + 0, magic_);
+  put32(hdr + 4, version_);
   put64(hdr + 8, static_cast<std::uint64_t>(payload_.size()));
   put32(hdr + 16, static_cast<std::uint32_t>(sections_));
   put32(hdr + 20, 0);  // reserved
@@ -183,7 +183,9 @@ bool StateWriter::writeTo(const std::string& path, std::string& err) const {
 
 // --- StateReader ------------------------------------------------------------
 
-StateReader::StateReader(const std::string& path) : path_(path) {
+StateReader::StateReader(const std::string& path, std::uint32_t magic,
+                         std::uint32_t expect_version, const char* kind)
+    : path_(path), kind_(kind) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     error_ = "cannot open '" + path + "'";
@@ -192,18 +194,18 @@ StateReader::StateReader(const std::string& path) : path_(path) {
   std::uint8_t hdr[kHeaderBytes];
   if (std::fread(hdr, 1, sizeof hdr, f) != sizeof hdr) {
     std::fclose(f);
-    error_ = "'" + path + "' is too short to hold a checkpoint header";
+    error_ = "'" + path + "' is too short to hold a " + kind_ + " header";
     return;
   }
-  if (get32(hdr + 0) != kCkptMagic) {
+  if (get32(hdr + 0) != magic) {
     std::fclose(f);
-    error_ = "'" + path + "' is not a MALEC checkpoint (bad magic)";
+    error_ = "'" + path + "' is not a MALEC " + kind_ + " (bad magic)";
     return;
   }
   const std::uint32_t version = get32(hdr + 4);
-  if (version != kCkptVersion) {
+  if (version != expect_version) {
     std::fclose(f);
-    error_ = "'" + path + "' has unsupported checkpoint version " +
+    error_ = "'" + path + "' has unsupported " + kind_ + " version " +
              std::to_string(version);
     return;
   }
@@ -238,8 +240,8 @@ StateReader::StateReader(const std::string& path) : path_(path) {
     return;
   }
   if (checksum(payload_.data(), payload_.size()) != expect_sum) {
-    error_ = "'" + path + "': state checksum mismatch — the checkpoint is "
-             "corrupt";
+    error_ = "'" + path + "': state checksum mismatch — the " + kind_ +
+             " is corrupt";
     return;
   }
 
@@ -301,7 +303,7 @@ void StateReader::openSection(const std::string& name) {
     section_open_ = true;
     return;
   }
-  const std::string msg = "checkpoint '" + path_ + "' has no section '" +
+  const std::string msg = kind_ + " '" + path_ + "' has no section '" +
                           name + "' — it was written by an incompatible or "
                           "differently-configured run";
   MALEC_CHECK_MSG(false, msg.c_str());
@@ -311,7 +313,7 @@ void StateReader::endSection() {
   MALEC_CHECK_MSG(section_open_, "no checkpoint section is open");
   if (cur_ != cur_end_) {
     const std::string msg =
-        "checkpoint '" + path_ + "': " + std::to_string(cur_end_ - cur_) +
+        kind_ + " '" + path_ + "': " + std::to_string(cur_end_ - cur_) +
         " unconsumed bytes at section end — save/load order mismatch";
     MALEC_CHECK_MSG(false, msg.c_str());
   }
@@ -321,7 +323,7 @@ void StateReader::endSection() {
 void StateReader::need(std::size_t n) {
   MALEC_CHECK_MSG(section_open_, "read outside a checkpoint section");
   if (cur_end_ - cur_ < n) {
-    const std::string msg = "checkpoint '" + path_ +
+    const std::string msg = kind_ + " '" + path_ +
                             "': read past a section end — save/load order "
                             "mismatch";
     MALEC_CHECK_MSG(false, msg.c_str());

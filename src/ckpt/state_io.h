@@ -31,6 +31,14 @@ inline constexpr std::uint32_t kCkptVersion = 1;
 
 class StateWriter {
  public:
+  /// The container is shared by every StateIO-style MALEC format; `magic`
+  /// and `version` select which one this writer produces (default:
+  /// `.mckpt`). Other formats — e.g. the `.mstore` result store — pass
+  /// their own magic so their files never masquerade as checkpoints.
+  explicit StateWriter(std::uint32_t magic = kCkptMagic,
+                       std::uint32_t version = kCkptVersion)
+      : magic_(magic), version_(version) {}
+
   /// Open a named section. Sections must not nest and names must be
   /// unique within one checkpoint.
   void beginSection(const std::string& name);
@@ -53,6 +61,8 @@ class StateWriter {
   [[nodiscard]] std::size_t sectionCount() const { return sections_; }
 
  private:
+  std::uint32_t magic_;
+  std::uint32_t version_;
   std::vector<std::uint8_t> payload_;
   std::vector<std::string> names_;  ///< for the uniqueness check
   std::size_t sections_ = 0;
@@ -68,7 +78,12 @@ class StateReader {
   /// the header's payload length, payload checksum, section-table sanity.
   /// Failures are reported via ok()/error() — callers decide whether a bad
   /// checkpoint aborts (the run layer) or is merely absent (cache probes).
-  explicit StateReader(const std::string& path);
+  /// `magic`/`version` select the expected StateIO format (default
+  /// `.mckpt`); `kind` is the noun error messages use for it.
+  explicit StateReader(const std::string& path,
+                       std::uint32_t magic = kCkptMagic,
+                       std::uint32_t version = kCkptVersion,
+                       const char* kind = "checkpoint");
 
   [[nodiscard]] bool ok() const { return ok_; }
   [[nodiscard]] const std::string& error() const { return error_; }
@@ -100,6 +115,7 @@ class StateReader {
   bool ok_ = false;
   std::string error_;
   std::string path_;
+  std::string kind_;
   std::vector<std::uint8_t> payload_;
   std::vector<Section> sections_;
   std::size_t cur_ = 0;      ///< read cursor within payload_

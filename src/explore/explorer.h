@@ -1,0 +1,59 @@
+// Adaptive design-space explorer: `malec_bench explore` — the driver that
+// decides WHICH configurations to run next (ROADMAP open item 3's search
+// half), on top of the result store.
+//
+// The explorer walks the MALEC parameter axes (result buses, input-buffer
+// carry slots / comparators, merge window, sub-blocked reads, way
+// determination, feedback, L1 latency — the knobs the paper's Sec. VI
+// ablations vary) toward the IPC-vs-energy Pareto frontier: each round it
+// evaluates a fixed-size batch of candidates over the suite's workloads
+// through the ordinary runMatrixParallel path, appends the batch to a
+// `.mstore` as one segment, and generates the next batch from the current
+// frontier's single-axis neighbours.
+//
+// Determinism contract (docs/ARCHITECTURE.md): the search is a pure
+// function of (suite grid, seed, budget, batch, rounds) — fixed axis and
+// value order, first-appearance candidate dedupe, lowest-index tie-breaks
+// — so repeated runs produce byte-identical stores and frontier reports.
+// Resume replays that function against the store: a round whose segment
+// (keyed by its grid fingerprint) already exists is decoded instead of
+// simulated, so explore → crash → `--resume` lands on the byte-identical
+// frontier. A store that does not match the expected round sequence is
+// foreign and a hard error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sinks.h"
+
+namespace malec::explore {
+
+struct ExploreOptions {
+  std::string suite;       ///< base spec: supplies workloads/budget/seed
+  std::string store;       ///< `.mstore` every evaluation lands in
+  std::string objectives = "ipc,energy";  ///< comma list: ipc|energy|cycles
+  std::uint64_t rounds = 4;
+  std::uint64_t batch = 8;         ///< candidates evaluated per round
+  std::uint64_t instructions = 0;  ///< 0 = suite default / MALEC_INSTR
+  std::uint64_t seed = 0;          ///< 0 = spec seed
+  unsigned jobs = 0;               ///< 0 = MALEC_JOBS / hardware
+  std::string workload_filter;
+  bool resume = false;  ///< continue from an existing store
+  bool progress = true;
+};
+
+/// Hard caps on the search knobs (strict-parsed like every sweep knob).
+inline constexpr std::uint64_t kMaxRounds = 64;
+inline constexpr std::uint64_t kMaxBatch = 256;
+
+/// Run the exploration; emits the frontier table + a summary note through
+/// `sinks` and returns the process exit code (0 on success). Every
+/// validation failure — unknown suite/objective, out-of-range knobs, a
+/// pre-existing store without --resume, --resume without a store, a
+/// foreign/corrupt store — is a hard error.
+[[nodiscard]] int runExplore(const ExploreOptions& opts,
+                             const std::vector<sim::ResultSink*>& sinks);
+
+}  // namespace malec::explore

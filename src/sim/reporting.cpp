@@ -96,13 +96,30 @@ bool Table::maybeWriteCsv(const std::string& name, int precision) const {
   return ok;
 }
 
+/// RFC-4180 field escaping: a field holding a comma, quote, CR or LF is
+/// wrapped in double quotes with inner quotes doubled. Plain fields pass
+/// through untouched, so ordinary benchmark/config labels keep producing
+/// the exact bytes the existing goldens pin — only exotic labels
+/// (`trace:<path>` workloads with commas, quotes or spaces in the path)
+/// gain the quoting that keeps the CSV parseable.
+std::string csvField(const std::string& s) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
 std::string Table::csv(int precision) const {
   std::string out = "benchmark";
-  for (const auto& c : columns_) out += "," + c;
+  for (const auto& c : columns_) out += "," + csvField(c);
   out += '\n';
   char buf[64];
   for (const Row& r : rows_) {
-    out += r.label;
+    out += csvField(r.label);
     for (double v : r.values) {
       std::snprintf(buf, sizeof buf, ",%.*f", precision, v);
       out += buf;

@@ -12,6 +12,11 @@ namespace malec::sim {
 /// Geometric mean; empty input yields 0.
 [[nodiscard]] double geomean(const std::vector<double>& v);
 
+/// RFC-4180 CSV field escaping: fields holding a comma, quote, CR or LF
+/// come back quoted with inner quotes doubled; everything else passes
+/// through byte-for-byte (ordinary labels keep their golden bytes).
+[[nodiscard]] std::string csvField(const std::string& s);
+
 /// One output table: first column = row label, remaining columns numeric.
 class Table {
  public:

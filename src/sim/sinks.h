@@ -13,6 +13,8 @@
 
 namespace malec::sim {
 
+struct RunOutput;
+
 /// What a sink gets told about the suite whose results follow.
 struct SuiteInfo {
   std::string name;          ///< registry key, e.g. "fig4a"
@@ -20,15 +22,35 @@ struct SuiteInfo {
   std::uint64_t instructions = 0;
   std::uint64_t seed = 0;
   unsigned jobs = 0;
+  /// FNV-1a fingerprint of the resolved (workload x config) grid — the
+  /// same value the sweep journal binds to (sim::gridFingerprint). 0 for
+  /// custom suites, which have no grid to fingerprint.
+  std::uint64_t fingerprint = 0;
 };
 
-/// Receiver interface. A suite run calls beginSuite() once, then any mix of
-/// table() and note() in output order, then endSuite(). Sinks are expected
-/// to be cheap; heavy lifting (simulation) happened before emission.
+/// One grid cell's result, announced to sinks between beginSuite() and the
+/// tables: the raw material durable sinks (the .mstore StoreSink) persist.
+/// `out` points into the suite's result matrix and is only valid for the
+/// duration of the call.
+struct RunRecord {
+  const std::string& workload;  ///< resolved workload name
+  const std::string& config;    ///< configuration (preset) name
+  const RunOutput& out;
+};
+
+/// Receiver interface. A suite run calls beginSuite() once, then — for
+/// grid suites — runResult() per grid cell in matrix order, then any mix
+/// of table() and note() in output order, then endSuite(). Sinks are
+/// expected to be cheap; heavy lifting (simulation) happened before
+/// emission.
 class ResultSink {
  public:
   virtual ~ResultSink() = default;
   virtual void beginSuite(const SuiteInfo&) {}
+  /// Per-run hook, called in deterministic matrix order (workload-major)
+  /// by both the in-process matrix path and the sharded coordinator's
+  /// merge. Table-oriented sinks ignore it.
+  virtual void runResult(const RunRecord&) {}
   /// `name` is the table's stable identifier (CSV file stem / JSON key);
   /// `precision` the decimal places the legacy bench rendered with.
   virtual void table(const Table& t, const std::string& name,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/binio.h"
+
 namespace malec::sim {
 
 // Implemented in specs.cpp: registers every builtin spec exactly once.
@@ -165,7 +167,63 @@ SuiteInfo suiteInfo(const SuiteContext& ctx) {
   info.instructions = ctx.instructions;
   info.seed = ctx.seed;
   info.jobs = ctx.jobs;
+  // Custom suites run their own sweeps — there is no (workload x config)
+  // grid to bind a fingerprint to.
+  if (ctx.spec.configs) info.fingerprint = gridFingerprint(ctx);
   return info;
+}
+
+namespace {
+
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
+  std::uint8_t b[8];
+  binio::put64(b, v);
+  return binio::fnv1a(h, b, sizeof b);
+}
+
+std::uint64_t fold(std::uint64_t h, const std::string& s) {
+  h = binio::fnv1a(h, reinterpret_cast<const std::uint8_t*>(s.data()),
+                   s.size());
+  // NUL terminator: ("ab","c") must not collide with ("a","bc").
+  const std::uint8_t nul = 0;
+  return binio::fnv1a(h, &nul, 1);
+}
+
+}  // namespace
+
+std::uint64_t gridFingerprintParts(
+    const std::string& suite, std::uint64_t instructions, std::uint64_t seed,
+    const std::vector<std::string>& workload_names,
+    const std::vector<std::string>& config_names) {
+  std::uint64_t h = binio::kFnvOffset;
+  h = fold(h, suite);
+  h = fold(h, instructions);
+  h = fold(h, seed);
+  h = fold(h, static_cast<std::uint64_t>(workload_names.size()));
+  for (const auto& n : workload_names) h = fold(h, n);
+  h = fold(h, static_cast<std::uint64_t>(config_names.size()));
+  for (const auto& n : config_names) h = fold(h, n);
+  return h;
+}
+
+std::uint64_t gridFingerprint(const SuiteContext& ctx) {
+  std::vector<std::string> wls, cfgs;
+  wls.reserve(ctx.workloads.size());
+  for (const auto& wl : ctx.workloads) wls.push_back(wl.name);
+  cfgs.reserve(ctx.configs.size());
+  for (const auto& cfg : ctx.configs) cfgs.push_back(cfg.name);
+  return gridFingerprintParts(ctx.spec.name, ctx.instructions, ctx.seed, wls,
+                              cfgs);
+}
+
+void emitRunResults(SuiteContext& ctx) {
+  for (std::size_t w = 0; w < ctx.results.size(); ++w) {
+    for (std::size_t c = 0; c < ctx.results[w].size(); ++c) {
+      const RunRecord rec{ctx.workloads[w].name, ctx.configs[c].name,
+                          ctx.results[w][c]};
+      for (ResultSink* s : ctx.sinks) s->runResult(rec);
+    }
+  }
 }
 
 void emitSuiteTables(SuiteContext& ctx) {
@@ -195,6 +253,7 @@ void runSuite(const ExperimentSpec& spec, const SuiteOptions& opts,
     ctx.results = runMatrixParallel(ctx.workloads, ctx.configs,
                                     ctx.instructions, ctx.seed, ctx.jobs);
     ctx.progressDots();
+    emitRunResults(ctx);
     emitSuiteTables(ctx);
   }
 

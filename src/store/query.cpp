@@ -1,0 +1,226 @@
+#include "store/query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+#include "sim/sinks.h"
+
+namespace malec::store {
+
+namespace {
+
+constexpr const char* kColumns[] = {"suite",        "workload", "config",
+                                    "seed",         "instructions",
+                                    "cycles",       "ipc",      "energy_pj"};
+
+std::string fmtF(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+/// One filtered row before formatting: strings + the numeric sort keys.
+struct Row {
+  std::string suite;
+  std::string workload;
+  std::string config;
+  std::uint64_t seed = 0;
+  std::uint64_t instructions = 0;
+  double cycles = 0.0;  ///< double so plain and geomean rows share a type
+  double ipc = 0.0;
+  double energy_pj = 0.0;
+  std::uint64_t runs = 0;  ///< group mode: rows folded into this one
+};
+
+void checkColumn(const std::string& name,
+                 const std::vector<std::string>& valid, const char* what) {
+  if (std::find(valid.begin(), valid.end(), name) != valid.end()) return;
+  std::string msg = std::string("unknown ") + what + " column '" + name +
+                    "' — valid columns:";
+  for (const std::string& c : valid) msg += " " + c;
+  MALEC_CHECK_MSG(false, msg.c_str());
+}
+
+/// Sort key accessors. Strings compare lexicographically, numbers
+/// numerically; the sort itself is stable so equal keys keep file order.
+bool rowLess(const Row& a, const Row& b, const std::string& key) {
+  if (key == "suite") return a.suite < b.suite;
+  if (key == "workload") return a.workload < b.workload;
+  if (key == "config") return a.config < b.config;
+  if (key == "seed") return a.seed < b.seed;
+  if (key == "instructions") return a.instructions < b.instructions;
+  if (key == "cycles") return a.cycles < b.cycles;
+  if (key == "ipc") return a.ipc < b.ipc;
+  if (key == "energy_pj") return a.energy_pj < b.energy_pj;
+  if (key == "runs") return a.runs < b.runs;
+  return false;
+}
+
+std::string cellFor(const Row& r, const std::string& col, bool grouped) {
+  if (col == "suite") return r.suite;
+  if (col == "workload") return r.workload;
+  if (col == "config") return r.config;
+  if (col == "seed") return std::to_string(r.seed);
+  if (col == "instructions") return std::to_string(r.instructions);
+  if (col == "runs") return std::to_string(r.runs);
+  // A geomean of integer cycle counts is fractional; plain rows keep the
+  // integer rendering.
+  if (col == "cycles")
+    return grouped ? fmtF(r.cycles, 1)
+                   : std::to_string(static_cast<std::uint64_t>(r.cycles));
+  if (col == "ipc") return fmtF(r.ipc, 4);
+  if (col == "energy_pj") return fmtF(r.energy_pj, 3);
+  MALEC_CHECK_MSG(false, "unreachable: unknown query column");
+  return {};
+}
+
+bool columnIsNumeric(const std::string& col) {
+  return col != "suite" && col != "workload" && col != "config";
+}
+
+}  // namespace
+
+const std::vector<std::string>& queryColumns() {
+  static const std::vector<std::string> cols(std::begin(kColumns),
+                                             std::end(kColumns));
+  return cols;
+}
+
+QueryResult runQuery(const ResultStore& rs, const QueryOptions& q) {
+  // Filter in file order.
+  std::vector<Row> rows;
+  for (const StoreRun& run : rs.runs()) {
+    const StoreSegment& seg = rs.segments()[run.segment];
+    if (!q.suite_contains.empty() &&
+        seg.suite.find(q.suite_contains) == std::string::npos)
+      continue;
+    if (!q.workload_contains.empty() &&
+        run.workload.find(q.workload_contains) == std::string::npos)
+      continue;
+    if (!q.config_contains.empty() &&
+        run.config.find(q.config_contains) == std::string::npos)
+      continue;
+    if (q.have_seed && run.seed != q.seed) continue;
+    Row r;
+    r.suite = seg.suite;
+    r.workload = run.workload;
+    r.config = run.config;
+    r.seed = run.seed;
+    r.instructions = run.instructions;
+    r.cycles = static_cast<double>(run.cycles);
+    r.ipc = run.ipc;
+    r.energy_pj = run.total_pj;
+    r.runs = 1;
+    rows.push_back(std::move(r));
+  }
+
+  std::vector<std::string> cols;
+  if (q.group_geomean) {
+    // Fold rows per config, first-appearance order (deterministic: file
+    // order decides which config comes first).
+    std::vector<Row> grouped;
+    for (const Row& r : rows) {
+      MALEC_CHECK_MSG(r.cycles > 0 && r.ipc > 0 && r.energy_pj > 0,
+                      "group-geomean needs positive cycles/ipc/energy in "
+                      "every grouped run");
+      Row* g = nullptr;
+      for (Row& cand : grouped)
+        if (cand.config == r.config) { g = &cand; break; }
+      if (g == nullptr) {
+        grouped.push_back(Row{});
+        g = &grouped.back();
+        g->config = r.config;
+      }
+      // Accumulate log-sums; finalized below.
+      g->cycles += std::log(r.cycles);
+      g->ipc += std::log(r.ipc);
+      g->energy_pj += std::log(r.energy_pj);
+      g->runs += 1;
+    }
+    for (Row& g : grouped) {
+      const double n = static_cast<double>(g.runs);
+      g.cycles = std::exp(g.cycles / n);
+      g.ipc = std::exp(g.ipc / n);
+      g.energy_pj = std::exp(g.energy_pj / n);
+    }
+    rows = std::move(grouped);
+    cols = {"config", "runs", "cycles", "ipc", "energy_pj"};
+  } else if (q.select.empty()) {
+    cols = queryColumns();
+  } else {
+    for (const std::string& s : q.select) checkColumn(s, queryColumns(),
+                                                      "select");
+    cols = q.select;
+  }
+
+  if (!q.sort_by.empty()) {
+    checkColumn(q.sort_by, cols, "sort");
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&q](const Row& a, const Row& b) {
+                       return q.sort_desc ? rowLess(b, a, q.sort_by)
+                                          : rowLess(a, b, q.sort_by);
+                     });
+  }
+  if (q.limit > 0 && rows.size() > q.limit) rows.resize(q.limit);
+
+  QueryResult out;
+  out.columns = cols;
+  for (const std::string& c : cols) out.numeric.push_back(columnIsNumeric(c));
+  for (const Row& r : rows) {
+    std::vector<std::string> cells;
+    cells.reserve(cols.size());
+    for (const std::string& c : cols)
+      cells.push_back(cellFor(r, c, q.group_geomean));
+    out.rows.push_back(std::move(cells));
+  }
+  return out;
+}
+
+void printQueryTable(const QueryResult& r, std::FILE* out) {
+  std::vector<std::size_t> width;
+  for (const std::string& c : r.columns) width.push_back(c.size());
+  for (const auto& row : r.rows)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) std::fputs("  ", out);
+      const int w = static_cast<int>(width[i]);
+      if (r.numeric[i])
+        std::fprintf(out, "%*s", w, cells[i].c_str());
+      else
+        std::fprintf(out, "%-*s", w, cells[i].c_str());
+    }
+    std::fputc('\n', out);
+  };
+  line(r.columns);
+  std::string rule;
+  for (std::size_t i = 0; i < r.columns.size(); ++i) {
+    if (i > 0) rule += "  ";
+    rule.append(width[i], '-');
+  }
+  std::fprintf(out, "%s\n", rule.c_str());
+  for (const auto& row : r.rows) line(row);
+  std::fprintf(out, "(%zu rows)\n", r.rows.size());
+}
+
+void printQueryJson(const QueryResult& r, std::FILE* out) {
+  for (const auto& row : r.rows) {
+    std::string line = "{";
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line += ",";
+      line += "\"" + sim::jsonEscape(r.columns[i]) + "\":";
+      if (r.numeric[i])
+        line += row[i];
+      else
+        line += "\"" + sim::jsonEscape(row[i]) + "\"";
+    }
+    line += "}";
+    std::fprintf(out, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace malec::store

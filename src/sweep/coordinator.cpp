@@ -13,7 +13,6 @@
 #include <filesystem>
 #include <thread>
 
-#include "common/binio.h"
 #include "common/check.h"
 #include "sim/presets.h"
 #include "sweep/fault.h"
@@ -43,19 +42,6 @@ void checkRange(std::uint64_t v, std::uint64_t max, const char* what) {
                             std::to_string(max) + ")";
     MALEC_CHECK_MSG(false, msg.c_str());
   }
-}
-
-std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
-  std::uint8_t b[8];
-  binio::put64(b, v);
-  return binio::fnv1a(h, b, sizeof b);
-}
-
-std::uint64_t fold(std::uint64_t h, const std::string& s) {
-  h = binio::fnv1a(h, reinterpret_cast<const std::uint8_t*>(s.data()),
-                   s.size());
-  const std::uint8_t nul = 0;
-  return binio::fnv1a(h, &nul, 1);
 }
 
 const char* failKindName(FailKind k) {
@@ -153,15 +139,9 @@ void resolveSweepTuning(SweepOptions& sw) {
 }
 
 std::uint64_t gridFingerprint(const sim::SuiteContext& ctx) {
-  std::uint64_t h = binio::kFnvOffset;
-  h = fold(h, ctx.spec.name);
-  h = fold(h, ctx.instructions);
-  h = fold(h, ctx.seed);
-  h = fold(h, static_cast<std::uint64_t>(ctx.workloads.size()));
-  for (const auto& wl : ctx.workloads) h = fold(h, wl.name);
-  h = fold(h, static_cast<std::uint64_t>(ctx.configs.size()));
-  for (const auto& cfg : ctx.configs) h = fold(h, cfg.name);
-  return h;
+  // One definition of grid identity for the whole repo: the journal, the
+  // result store and the explorer all bind to sim::gridFingerprint.
+  return sim::gridFingerprint(ctx);
 }
 
 int runWorkerTask(const sim::ExperimentSpec& spec,
@@ -196,7 +176,7 @@ int runWorkerTask(const sim::ExperimentSpec& spec,
   rc.seed = ctx.seed;
   const sim::RunOutput out = sim::runOne(rc);
 
-  writeResultFile(result_path, gridFingerprint(ctx), task, attempt, out);
+  writeResultFile(result_path, sweep::gridFingerprint(ctx), task, attempt, out);
   maybeCorruptResult(faults, task, attempt, result_path);
   return 0;
 }
@@ -225,7 +205,7 @@ int runSuiteCoordinated(const sim::ExperimentSpec& spec,
   ctx.jobs = sweep.workers;
   ctx.sinks = sinks;
 
-  const std::uint64_t fingerprint = gridFingerprint(ctx);
+  const std::uint64_t fingerprint = sweep::gridFingerprint(ctx);
   const std::uint64_t grid =
       static_cast<std::uint64_t>(ctx.workloads.size()) * ctx.configs.size();
   MALEC_CHECK_MSG(grid > 0, "cannot shard an empty grid");
@@ -471,6 +451,7 @@ int runSuiteCoordinated(const sim::ExperimentSpec& spec,
       ctx.results[w][c] =
           std::move(states[w * ctx.configs.size() + c].out);
   }
+  sim::emitRunResults(ctx);
   sim::emitSuiteTables(ctx);
   for (sim::ResultSink* s : sinks) s->endSuite();
   return 0;

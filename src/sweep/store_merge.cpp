@@ -1,0 +1,161 @@
+#include "sweep/store_merge.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "ckpt/state_io.h"
+#include "common/check.h"
+#include "store/result_store.h"
+#include "sweep/journal.h"
+#include "sweep/result_codec.h"
+
+namespace malec::sweep {
+
+namespace {
+
+/// Read one `.mres` file's (fingerprint, task, attempt) binding without
+/// yet validating it against an expectation — the merge discovers which
+/// task a stray result file belongs to, then revalidates via
+/// readResultFile with exactly that binding.
+void peekBinding(const std::string& path, std::uint64_t& fingerprint,
+                 std::uint32_t& task, std::uint32_t& attempt) {
+  ckpt::StateReader r(path);
+  if (!r.ok()) MALEC_CHECK_MSG(false, r.error().c_str());
+  if (!r.hasSection("binding")) {
+    const std::string msg = "'" + path + "' is not a sweep result file";
+    MALEC_CHECK_MSG(false, msg.c_str());
+  }
+  r.openSection("binding");
+  fingerprint = r.u64();
+  task = r.u32();
+  attempt = r.u32();
+  r.endSection();
+}
+
+}  // namespace
+
+void mergeIntoStore(const sim::ExperimentSpec& spec,
+                    const sim::SuiteOptions& opts,
+                    const std::string& journal_path,
+                    const std::vector<std::string>& mres_paths,
+                    const std::string& store_path) {
+  MALEC_CHECK_MSG(!journal_path.empty() || !mres_paths.empty(),
+                  "merge needs at least one source (--journal / --mres)");
+  MALEC_CHECK_MSG(!spec.custom,
+                  "merge rebuilds (workload x config) grids only");
+
+  sim::SuiteContext ctx{spec, opts};
+  sim::resolveSuiteContext(ctx);
+  MALEC_CHECK_MSG(ctx.spec.configs != nullptr,
+                  "spec without custom body needs a configuration set");
+  const std::uint64_t fingerprint = sim::gridFingerprint(ctx);
+  const std::size_t task_count = ctx.workloads.size() * ctx.configs.size();
+
+  // One blob slot per grid cell; empty = not yet sourced.
+  std::vector<std::vector<std::uint8_t>> blobs(task_count);
+
+  if (!journal_path.empty()) {
+    const JournalScan scan = scanJournal(journal_path);
+    if (!scan.ok) MALEC_CHECK_MSG(false, scan.error.c_str());
+    if (scan.fingerprint != fingerprint) {
+      const std::string msg =
+          "journal '" + journal_path + "' binds to a different grid "
+          "(fingerprint " + std::to_string(scan.fingerprint) + ", expected " +
+          std::to_string(fingerprint) + ") — same suite, budget, seed and "
+          "--filter required";
+      MALEC_CHECK_MSG(false, msg.c_str());
+    }
+    MALEC_CHECK_MSG(scan.task_count == task_count,
+                    "journal task count disagrees with the resolved grid");
+    for (const JournalRecord& rec : scan.records) {
+      if (rec.type != RecordType::kComplete) continue;
+      MALEC_CHECK_MSG(rec.task < task_count,
+                      "journal completion for a task outside the grid");
+      blobs[rec.task] = rec.blob;
+    }
+  }
+
+  for (const std::string& path : mres_paths) {
+    std::uint64_t got_fp = 0;
+    std::uint32_t task = 0, attempt = 0;
+    peekBinding(path, got_fp, task, attempt);
+    if (got_fp != fingerprint) {
+      const std::string msg =
+          "result file '" + path + "' binds to a different grid "
+          "(fingerprint " + std::to_string(got_fp) + ", expected " +
+          std::to_string(fingerprint) + ")";
+      MALEC_CHECK_MSG(false, msg.c_str());
+    }
+    MALEC_CHECK_MSG(task < task_count,
+                    "result file binds to a task outside the grid");
+    sim::RunOutput out;
+    std::vector<std::uint8_t> blob;
+    std::string err;
+    if (!readResultFile(path, fingerprint, task, attempt, out, blob, err))
+      MALEC_CHECK_MSG(false, err.c_str());
+    if (!blobs[task].empty() && blobs[task] != blob) {
+      const std::string msg =
+          "conflicting results for task " + std::to_string(task) + " ('" +
+          path + "' disagrees with an earlier source)";
+      MALEC_CHECK_MSG(false, msg.c_str());
+    }
+    blobs[task] = std::move(blob);
+  }
+
+  std::size_t missing = 0;
+  for (const auto& b : blobs)
+    if (b.empty()) ++missing;
+  if (missing > 0) {
+    const std::string msg =
+        "merge is incomplete: " + std::to_string(missing) + " of " +
+        std::to_string(task_count) + " grid cells have no result — finish "
+        "the sweep (--resume) before merging";
+    MALEC_CHECK_MSG(false, msg.c_str());
+  }
+
+  // Decode every blob (strict validation + the column-directory values),
+  // then append one segment in matrix order with the original bytes.
+  std::vector<sim::RunOutput> outs(task_count);
+  std::vector<store::ResultStore::RunEntry> entries;
+  entries.reserve(task_count);
+  for (std::size_t t = 0; t < task_count; ++t) {
+    std::string err;
+    if (!sweep::decodeRunOutput(blobs[t].data(), blobs[t].size(), outs[t],
+                                err)) {
+      const std::string msg =
+          "task " + std::to_string(t) + " result blob is invalid: " + err;
+      MALEC_CHECK_MSG(false, msg.c_str());
+    }
+    store::ResultStore::RunEntry e;
+    e.workload = ctx.workloads[t / ctx.configs.size()].name;
+    e.config = ctx.configs[t % ctx.configs.size()].name;
+    e.out = &outs[t];
+    e.blob = std::move(blobs[t]);
+    entries.push_back(std::move(e));
+  }
+
+  store::ResultStore rs;
+  std::string err;
+  if (std::filesystem::exists(store_path)) {
+    if (!rs.load(store_path, err)) MALEC_CHECK_MSG(false, err.c_str());
+    if (rs.findSegment(fingerprint) != nullptr) {
+      const std::string msg =
+          "store '" + store_path + "' already holds this exact grid "
+          "(fingerprint " + std::to_string(fingerprint) + ")";
+      MALEC_CHECK_MSG(false, msg.c_str());
+    }
+  }
+  store::StoreSegment seg;
+  seg.suite = ctx.spec.name;
+  seg.fingerprint = fingerprint;
+  seg.instructions = ctx.instructions;
+  seg.seed = ctx.seed;
+  rs.appendSegment(seg, entries);
+  if (!rs.save(store_path, err)) MALEC_CHECK_MSG(false, err.c_str());
+
+  std::printf("merged %zu runs of suite '%s' into '%s' (fingerprint %llu)\n",
+              task_count, ctx.spec.name.c_str(), store_path.c_str(),
+              static_cast<unsigned long long>(fingerprint));
+}
+
+}  // namespace malec::sweep

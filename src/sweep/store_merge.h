@@ -1,0 +1,32 @@
+// Journal → store merge: turn a coordinated sweep's durable artifacts —
+// its `.mjournal` completion records and/or stray worker `.mres` files —
+// into a `.mstore` segment, WITHOUT re-running anything.
+//
+// The merge re-resolves the suite grid exactly like the coordinator did
+// (same spec, --filter, budget, seed) and recomputes the grid fingerprint;
+// a journal or result file bound to any other fingerprint is a hard error
+// ("foreign"), and the merge refuses to write unless every grid cell has a
+// validated result. The stored segment carries the workers' encoded
+// RunOutput bytes verbatim, so the merged store is byte-identical to the
+// one a live `--sink store` sweep writes — CI diffs exactly that.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/suite.h"
+
+namespace malec::sweep {
+
+/// Merge `journal_path` (may be empty) and `mres_paths` into the store at
+/// `store_path`, as one segment of spec's resolved grid. Every validation
+/// failure — unreadable/foreign/torn-beyond-repair journal, foreign or
+/// conflicting result files, an incomplete grid, an invalid existing
+/// store, a fingerprint already stored — is a hard error.
+void mergeIntoStore(const sim::ExperimentSpec& spec,
+                    const sim::SuiteOptions& opts,
+                    const std::string& journal_path,
+                    const std::vector<std::string>& mres_paths,
+                    const std::string& store_path);
+
+}  // namespace malec::sweep

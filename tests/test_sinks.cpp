@@ -44,6 +44,37 @@ SuiteInfo goldenInfo() {
   return info;
 }
 
+/// Labels the `trace:<path>` workload namespace can produce: commas,
+/// quotes and spaces riding in filesystem paths. Both file sinks must
+/// emit parseable output for these — RFC-4180 quoting in CSV, \-escapes
+/// in JSON — pinned by goldens beside the plain-label ones.
+Table exoticTable() {
+  Table t("exotic workload names", {"IPC"});
+  t.addRow("trace:/tmp/my traces/a,b.mtrace", {1.5});
+  t.addRow("trace:/tmp/\"quoted\".mtrace", {2.0});
+  t.addRow("plain", {4.0});
+  return t;
+}
+
+SuiteInfo exoticInfo() {
+  SuiteInfo info;
+  info.name = "exotic";
+  info.title = "Exotic names";
+  info.instructions = 1000;
+  info.seed = 7;
+  info.jobs = 2;
+  return info;
+}
+
+TEST(CsvField, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csvField("plain"), "plain");
+  EXPECT_EQ(csvField("with space"), "with space");  // spaces need no quotes
+  EXPECT_EQ(csvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(csvField("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(csvField("a\nb"), "\"a\nb\"");
+  EXPECT_EQ(csvField("\"x\",y"), "\"\"\"x\"\",y\"");
+}
+
 TEST(JsonEscape, EscapesControlAndQuoteCharacters) {
   EXPECT_EQ(jsonEscape("plain"), "plain");
   EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
@@ -73,6 +104,28 @@ TEST(CsvDirSink, MatchesGoldenFile) {
   EXPECT_EQ(readFile(dir + "/demo.csv"),
             readFile(std::string(MALEC_TEST_DATA_DIR) +
                      "/golden/sink_csv.golden"));
+}
+
+TEST(CsvDirSink, ExoticLabelsMatchGoldenFile) {
+  const std::string dir = ::testing::TempDir();
+  CsvDirSink sink(dir);
+  sink.table(exoticTable(), "exotic", 1);
+  EXPECT_EQ(readFile(dir + "/exotic.csv"),
+            readFile(std::string(MALEC_TEST_DATA_DIR) +
+                     "/golden/sink_csv_exotic.golden"))
+      << "actual output:\n" << readFile(dir + "/exotic.csv");
+}
+
+TEST(JsonLinesSink, ExoticLabelsMatchGoldenFile) {
+  std::string captured;
+  JsonLinesSink sink(&captured);
+  sink.beginSuite(exoticInfo());
+  sink.table(exoticTable(), "exotic", 1);
+  sink.endSuite();
+  EXPECT_EQ(captured,
+            readFile(std::string(MALEC_TEST_DATA_DIR) +
+                     "/golden/sink_json_exotic.golden"))
+      << "actual output:\n" << captured;
 }
 
 TEST(ConsoleSink, PrintsRenderPlusBlankLine) {

@@ -1,0 +1,505 @@
+// The `.mstore` v1 result store contract (docs/FILE_FORMATS.md): format
+// round trip, the strict rejection matrix (bad magic, version skew,
+// truncation, mid-file corruption, duplicate fingerprints, index/blob
+// disagreement), the query engine's select/filter/sort/group-geomean
+// semantics, exotic workload names surviving the StoreSink round trip,
+// and — through the real malec_bench binary — the byte-identity of a
+// journal-merged store with one a live `--sink store` run writes.
+#include "store/result_store.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/presets.h"
+#include "sim/registry.h"
+#include "sim/reporting.h"
+#include "store/query.h"
+#include "store/store_sink.h"
+#include "sweep/result_codec.h"
+#include "trace/workloads.h"
+
+namespace malec::store {
+namespace {
+
+std::string tmpPath(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void flipByteAt(const std::string& path, std::uint64_t offset) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, static_cast<long>(offset), SEEK_SET);
+  const int c = std::fgetc(f);
+  std::fseek(f, static_cast<long>(offset), SEEK_SET);
+  std::fputc(c ^ 0x5a, f);
+  std::fclose(f);
+}
+
+/// One real run, cheap enough to clone: the store only cares that the
+/// blob and the directory agree, so tests rename/retune copies freely.
+const sim::RunOutput& baseRun() {
+  static const sim::RunOutput out = [] {
+    sim::RunConfig rc;
+    rc.workload = trace::workloadByName("gcc");
+    rc.interface_cfg = sim::presetRegistry().get("MALEC")();
+    rc.system = sim::defaultSystem();
+    rc.instructions = 2000;
+    rc.seed = 1;
+    return sim::runOne(rc);
+  }();
+  return out;
+}
+
+sim::RunOutput namedRun(const std::string& workload, const std::string& config,
+                        double ipc_scale = 1.0) {
+  sim::RunOutput out = baseRun();
+  out.benchmark = workload;
+  out.config = config;
+  out.ipc *= ipc_scale;
+  out.total_pj *= 2.0 - ipc_scale;
+  return out;
+}
+
+/// Two-segment store used by the round-trip and query tests.
+ResultStore sampleStore() {
+  ResultStore rs;
+  const sim::RunOutput a = namedRun("gcc", "Base1ldst", 0.8);
+  const sim::RunOutput b = namedRun("gcc", "MALEC", 1.2);
+  const sim::RunOutput c = namedRun("mcf", "Base1ldst", 0.5);
+  const sim::RunOutput d = namedRun("mcf", "MALEC", 0.9);
+  StoreSegment s1;
+  s1.suite = "fig4a";
+  s1.fingerprint = 101;
+  s1.instructions = 2000;
+  s1.seed = 1;
+  rs.appendSegment(s1, {{"gcc", "Base1ldst", &a, {}},
+                        {"gcc", "MALEC", &b, {}},
+                        {"mcf", "Base1ldst", &c, {}},
+                        {"mcf", "MALEC", &d, {}}});
+  const sim::RunOutput e = namedRun("gcc", "MALEC", 1.1);
+  StoreSegment s2;
+  s2.suite = "fig4b";
+  s2.fingerprint = 202;
+  s2.instructions = 2000;
+  s2.seed = 9;
+  rs.appendSegment(s2, {{"gcc", "MALEC", &e, {}}});
+  return rs;
+}
+
+// --- format round trip ------------------------------------------------------
+
+TEST(StoreFormat, RoundTripPreservesSegmentsDirectoryAndBlobs) {
+  const std::string path = tmpPath("roundtrip.mstore");
+  std::remove(path.c_str());
+  const ResultStore rs = sampleStore();
+  std::string err;
+  ASSERT_TRUE(rs.save(path, err)) << err;
+
+  ResultStore back;
+  ASSERT_TRUE(back.load(path, err)) << err;
+  ASSERT_EQ(back.segments().size(), 2u);
+  EXPECT_EQ(back.segments()[0].suite, "fig4a");
+  EXPECT_EQ(back.segments()[0].fingerprint, 101u);
+  EXPECT_EQ(back.segments()[0].run_count, 4u);
+  EXPECT_EQ(back.segments()[1].seed, 9u);
+  ASSERT_EQ(back.runs().size(), 5u);
+  for (std::size_t i = 0; i < back.runs().size(); ++i) {
+    EXPECT_EQ(back.runs()[i].blob, rs.runs()[i].blob);
+    EXPECT_EQ(back.runs()[i].workload, rs.runs()[i].workload);
+    EXPECT_EQ(back.runs()[i].config, rs.runs()[i].config);
+  }
+  EXPECT_NE(back.findSegment(202), nullptr);
+  EXPECT_EQ(back.findSegment(303), nullptr);
+
+  // Full RunOutput survives: decode run 1 and spot-check the identity.
+  sim::RunOutput out;
+  ASSERT_TRUE(back.decodeRun(1, out, err)) << err;
+  EXPECT_EQ(out.benchmark, "gcc");
+  EXPECT_EQ(out.config, "MALEC");
+  EXPECT_EQ(out.cycles, back.runs()[1].cycles);
+}
+
+TEST(StoreFormat, SaveIsByteDeterministic) {
+  const std::string p1 = tmpPath("det1.mstore");
+  const std::string p2 = tmpPath("det2.mstore");
+  const ResultStore rs = sampleStore();
+  std::string err;
+  ASSERT_TRUE(rs.save(p1, err)) << err;
+  ASSERT_TRUE(rs.save(p2, err)) << err;
+  EXPECT_EQ(slurp(p1), slurp(p2));
+}
+
+// --- rejection matrix -------------------------------------------------------
+
+class StoreReject : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = tmpPath("reject.mstore");
+    std::remove(path_.c_str());
+    std::string err;
+    ASSERT_TRUE(sampleStore().save(path_, err)) << err;
+  }
+  std::string path_;
+};
+
+TEST_F(StoreReject, BadMagic) {
+  flipByteAt(path_, 0);
+  ResultStore rs;
+  std::string err;
+  EXPECT_FALSE(rs.load(path_, err));
+  EXPECT_NE(err.find("not a MALEC result store"), std::string::npos) << err;
+}
+
+TEST_F(StoreReject, VersionSkew) {
+  flipByteAt(path_, 4);
+  ResultStore rs;
+  std::string err;
+  EXPECT_FALSE(rs.load(path_, err));
+  EXPECT_NE(err.find("unsupported result store version"), std::string::npos)
+      << err;
+}
+
+TEST_F(StoreReject, Truncation) {
+  std::filesystem::resize_file(path_,
+                               std::filesystem::file_size(path_) - 7);
+  ResultStore rs;
+  std::string err;
+  EXPECT_FALSE(rs.load(path_, err));
+  EXPECT_NE(err.find("truncated or corrupt"), std::string::npos) << err;
+}
+
+TEST_F(StoreReject, MidFileCorruptionFailsChecksum) {
+  flipByteAt(path_, std::filesystem::file_size(path_) / 2);
+  ResultStore rs;
+  std::string err;
+  EXPECT_FALSE(rs.load(path_, err));
+  EXPECT_NE(err.find("corrupt"), std::string::npos) << err;
+}
+
+TEST_F(StoreReject, MissingFile) {
+  ResultStore rs;
+  std::string err;
+  EXPECT_FALSE(rs.load(tmpPath("never_written.mstore"), err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(StoreDeathTest, AppendingDuplicateFingerprintAborts) {
+  ResultStore rs = sampleStore();
+  const sim::RunOutput a = namedRun("gcc", "MALEC");
+  StoreSegment dup;
+  dup.suite = "fig4a";
+  dup.fingerprint = 101;  // already present
+  EXPECT_DEATH(rs.appendSegment(dup, {{"gcc", "MALEC", &a, {}}}),
+               "would double every query row");
+}
+
+TEST(StoreDeathTest, EmptySegmentAborts) {
+  ResultStore rs;
+  StoreSegment seg;
+  seg.fingerprint = 1;
+  EXPECT_DEATH(rs.appendSegment(seg, {}), "empty store segment");
+}
+
+// --- StoreSink --------------------------------------------------------------
+
+sim::SuiteInfo sinkInfo(std::uint64_t fingerprint) {
+  sim::SuiteInfo info;
+  info.name = "sink_suite";
+  info.title = "Sink suite";
+  info.instructions = 2000;
+  info.seed = 1;
+  info.jobs = 1;
+  info.fingerprint = fingerprint;
+  return info;
+}
+
+void pushRun(StoreSink& sink, const sim::RunOutput& out) {
+  const sim::RunRecord rec{out.benchmark, out.config, out};
+  sink.runResult(rec);
+}
+
+TEST(StoreSink, ExoticWorkloadNamesRoundTripExactly) {
+  // The `trace:<path>` namespace puts arbitrary filesystem paths into
+  // workload names: commas, quotes, spaces — the store must hand back the
+  // exact bytes.
+  const std::vector<std::string> names = {
+      "trace:/tmp/my traces/a,b.mtrace",
+      "trace:/tmp/\"quoted\".mtrace",
+      "trace:plain",
+  };
+  const std::string path = tmpPath("exotic.mstore");
+  std::remove(path.c_str());
+  StoreSink sink(path);
+  sink.beginSuite(sinkInfo(777));
+  for (const std::string& n : names) pushRun(sink, namedRun(n, "MALEC"));
+  sink.endSuite();
+
+  ResultStore rs;
+  std::string err;
+  ASSERT_TRUE(rs.load(path, err)) << err;
+  ASSERT_EQ(rs.runs().size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(rs.runs()[i].workload, names[i]);
+    sim::RunOutput out;
+    ASSERT_TRUE(rs.decodeRun(i, out, err)) << err;
+    EXPECT_EQ(out.benchmark, names[i]);
+  }
+}
+
+TEST(StoreSink, AppendsSecondSuiteAsNewSegment) {
+  const std::string path = tmpPath("append.mstore");
+  std::remove(path.c_str());
+  {
+    StoreSink sink(path);
+    sink.beginSuite(sinkInfo(1));
+    pushRun(sink, namedRun("gcc", "MALEC"));
+    sink.endSuite();
+  }
+  {
+    StoreSink sink(path);
+    sink.beginSuite(sinkInfo(2));
+    pushRun(sink, namedRun("mcf", "MALEC"));
+    sink.endSuite();
+  }
+  ResultStore rs;
+  std::string err;
+  ASSERT_TRUE(rs.load(path, err)) << err;
+  EXPECT_EQ(rs.segments().size(), 2u);
+  EXPECT_EQ(rs.runs().size(), 2u);
+}
+
+TEST(StoreSinkDeathTest, RefusesReappendingTheSameGrid) {
+  const std::string path = tmpPath("dupgrid.mstore");
+  std::remove(path.c_str());
+  {
+    StoreSink sink(path);
+    sink.beginSuite(sinkInfo(42));
+    pushRun(sink, namedRun("gcc", "MALEC"));
+    sink.endSuite();
+  }
+  StoreSink sink(path);
+  sink.beginSuite(sinkInfo(42));
+  pushRun(sink, namedRun("gcc", "MALEC"));
+  EXPECT_DEATH(sink.endSuite(), "already holds this exact grid");
+}
+
+TEST(StoreSinkDeathTest, RefusesAppendingToCorruptStore) {
+  const std::string path = tmpPath("corruptappend.mstore");
+  std::remove(path.c_str());
+  {
+    StoreSink sink(path);
+    sink.beginSuite(sinkInfo(42));
+    pushRun(sink, namedRun("gcc", "MALEC"));
+    sink.endSuite();
+  }
+  flipByteAt(path, std::filesystem::file_size(path) / 2);
+  StoreSink sink(path);
+  sink.beginSuite(sinkInfo(43));
+  pushRun(sink, namedRun("gcc", "MALEC"));
+  EXPECT_DEATH(sink.endSuite(), "corrupt");
+}
+
+// --- query engine -----------------------------------------------------------
+
+TEST(Query, DefaultSelectsEveryColumnInFileOrder) {
+  const QueryResult r = runQuery(sampleStore(), QueryOptions{});
+  EXPECT_EQ(r.columns, queryColumns());
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0][0], "fig4a");
+  EXPECT_EQ(r.rows[0][1], "gcc");
+  EXPECT_EQ(r.rows[0][2], "Base1ldst");
+  EXPECT_EQ(r.rows[4][0], "fig4b");
+}
+
+TEST(Query, FiltersComposeAndSelectReorders) {
+  QueryOptions q;
+  q.select = {"ipc", "workload"};
+  q.workload_contains = "gcc";
+  q.config_contains = "MALEC";
+  q.have_seed = true;
+  q.seed = 1;
+  const QueryResult r = runQuery(sampleStore(), q);
+  ASSERT_EQ(r.columns.size(), 2u);
+  EXPECT_EQ(r.columns[0], "ipc");
+  EXPECT_TRUE(r.numeric[0]);
+  EXPECT_FALSE(r.numeric[1]);
+  // seed 9's fig4b row is filtered out; one row survives.
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][1], "gcc");
+}
+
+TEST(Query, SortIsStableAndDescAndLimitTruncates) {
+  QueryOptions q;
+  q.sort_by = "ipc";
+  q.sort_desc = true;
+  q.limit = 2;
+  const QueryResult r = runQuery(sampleStore(), q);
+  ASSERT_EQ(r.rows.size(), 2u);
+  // Highest two IPC rows: gcc/MALEC (x1.2) then gcc/MALEC seed 9 (x1.1).
+  EXPECT_EQ(r.rows[0][2], "MALEC");
+  EXPECT_GE(r.rows[0][6], r.rows[1][6]);
+}
+
+TEST(Query, GroupGeomeanFoldsPerConfigInFirstAppearanceOrder) {
+  QueryOptions q;
+  q.group_geomean = true;
+  q.suite_contains = "fig4a";
+  const QueryResult r = runQuery(sampleStore(), q);
+  ASSERT_EQ(r.columns.size(), 5u);
+  EXPECT_EQ(r.columns[0], "config");
+  EXPECT_EQ(r.columns[1], "runs");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0], "Base1ldst");
+  EXPECT_EQ(r.rows[0][1], "2");
+  // The folded IPC is the geometric mean of the two Base1ldst runs.
+  const double expect =
+      sim::geomean({baseRun().ipc * 0.8, baseRun().ipc * 0.5});
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", expect);
+  EXPECT_EQ(r.rows[0][3], buf);
+}
+
+TEST(QueryDeathTest, UnknownColumnsAbortWithInventory) {
+  QueryOptions q;
+  q.select = {"bogus"};
+  EXPECT_DEATH((void)runQuery(sampleStore(), q), "unknown select column");
+  QueryOptions q2;
+  q2.sort_by = "nope";
+  EXPECT_DEATH((void)runQuery(sampleStore(), q2), "unknown sort column");
+  // Sorting by a column outside the selected set is equally unknown.
+  QueryOptions q3;
+  q3.group_geomean = true;
+  q3.sort_by = "workload";
+  EXPECT_DEATH((void)runQuery(sampleStore(), q3), "unknown sort column");
+}
+
+TEST(Query, JsonEscapesExoticNamesAndTypesNumbers) {
+  ResultStore rs;
+  const sim::RunOutput a = namedRun("trace:/tmp/\"q\",x.mtrace", "MALEC");
+  StoreSegment seg;
+  seg.suite = "trace_replay";
+  seg.fingerprint = 7;
+  seg.seed = 1;
+  seg.instructions = 2000;
+  rs.appendSegment(seg, {{a.benchmark, a.config, &a, {}}});
+
+  const QueryResult r = runQuery(rs, QueryOptions{});
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  printQueryJson(r, f);
+  std::fflush(f);
+  std::rewind(f);
+  std::string got;
+  char buf[512];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) got.append(buf, n);
+  std::fclose(f);
+  EXPECT_NE(got.find("\"workload\":\"trace:/tmp/\\\"q\\\",x.mtrace\""),
+            std::string::npos)
+      << got;
+  EXPECT_NE(got.find("\"seed\":1,"), std::string::npos) << got;
+}
+
+// --- subprocess: merge vs live sink byte-identity ---------------------------
+
+int runBench(const std::string& env_prefix, const std::string& args,
+             const std::string& out_path) {
+  const std::string cmd = env_prefix + std::string(MALEC_BENCH_PATH) + " " +
+                          args + " > " + out_path + " 2> " + out_path +
+                          ".err";
+  const int rc = std::system(cmd.c_str());
+  if (WIFEXITED(rc)) return WEXITSTATUS(rc);
+  return -1;
+}
+
+const char* kGrid = "--suite fig4a --filter gcc --instr 2000 --seed 1";
+
+TEST(StoreProcess, JournalMergeIsByteIdenticalToLiveStoreSink) {
+  const std::string direct = tmpPath("direct.mstore");
+  const std::string merged = tmpPath("merged.mstore");
+  const std::string journal = tmpPath("merge.mjournal");
+  for (const auto& p : {direct, merged, journal}) std::remove(p.c_str());
+
+  const std::string out = tmpPath("direct.txt");
+  ASSERT_EQ(runBench("", std::string(kGrid) + " --sink store --store " +
+                             direct,
+                     out),
+            0)
+      << slurp(out + ".err");
+
+  ASSERT_EQ(runBench("", std::string(kGrid) + " --workers 2 --journal " +
+                             journal,
+                     out),
+            0)
+      << slurp(out + ".err");
+  ASSERT_EQ(runBench("", "merge " + std::string(kGrid) + " --journal " +
+                             journal + " --store " + merged,
+                     out),
+            0)
+      << slurp(out + ".err");
+  EXPECT_EQ(slurp(direct), slurp(merged));
+
+  // And the query subcommand answers over either of them.
+  const std::string qout = tmpPath("query.txt");
+  ASSERT_EQ(runBench("", "query --store " + merged +
+                             " --format json --where-config MALEC",
+                     qout),
+            0)
+      << slurp(qout + ".err");
+  EXPECT_NE(slurp(qout).find("\"config\":\"MALEC\""), std::string::npos);
+}
+
+TEST(StoreProcess, MergeRefusesForeignJournalAndIncompleteSweep) {
+  const std::string journal = tmpPath("foreignm.mjournal");
+  const std::string merged = tmpPath("foreignm.mstore");
+  std::remove(journal.c_str());
+  std::remove(merged.c_str());
+  const std::string out = tmpPath("foreignm.txt");
+  ASSERT_EQ(runBench("", std::string(kGrid) + " --workers 2 --journal " +
+                             journal,
+                     out),
+            0);
+  // Same journal, different seed: the fingerprint check refuses.
+  EXPECT_NE(runBench("",
+                     "merge --suite fig4a --filter gcc --instr 2000 "
+                     "--seed 2 --journal " +
+                         journal + " --store " + merged,
+                     out),
+            0);
+  EXPECT_NE(slurp(out + ".err").find("different grid"), std::string::npos)
+      << slurp(out + ".err");
+  EXPECT_FALSE(std::filesystem::exists(merged));
+}
+
+TEST(StoreProcess, SinkRefusesRewritingTheSameGridViaCli) {
+  const std::string path = tmpPath("dupcli.mstore");
+  std::remove(path.c_str());
+  const std::string out = tmpPath("dupcli.txt");
+  ASSERT_EQ(runBench("", std::string(kGrid) + " --sink store --store " + path,
+                     out),
+            0);
+  EXPECT_NE(runBench("", std::string(kGrid) + " --sink store --store " + path,
+                     out),
+            0);
+  EXPECT_NE(slurp(out + ".err").find("already holds this exact grid"),
+            std::string::npos)
+      << slurp(out + ".err");
+}
+
+}  // namespace
+}  // namespace malec::store

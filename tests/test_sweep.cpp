@@ -557,6 +557,29 @@ TEST(SweepProcess, ResumeRefusesForeignJournal) {
   EXPECT_NE(err.find("foreign"), std::string::npos) << err;
 }
 
+TEST(SweepProcess, ResumeRefusesDifferentFilter) {
+  // --filter composes with sharding: the post-filter workload list is
+  // folded into the journal's grid fingerprint, so resuming the same
+  // suite with a DIFFERENT filter is a foreign journal, never a silent
+  // mis-merge of mismatched grids.
+  const std::string journal = tmpPath("filterf.mjournal");
+  std::remove(journal.c_str());
+  const std::string out = tmpPath("filterf.txt");
+  ASSERT_EQ(runBench("", std::string(kGrid) + " --workers 2 --journal " +
+                             journal,
+                     out),
+            0);
+  const std::string out2 = tmpPath("filterf2.txt");
+  EXPECT_NE(runBench("",
+                     "--suite fig4a --filter mcf --instr 2000 --seed 1 "
+                     "--workers 2 --resume " +
+                         journal,
+                     out2),
+            0);
+  const std::string err = slurp(out2 + ".err");
+  EXPECT_NE(err.find("foreign"), std::string::npos) << err;
+}
+
 TEST(SweepProcess, CliRejectsContradictoryShardingFlags) {
   const std::string out = tmpPath("cli.txt");
   // --workers without a journal; --journal + --resume; --task-timeout
