@@ -26,13 +26,13 @@
 // land durably in a queryable store, and three subcommands work on it —
 //
 //   malec_bench --suite fig4a --sink store --store results.mstore
-//   malec_bench merge --suite fig4a --journal sweep.mjournal \
+//   malec_bench merge --suite fig4a --journal sweep.mjournal
 //                     --store results.mstore      sweep artifacts -> store
-//   malec_bench query --store results.mstore \
-//                     [--select COLS] [--where-suite/-workload/-config SUB]\n
+//   malec_bench query --store results.mstore
+//                     [--select COLS] [--where-suite/-workload/-config SUB]
 //                     [--seed N] [--sort COL [--desc]] [--group-geomean]
 //                     [--limit N] [--format table|json]
-//   malec_bench explore --suite fig4a --store ex.mstore \
+//   malec_bench explore --suite fig4a --store ex.mstore
 //                       [--objective ipc,energy] [--rounds N] [--batch N]
 //                       [--resume]                adaptive Pareto search
 //

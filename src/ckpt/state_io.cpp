@@ -51,6 +51,10 @@ void removeStaleTemps(const std::string& path) {
     const char* rest = name.c_str() + prefix.size();
     char* end = nullptr;
     errno = 0;
+    // Scanning arbitrary directory entries: a non-numeric name means
+    // "not one of our temps, skip" — never an error, so strict parsing
+    // (which aborts) is the wrong tool here.
+    // lint:allow(strict-parse: non-numeric filename means skip, not abort)
     const long pid = std::strtol(rest, &end, 10);
     if (errno != 0 || end == rest || *end != '.' || pid <= 0) continue;
     // Signal 0 probes existence without sending anything. EPERM means the

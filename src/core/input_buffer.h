@@ -85,10 +85,10 @@ class InputBuffer {
   void loadState(ckpt::StateReader& r);
 
  private:
-  std::uint32_t carry_slots_;
-  std::uint32_t agu_slots_;
-  std::uint32_t group_comparators_;
-  AddressLayout layout_;
+  std::uint32_t carry_slots_;  // lint:no-state(config; bounds-checked on load)
+  std::uint32_t agu_slots_;    // lint:no-state(config; bounds-checked on load)
+  std::uint32_t group_comparators_;  // lint:no-state(config)
+  AddressLayout layout_;             // lint:no-state(config)
   std::vector<Entry> entries_;  ///< kept sorted by order (oldest first)
   std::uint64_t next_order_ = 0;
 };

@@ -114,9 +114,9 @@ class TranslationEngine {
     energy::EnergyAccount::EventId wt_write;
   };
 
-  Params p_;
-  energy::EnergyAccount& ea_;
-  EventIds id_;
+  Params p_;  // lint:no-state(config; restore binds by fingerprint)
+  energy::EnergyAccount& ea_;  // lint:no-state(wiring ref; checkpoints itself)
+  EventIds id_;  // lint:no-state(construction-time EventId cache)
   tlb::PageTable pt_;
   tlb::Tlb utlb_;
   tlb::Tlb tlb_;

@@ -292,6 +292,7 @@ void CoreModel::saveState(ckpt::StateWriter& w) const {
   // wakeup order).
   std::vector<SeqNum> producers;
   producers.reserve(dependents_.size());
+  // lint:allow(udc-order: sorted below before any byte is written)
   for (const auto& [seq, deps] : dependents_) producers.push_back(seq);
   std::sort(producers.begin(), producers.end());
   w.u64(producers.size());

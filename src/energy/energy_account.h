@@ -130,7 +130,9 @@ class EnergyAccount {
   /// Name -> id, ordered so that reports and prefix rollups iterate in the
   /// same (sorted) order as the original map-based implementation.
   std::map<std::string, EventId> index_;
-  std::map<std::string, double> leakage_mw_;
+  /// Definitions, not run state: reconstructed by re-running the same
+  /// defineEnergies sequence; the event-space hash guards mismatches.
+  std::map<std::string, double> leakage_mw_;  // lint:no-state(definitions; guarded by event-space hash)
 };
 
 /// RAII stat gate for warmup-aware sampled replay: closes the account's

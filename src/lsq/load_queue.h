@@ -47,6 +47,7 @@ class LoadQueue {
   void saveState(ckpt::StateWriter& w) const {
     // live_ is an unordered set — serialize sorted so the same state
     // always produces the same checkpoint bytes.
+    // lint:allow(udc-order: sorted below before any byte is written)
     std::vector<SeqNum> live(live_.begin(), live_.end());
     std::sort(live.begin(), live.end());
     w.u64(live.size());
@@ -62,7 +63,7 @@ class LoadQueue {
   }
 
  private:
-  std::uint32_t capacity_;
+  std::uint32_t capacity_;  // lint:no-state(config; bounds-checked on load)
   std::unordered_set<SeqNum> live_;
   std::size_t peak_ = 0;
 };

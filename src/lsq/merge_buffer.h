@@ -62,8 +62,8 @@ class MergeBuffer {
  private:
   [[nodiscard]] std::uint64_t maskFor(Addr vaddr, std::uint8_t size) const;
 
-  std::uint32_t capacity_;
-  AddressLayout layout_;
+  std::uint32_t capacity_;  // lint:no-state(config; bounds-checked on load)
+  AddressLayout layout_;    // lint:no-state(config)
   std::vector<Entry> entries_;
   std::uint64_t tick_ = 0;
   std::uint64_t merges_ = 0;

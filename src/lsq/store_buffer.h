@@ -74,8 +74,8 @@ class StoreBuffer {
   void loadState(ckpt::StateReader& r);
 
  private:
-  std::uint32_t capacity_;
-  AddressLayout layout_;
+  std::uint32_t capacity_;  // lint:no-state(config; bounds-checked on load)
+  AddressLayout layout_;    // lint:no-state(config)
   std::vector<Entry> entries_;  ///< ordered oldest -> youngest
   std::uint64_t full_compares_ = 0;
   std::uint64_t page_compares_ = 0;

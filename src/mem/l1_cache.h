@@ -91,10 +91,10 @@ class L1Cache {
   [[nodiscard]] Line& line(std::uint32_t set, std::uint32_t way);
   [[nodiscard]] const Line& line(std::uint32_t set, std::uint32_t way) const;
 
-  AddressLayout layout_;
-  bool restrict_alloc_;
-  std::uint32_t ways_;
-  std::uint32_t sets_;
+  AddressLayout layout_;  // lint:no-state(config)
+  bool restrict_alloc_;   // lint:no-state(config)
+  std::uint32_t ways_;    // lint:no-state(geometry; load checks line count)
+  std::uint32_t sets_;    // lint:no-state(geometry; load checks line count)
   std::vector<Line> lines_;  ///< sets x ways
   std::unique_ptr<ReplacementPolicy> repl_;
   std::uint64_t fills_ = 0;

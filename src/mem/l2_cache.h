@@ -62,10 +62,10 @@ class L2Cache {
   [[nodiscard]] Line& line(std::uint32_t set, std::uint32_t way);
   [[nodiscard]] const Line& line(std::uint32_t set, std::uint32_t way) const;
 
-  Params p_;
-  std::uint32_t sets_;
-  std::uint32_t line_bits_;
-  std::uint32_t set_bits_;
+  Params p_;               // lint:no-state(config)
+  std::uint32_t sets_;      // lint:no-state(geometry; load checks line count)
+  std::uint32_t line_bits_;  // lint:no-state(geometry)
+  std::uint32_t set_bits_;   // lint:no-state(geometry)
   std::vector<Line> lines_;
   std::unique_ptr<ReplacementPolicy> repl_;
   std::uint64_t fills_ = 0;

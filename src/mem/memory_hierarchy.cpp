@@ -15,6 +15,7 @@ MemoryHierarchy::MemoryHierarchy(L1Cache& l1, L2Cache& l2, const Params& p)
 }
 
 void MemoryHierarchy::dropExpired(Cycle now) {
+  // lint:allow(udc-order: order-independent conditional erase, no output)
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->second.first <= now) {
       it = pending_.erase(it);
@@ -26,6 +27,7 @@ void MemoryHierarchy::dropExpired(Cycle now) {
 
 bool MemoryHierarchy::mshrAvailable(Cycle now) const {
   std::uint32_t live = 0;
+  // lint:allow(udc-order: order-independent count, no output)
   for (const auto& [line, entry] : pending_)
     if (entry.first > now) ++live;
   return live < p_.mshrs;
@@ -92,6 +94,7 @@ void MemoryHierarchy::saveState(ckpt::StateWriter& w) const {
   // pending_ is an unordered map — serialize sorted by line base so the
   // same state always produces the same checkpoint bytes.
   std::vector<std::pair<Addr, std::pair<Cycle, WayIdx>>> pend(
+      // lint:allow(udc-order: sorted below before any byte is written)
       pending_.begin(), pending_.end());
   std::sort(pend.begin(), pend.end());
   w.u64(pend.size());

@@ -70,11 +70,11 @@ class MemoryHierarchy {
  private:
   void dropExpired(Cycle now);
 
-  L1Cache& l1_;
-  L2Cache& l2_;
-  Params p_;
-  FillCallback on_fill_;
-  EvictCallback on_evict_;
+  L1Cache& l1_;  // lint:no-state(wiring ref; checkpoints itself)
+  L2Cache& l2_;  // lint:no-state(wiring ref; checkpoints itself)
+  Params p_;     // lint:no-state(config)
+  FillCallback on_fill_;   // lint:no-state(wiring callback, rebuilt at construction)
+  EvictCallback on_evict_;  // lint:no-state(wiring callback, rebuilt at construction)
   /// line base -> (ready cycle, filled way): outstanding line fills.
   std::unordered_map<Addr, std::pair<Cycle, WayIdx>> pending_;
   std::uint64_t l2_hits_ = 0;

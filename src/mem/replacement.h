@@ -51,7 +51,7 @@ class LruPolicy final : public ReplacementPolicy {
   void loadState(ckpt::StateReader& r) override;
 
  private:
-  std::uint32_t ways_;
+  std::uint32_t ways_;  // lint:no-state(geometry; load checks sizes)
   std::uint64_t tick_ = 0;
   std::vector<std::uint64_t> stamp_;  ///< sets x ways
 };
@@ -68,7 +68,7 @@ class RandomPolicy final : public ReplacementPolicy {
   void loadState(ckpt::StateReader& r) override;
 
  private:
-  std::uint32_t ways_;
+  std::uint32_t ways_;  // lint:no-state(geometry; load checks sizes)
   Rng rng_;
 };
 
@@ -86,7 +86,7 @@ class SecondChancePolicy final : public ReplacementPolicy {
   void loadState(ckpt::StateReader& r) override;
 
  private:
-  std::uint32_t ways_;
+  std::uint32_t ways_;  // lint:no-state(geometry; load checks sizes)
   std::vector<std::uint8_t> ref_;     ///< reference bits, sets x ways
   std::vector<std::uint32_t> hand_;   ///< clock hand per set
 };

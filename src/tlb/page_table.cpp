@@ -48,6 +48,7 @@ void PageTable::saveState(ckpt::StateWriter& w) const {
   // map_ is an unordered map — serialize sorted by virtual page so the
   // same state always produces the same checkpoint bytes. used_ is NOT
   // stored: it is exactly the set of mapped frames and is rebuilt on load.
+  // lint:allow(udc-order: sorted below before any byte is written)
   std::vector<std::pair<PageId, PageId>> entries(map_.begin(), map_.end());
   std::sort(entries.begin(), entries.end());
   w.u64(entries.size());

@@ -44,11 +44,11 @@ class PageTable {
   void loadState(ckpt::StateReader& r);
 
  private:
-  std::uint32_t phys_pages_;
-  std::uint64_t seed_;
-  Cycle walk_latency_ = 30;
+  std::uint32_t phys_pages_;  // lint:no-state(config; restore binds by fingerprint)
+  std::uint64_t seed_;        // lint:no-state(config; restore binds by fingerprint)
+  Cycle walk_latency_ = 30;   // lint:no-state(config)
   std::unordered_map<PageId, PageId> map_;
-  std::unordered_set<PageId> used_;
+  std::unordered_set<PageId> used_;  // lint:no-state(derived; rebuilt from map_ in loadState)
   std::uint64_t walks_ = 0;
 };
 

@@ -84,7 +84,7 @@ class Tlb {
  private:
   std::vector<Entry> slots_;
   std::unique_ptr<mem::ReplacementPolicy> repl_;
-  EvictCallback on_evict_;
+  EvictCallback on_evict_;  // lint:no-state(wiring callback, rebuilt at construction)
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;

@@ -54,10 +54,10 @@ class SyntheticTraceGenerator final : public TraceSource {
   Addr nextStoreAddr();
   void emitDeps(InstrRecord& r);
 
-  WorkloadProfile profile_;
-  AddressLayout layout_;
-  std::uint64_t limit_;
-  std::uint64_t seed_;
+  WorkloadProfile profile_;  // lint:no-state(config; restore binds by fingerprint)
+  AddressLayout layout_;     // lint:no-state(config)
+  std::uint64_t limit_;  // lint:no-state(config; restore binds by fingerprint)
+  std::uint64_t seed_;   // lint:no-state(config; restore binds by fingerprint)
 
   Rng rng_;
   std::uint64_t emitted_ = 0;

@@ -88,8 +88,8 @@ class SegmentedWayTable {
   [[nodiscard]] Chunk* find(std::uint32_t slot, std::uint32_t index);
   Chunk& allocate(std::uint32_t slot, std::uint32_t index);
 
-  Params p_;
-  std::uint32_t chunks_per_page_;
+  Params p_;  // lint:no-state(config)
+  std::uint32_t chunks_per_page_;  // lint:no-state(geometry, derived from config)
   std::vector<Chunk> pool_;
   std::uint64_t tick_ = 0;
   std::uint64_t allocs_ = 0;

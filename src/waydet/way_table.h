@@ -81,10 +81,10 @@ class WayTable {
   void loadState(ckpt::StateReader& r);
 
  private:
-  std::uint32_t slots_;
-  std::uint32_t lines_per_page_;
-  std::uint32_t banks_;
-  std::uint32_t assoc_;
+  std::uint32_t slots_;  // lint:no-state(geometry; load checks code count)
+  std::uint32_t lines_per_page_;  // lint:no-state(geometry; load checks code count)
+  std::uint32_t banks_;  // lint:no-state(config)
+  std::uint32_t assoc_;  // lint:no-state(config)
   std::vector<WayCode> codes_;  ///< slots x lines_per_page
 };
 
@@ -114,7 +114,7 @@ class LastEntryRegister {
     std::uint32_t slot;
     PageId vpage;
   };
-  std::uint32_t depth_;
+  std::uint32_t depth_;  // lint:no-state(config; bounds-checked on load)
   std::vector<Item> fifo_;  ///< oldest first
 };
 

@@ -58,7 +58,7 @@ class Wdu {
     std::uint64_t lru = 0;
   };
 
-  std::uint32_t capacity_;
+  std::uint32_t capacity_;  // lint:no-state(config; bounds-checked on load)
   std::vector<Slot> slots_;
   std::uint64_t tick_ = 0;
   std::uint64_t searches_ = 0;

@@ -23,6 +23,48 @@
 namespace malec::sim {
 namespace {
 
+// Checkpoint audit matrix: every class in the tree that declares
+// saveState/loadState must be listed here, and every name listed here must
+// still exist as a stateful class. scripts/check_lint.sh diffs this list
+// both ways against `malec_lint --list-stateful`, so adding a new stateful
+// component without extending this file's coverage fails CI (and so does
+// deleting a component while leaving a stale row). Keep sorted.
+// lint-checkpoint-matrix-begin
+constexpr const char* kCheckpointAuditedClasses[] = {
+    "BaselineInterface",
+    "CoreModel",
+    "EnergyAccount",
+    "InputBuffer",
+    "L1Cache",
+    "L2Cache",
+    "LastEntryRegister",
+    "LoadQueue",
+    "LruPolicy",
+    "MalecInterface",
+    "MemoryHierarchy",
+    "MergeBuffer",
+    "PageTable",
+    "RandomPolicy",
+    "SecondChancePolicy",
+    "SegmentedWayTable",
+    "StoreBuffer",
+    "SyntheticTraceGenerator",
+    "Tlb",
+    "TranslationEngine",
+    "WayTable",
+    "Wdu",
+};
+// lint-checkpoint-matrix-end
+
+TEST(CheckpointMatrix, AuditedClassListIsSortedAndUnique) {
+  const std::vector<std::string> names(std::begin(kCheckpointAuditedClasses),
+                                       std::end(kCheckpointAuditedClasses));
+  for (std::size_t i = 1; i < names.size(); ++i) {
+    EXPECT_LT(names[i - 1], names[i])
+        << "kCheckpointAuditedClasses must stay sorted and duplicate-free";
+  }
+}
+
 std::string tmpPath(const char* name) {
   return std::string(::testing::TempDir()) + name;
 }

@@ -1,0 +1,175 @@
+// malec_lint contract tests, in two layers:
+//
+// 1. Library layer: runLint() on the fixture mini-trees under
+//    tools/lint/fixtures/ — each bad_* tree seeds exactly one rule
+//    family's violations, each negative tree (clean, waived) must come
+//    back with zero findings.
+// 2. Process layer: the exit-code contract CI depends on. malec_lint and
+//    scripts/check_lint.sh are exec'd per fixture; every seeded rule
+//    family must make the gate exit non-zero, and the clean/waived trees
+//    must exit zero. bad_drift proves the checkpoint-matrix cross-check
+//    fails even though the lint itself is clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+using malec::lint::Finding;
+using malec::lint::Options;
+using malec::lint::Report;
+
+std::string fixtureRoot(const std::string& name) {
+  return std::string(MALEC_LINT_FIXTURES_DIR) + "/" + name;
+}
+
+Report lintFixture(const std::string& name) {
+  Options opt;
+  opt.root = fixtureRoot(name);
+  return malec::lint::runLint(opt);
+}
+
+std::vector<std::string> rulesIn(const Report& r) {
+  std::vector<std::string> rules;
+  for (const Finding& f : r.findings) rules.push_back(f.rule);
+  std::sort(rules.begin(), rules.end());
+  rules.erase(std::unique(rules.begin(), rules.end()), rules.end());
+  return rules;
+}
+
+/// Exit code of `cmd` (stdout/stderr silenced to keep ctest logs clean).
+int runCommand(const std::string& cmd) {
+  const int status = std::system((cmd + " >/dev/null 2>&1").c_str());
+  EXPECT_NE(status, -1) << "failed to spawn: " << cmd;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+int checkLintExit(const std::string& fixture) {
+  return runCommand(std::string(MALEC_CHECK_LINT_SH) + " " + MALEC_LINT_BIN +
+                    " " + fixtureRoot(fixture));
+}
+
+// --- library layer ----------------------------------------------------------
+
+TEST(LintLibrary, CleanFixtureHasNoFindings) {
+  const Report r = lintFixture("clean");
+  EXPECT_TRUE(r.findings.empty()) << malec::lint::formatFindings(r);
+  EXPECT_EQ(r.stateful_classes, std::vector<std::string>{"Widget"});
+}
+
+TEST(LintLibrary, CheckpointRuleFlagsUnserializedMember) {
+  const Report r = lintFixture("bad_state");
+  ASSERT_EQ(r.findings.size(), 1u) << malec::lint::formatFindings(r);
+  EXPECT_EQ(r.findings[0].rule, "checkpoint-state");
+  EXPECT_NE(r.findings[0].message.find("missed_"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("Widget"), std::string::npos);
+}
+
+TEST(LintLibrary, EventIdRuleFlagsStringsInPerCycleDirs) {
+  const Report r = lintFixture("bad_eventid");
+  EXPECT_EQ(rulesIn(r), std::vector<std::string>{"eventid"});
+  EXPECT_EQ(r.findings.size(), 2u) << malec::lint::formatFindings(r);
+}
+
+TEST(LintLibrary, DeterminismRuleFlagsWallClockAndLibcRand) {
+  const Report r = lintFixture("bad_determinism");
+  EXPECT_EQ(rulesIn(r), std::vector<std::string>{"determinism"});
+  // srand, rand, steady_clock::now.
+  EXPECT_EQ(r.findings.size(), 3u) << malec::lint::formatFindings(r);
+}
+
+TEST(LintLibrary, UdcOrderRuleFlagsHashOrderIterationNearStateWriter) {
+  const Report r = lintFixture("bad_udc");
+  EXPECT_EQ(rulesIn(r), std::vector<std::string>{"udc-order"});
+  EXPECT_EQ(r.findings.size(), 2u) << malec::lint::formatFindings(r);
+}
+
+TEST(LintLibrary, StrictParseRuleFlagsRawNumericParsers) {
+  const Report r = lintFixture("bad_parse");
+  EXPECT_EQ(rulesIn(r), std::vector<std::string>{"strict-parse"});
+  EXPECT_EQ(r.findings.size(), 2u) << malec::lint::formatFindings(r);
+}
+
+TEST(LintLibrary, InlineAndFileScopeWaiversSilenceFindings) {
+  Options opt;
+  opt.root = fixtureRoot("waived");
+  std::vector<std::string> errors;
+  opt.allow = malec::lint::parseAllowlistFile(
+      opt.root + "/tools/lint/allowlist.txt", errors);
+  EXPECT_TRUE(errors.empty());
+  ASSERT_EQ(opt.allow.size(), 1u);
+  EXPECT_EQ(opt.allow[0].rule, "determinism");
+  const Report r = malec::lint::runLint(opt);
+  EXPECT_TRUE(r.findings.empty()) << malec::lint::formatFindings(r);
+}
+
+TEST(LintLibrary, MalformedWaiverIsItselfAFinding) {
+  // A waiver without a reason must not silently disable a rule.
+  const std::string dir = std::string(::testing::TempDir()) + "lint_waiver";
+  ASSERT_EQ(runCommand("mkdir -p " + dir + "/src"), 0);
+  {
+    std::ofstream f(dir + "/src/bad.cpp");
+    f << "#include <cstdlib>\n"
+         "int f(const char* s) {\n"
+         "  return atoi(s);  // lint:allow(strict-parse)\n"
+         "}\n";
+  }
+  Options opt;
+  opt.root = dir;
+  const Report r = malec::lint::runLint(opt);
+  const auto rules = rulesIn(r);
+  EXPECT_TRUE(std::find(rules.begin(), rules.end(), "waiver-syntax") !=
+              rules.end())
+      << malec::lint::formatFindings(r);
+  EXPECT_TRUE(std::find(rules.begin(), rules.end(), "strict-parse") !=
+              rules.end())
+      << "a malformed waiver must not suppress the underlying finding";
+}
+
+TEST(LintLibrary, RealTreeStillLintsClean) {
+  // The same invariant the check_lint ctest enforces, via the library —
+  // kept here too so `ctest -R test_lint` alone catches a dirty tree.
+  Options opt;
+  opt.root = MALEC_REPO_ROOT;
+  std::vector<std::string> errors;
+  opt.allow = malec::lint::parseAllowlistFile(
+      std::string(MALEC_REPO_ROOT) + "/tools/lint/allowlist.txt", errors);
+  EXPECT_TRUE(errors.empty());
+  const Report r = malec::lint::runLint(opt);
+  EXPECT_TRUE(r.findings.empty()) << malec::lint::formatFindings(r);
+  EXPECT_FALSE(r.stateful_classes.empty());
+}
+
+// --- process layer: the exit codes CI keys off ------------------------------
+
+TEST(LintExitCodes, MalecLintUsageErrorsExitTwo) {
+  EXPECT_EQ(runCommand(std::string(MALEC_LINT_BIN)), 2);
+  EXPECT_EQ(runCommand(std::string(MALEC_LINT_BIN) +
+                       " --root /nonexistent-malec-root"),
+            2);
+}
+
+TEST(LintExitCodes, CheckLintPassesCleanTrees) {
+  EXPECT_EQ(checkLintExit("clean"), 0);
+  EXPECT_EQ(checkLintExit("waived"), 0);
+}
+
+TEST(LintExitCodes, CheckLintFailsEverySeededRuleFamily) {
+  EXPECT_EQ(checkLintExit("bad_state"), 1);
+  EXPECT_EQ(checkLintExit("bad_eventid"), 1);
+  EXPECT_EQ(checkLintExit("bad_determinism"), 1);
+  EXPECT_EQ(checkLintExit("bad_udc"), 1);
+  EXPECT_EQ(checkLintExit("bad_parse"), 1);
+}
+
+TEST(LintExitCodes, CheckLintFailsOnCheckpointMatrixDrift) {
+  EXPECT_EQ(checkLintExit("bad_drift"), 1);
+}
+
+}  // namespace

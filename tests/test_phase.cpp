@@ -154,9 +154,10 @@ TEST(Planner, BuildsValidatedPlanBoundToTrace) {
   std::uint64_t weight_sum = 0;
   for (std::size_t i = 0; i < plan.picks.size(); ++i) {
     EXPECT_LT(plan.picks[i].interval_index, 5u);
-    if (i > 0)
+    if (i > 0) {
       EXPECT_GT(plan.picks[i].interval_index,
                 plan.picks[i - 1].interval_index);
+    }
     weight_sum += plan.picks[i].weight_instructions;
   }
   EXPECT_EQ(weight_sum, 25'000u);

@@ -60,7 +60,9 @@ TEST(Structures, WtEntryIs128Bits) {
       EXPECT_EQ(s.spec.entry_bits, 128u);  // paper Fig. 3
       EXPECT_EQ(s.spec.entries, sys.tlb_entries);
     }
-    if (s.spec.name == "uwt") EXPECT_EQ(s.spec.entries, sys.utlb_entries);
+    if (s.spec.name == "uwt") {
+      EXPECT_EQ(s.spec.entries, sys.utlb_entries);
+    }
   }
 }
 

@@ -1,0 +1,19 @@
+// Positive fixture for the determinism rule (R3a): wall-clock and libc
+// randomness reaching simulated state. Expected: determinism findings for
+// srand(), rand() and steady_clock::now().
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+int rollDice(unsigned seed) {
+  std::srand(seed);
+  return std::rand() % 6;
+}
+
+long long stampRun() {
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+}  // namespace fixture

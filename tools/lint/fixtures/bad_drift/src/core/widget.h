@@ -1,0 +1,37 @@
+// Negative fixture: a per-cycle-directory class that follows every repo
+// contract. Expected: zero findings, stateful inventory == {Widget}.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct StateWriter;
+struct StateReader;
+
+class Widget {
+ public:
+  void tick() { ++value_; }
+
+  void saveState(StateWriter& w) const {
+    put(w, value_);
+    put(w, history_.size());
+    for (const std::uint64_t h : history_) put(w, h);
+  }
+  void loadState(StateReader& r) {
+    value_ = get(r);
+    history_.assign(get(r), 0);
+    for (auto& h : history_) h = get(r);
+  }
+
+ private:
+  static void put(StateWriter&, std::uint64_t) {}
+  static std::uint64_t get(StateReader&) { return 0; }
+
+  std::uint64_t value_ = 0;
+  std::vector<std::uint64_t> history_;
+  std::uint32_t depth_limit_ = 8;  // lint:no-state(config; fixed at construction)
+};
+
+}  // namespace fixture

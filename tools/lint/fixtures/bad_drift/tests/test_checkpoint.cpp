@@ -1,0 +1,9 @@
+// Positive fixture for the drift check: the source tree's stateful class
+// (Widget) is missing from the matrix, and the matrix audits a class
+// (GhostUnit) that no longer exists. The lint itself is clean — only
+// scripts/check_lint.sh's cross-check fails, in both directions.
+// lint-checkpoint-matrix-begin
+constexpr const char* kCheckpointAuditedClasses[] = {
+    "GhostUnit",
+};
+// lint-checkpoint-matrix-end

@@ -1,0 +1,32 @@
+// Positive fixture for the EventId rule (R2): string-keyed accounting and
+// string allocation in a per-cycle directory (src/core). Expected: an
+// eventid finding for the string-keyed count() and one for to_string.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+struct EnergyAccount {
+  void count(const std::string&, std::uint64_t = 1) {}
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(EnergyAccount& ea) : ea_(ea) {}
+
+  void tick() {
+    // Per-cycle hot path: resolves the event name hash every access.
+    ea_.count("l1.hit");
+    label_ = std::to_string(cycle_);
+    ++cycle_;
+  }
+
+ private:
+  EnergyAccount& ea_;
+  std::uint64_t cycle_ = 0;
+  std::string label_;
+};
+
+}  // namespace fixture

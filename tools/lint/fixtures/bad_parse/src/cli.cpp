@@ -1,0 +1,14 @@
+// Positive fixture for the strict-parse rule (R4): raw atoi/strtoul
+// outside parseU64Strict's home accept sloppy numerics ("12abc" -> 12,
+// overflow wraps). Expected: strict-parse findings for both calls.
+#include <cstdlib>
+
+namespace fixture {
+
+unsigned long parseCount(const char* arg) {
+  const int quick = std::atoi(arg);
+  if (quick < 0) return 0;
+  return std::strtoul(arg, nullptr, 10);
+}
+
+}  // namespace fixture

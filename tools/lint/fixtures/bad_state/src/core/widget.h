@@ -1,0 +1,32 @@
+// Positive fixture for the checkpoint-state rule (R1): `missed_` is
+// mutated every tick but never serialized and never waived — a restored
+// Widget would silently diverge. Expected: one checkpoint-state finding
+// naming `missed_`.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct StateWriter;
+struct StateReader;
+
+class Widget {
+ public:
+  void tick() {
+    ++value_;
+    missed_ += value_;
+  }
+
+  void saveState(StateWriter& w) const { put(w, value_); }
+  void loadState(StateReader& r) { value_ = get(r); }
+
+ private:
+  static void put(StateWriter&, std::uint64_t) {}
+  static std::uint64_t get(StateReader&) { return 0; }
+
+  std::uint64_t value_ = 0;
+  std::uint64_t missed_ = 0;
+};
+
+}  // namespace fixture

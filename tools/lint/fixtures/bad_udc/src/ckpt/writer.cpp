@@ -1,0 +1,28 @@
+// Positive fixture for the udc-order rule (R3b): this file writes
+// serialized bytes (StateWriter) and iterates an unordered_map in hash
+// order while doing so — checkpoint bytes would vary run to run.
+// Expected: udc-order findings for the range-for and the .begin() copy.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct StateWriter {
+  void u64(std::uint64_t) {}
+};
+
+void dump(StateWriter& w) {
+  std::unordered_map<std::uint64_t, std::uint64_t> pending;
+  pending[3] = 4;
+  for (const auto& kv : pending) {
+    w.u64(kv.first);
+    w.u64(kv.second);
+  }
+  std::vector<std::uint64_t> keys;
+  for (auto it = pending.begin(); it != pending.end(); ++it)
+    keys.push_back(it->first);
+  w.u64(keys.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Fixture checkpoint matrix matching the tree: drift check must pass.
+// lint-checkpoint-matrix-begin
+constexpr const char* kCheckpointAuditedClasses[] = {
+    "Widget",
+};
+// lint-checkpoint-matrix-end

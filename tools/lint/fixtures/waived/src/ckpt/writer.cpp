@@ -1,0 +1,23 @@
+// Inline udc-order waiver: the unordered container is copied out and
+// sorted before any serialized byte is written, which is exactly the
+// pattern the rule exists to force.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct StateWriter {
+  void u64(std::uint64_t) {}
+};
+
+void dump(StateWriter& w, const std::unordered_set<std::uint64_t>& live) {
+  // lint:allow(udc-order: sorted below before any byte is written)
+  std::vector<std::uint64_t> sorted(live.begin(), live.end());
+  std::sort(sorted.begin(), sorted.end());
+  w.u64(sorted.size());
+  for (const std::uint64_t s : sorted) w.u64(s);
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Inline strict-parse waiver: the result is range-checked on the next
+// line, so the sloppy parse cannot smuggle a bad value further in.
+#include <cstdlib>
+
+namespace fixture {
+
+int parsePercent(const char* arg) {
+  const int v = std::atoi(arg);  // lint:allow(strict-parse: clamped to [0,100] below)
+  if (v < 0) return 0;
+  if (v > 100) return 100;
+  return v;
+}
+
+}  // namespace fixture

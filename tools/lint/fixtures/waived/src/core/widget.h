@@ -1,0 +1,37 @@
+// Negative fixture for waiver handling: the same shapes the bad_* trees
+// seed, each carrying a justified inline waiver (on the flagged line or
+// the line directly above). Expected: zero findings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+struct StateWriter;
+struct StateReader;
+
+struct EnergyAccount {
+  void count(const std::string&, std::uint64_t = 1) {}
+};
+
+class Widget {
+ public:
+  explicit Widget(EnergyAccount& ea) : ea_(ea) {
+    // lint:allow(eventid: construction-time definition, not per-cycle)
+    ea_.count("widget.built");
+  }
+
+  void saveState(StateWriter& w) const { put(w, value_); }
+  void loadState(StateReader& r) { value_ = get(r); }
+
+ private:
+  static void put(StateWriter&, std::uint64_t) {}
+  static std::uint64_t get(StateReader&) { return 0; }
+
+  EnergyAccount& ea_;  // lint:no-state(wiring ref; checkpoints itself)
+  std::uint64_t value_ = 0;
+  std::uint64_t scratch_ = 0;  // lint:no-state(per-cycle scratch; rebuilt every tick)
+};
+
+}  // namespace fixture

@@ -1,0 +1,950 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace malec::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool wordAt(const std::string& s, std::size_t pos, const std::string& word) {
+  if (s.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && isIdentChar(s[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  if (end < s.size() && isIdentChar(s[end])) return false;
+  return true;
+}
+
+/// Whole-word token presence anywhere in `s`.
+bool containsWord(const std::string& s, const std::string& word) {
+  for (std::size_t pos = s.find(word); pos != std::string::npos;
+       pos = s.find(word, pos + 1)) {
+    if (wordAt(s, pos, word)) return true;
+  }
+  return false;
+}
+
+std::size_t skipSpaces(const std::string& s, std::size_t i) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i])) != 0)
+    ++i;
+  return i;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0)
+    --e;
+  return s.substr(b, e - b);
+}
+
+// --- waivers ----------------------------------------------------------------
+
+struct Waiver {
+  int line = 0;
+  bool no_state = false;  ///< lint:no-state(reason)
+  std::string rule;       ///< lint:allow(rule: reason)
+  std::string reason;
+};
+
+/// Extract `lint:no-state(...)` / `lint:allow(...)` markers from the raw
+/// (pre-scrub) text so waivers written in comments survive.
+std::vector<Waiver> extractWaivers(const std::string& raw,
+                                   std::vector<Finding>& findings,
+                                   const std::string& rel_path) {
+  std::vector<Waiver> out;
+  int line = 1;
+  std::size_t line_start = 0;
+  auto scanLine = [&](std::size_t begin, std::size_t end) {
+    const std::string text = raw.substr(begin, end - begin);
+    for (const char* marker : {"lint:no-state(", "lint:allow("}) {
+      std::size_t pos = text.find(marker);
+      if (pos == std::string::npos) continue;
+      const std::size_t open = pos + std::string(marker).size() - 1;
+      const std::size_t close = text.find(')', open);
+      if (close == std::string::npos) {
+        findings.push_back({rel_path, line, "waiver-syntax",
+                            "unterminated lint waiver (missing ')')"});
+        continue;
+      }
+      const std::string inner = text.substr(open + 1, close - open - 1);
+      Waiver w;
+      w.line = line;
+      if (std::string(marker) == "lint:no-state(") {
+        w.no_state = true;
+        w.reason = trim(inner);
+      } else {
+        const std::size_t colon = inner.find(':');
+        w.rule = trim(colon == std::string::npos ? inner
+                                                 : inner.substr(0, colon));
+        w.reason = colon == std::string::npos
+                       ? std::string()
+                       : trim(inner.substr(colon + 1));
+      }
+      if (w.reason.empty()) {
+        findings.push_back(
+            {rel_path, line, "waiver-syntax",
+             "lint waiver needs a non-empty reason, e.g. "
+             "// lint:allow(determinism: wall-clock timeout only)"});
+        continue;
+      }
+      if (!w.no_state && w.rule.empty()) {
+        findings.push_back({rel_path, line, "waiver-syntax",
+                            "lint:allow waiver needs a rule name"});
+        continue;
+      }
+      out.push_back(w);
+    }
+  };
+  for (std::size_t i = 0; i <= raw.size(); ++i) {
+    if (i == raw.size() || raw[i] == '\n') {
+      scanLine(line_start, i);
+      line_start = i + 1;
+      ++line;
+    }
+  }
+  return out;
+}
+
+// --- scrubbing --------------------------------------------------------------
+
+/// Replace comment text and string/char-literal *contents* with spaces
+/// (delimiting quotes are kept so "literal present here" is still visible),
+/// preserving every newline so line numbers survive.
+std::string scrub(const std::string& raw) {
+  std::string out = raw;
+  std::size_t i = 0;
+  const std::size_t n = raw.size();
+  auto blank = [&](std::size_t pos) {
+    if (out[pos] != '\n') out[pos] = ' ';
+  };
+  while (i < n) {
+    const char c = raw[i];
+    if (c == '/' && i + 1 < n && raw[i + 1] == '/') {
+      while (i < n && raw[i] != '\n') blank(i++);
+    } else if (c == '/' && i + 1 < n && raw[i + 1] == '*') {
+      blank(i++);
+      blank(i++);
+      while (i + 1 < n && !(raw[i] == '*' && raw[i + 1] == '/')) blank(i++);
+      if (i + 1 < n) {
+        blank(i++);
+        blank(i++);
+      }
+    } else if (c == '"') {
+      // Raw string literal? R"delim( ... )delim"
+      bool is_raw = false;
+      if (i > 0 && raw[i - 1] == 'R' &&
+          (i < 2 || !isIdentChar(raw[i - 2]))) {
+        is_raw = true;
+      }
+      if (is_raw) {
+        std::size_t p = i + 1;
+        std::string delim;
+        while (p < n && raw[p] != '(') delim += raw[p++];
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t close = raw.find(closer, p);
+        const std::size_t end =
+            close == std::string::npos ? n : close + closer.size();
+        ++i;  // keep the opening quote
+        while (i < end - (close == std::string::npos ? 0 : 1)) blank(i++);
+        if (close != std::string::npos) ++i;  // keep the closing quote
+      } else {
+        ++i;  // keep the opening quote
+        while (i < n && raw[i] != '"') {
+          if (raw[i] == '\\' && i + 1 < n) blank(i++);
+          blank(i++);
+        }
+        if (i < n) ++i;  // keep the closing quote
+      }
+    } else if (c == '\'') {
+      // Digit separators (1'000'000) and UDLs follow an identifier char;
+      // real char literals never do.
+      if (i > 0 && isIdentChar(raw[i - 1])) {
+        ++i;
+        continue;
+      }
+      ++i;  // keep the opening quote
+      while (i < n && raw[i] != '\'') {
+        if (raw[i] == '\\' && i + 1 < n) blank(i++);
+        blank(i++);
+      }
+      if (i < n) ++i;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+// --- line bookkeeping -------------------------------------------------------
+
+class LineIndex {
+ public:
+  explicit LineIndex(const std::string& text) {
+    starts_.push_back(0);
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '\n') starts_.push_back(i + 1);
+    }
+  }
+  [[nodiscard]] int lineOf(std::size_t offset) const {
+    const auto it =
+        std::upper_bound(starts_.begin(), starts_.end(), offset);
+    return static_cast<int>(it - starts_.begin());
+  }
+
+ private:
+  std::vector<std::size_t> starts_;
+};
+
+// --- brace/angle helpers ----------------------------------------------------
+
+/// Offset just past the brace matching the '{' at `open` (or text.size()).
+std::size_t matchBrace(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0) return i + 1;
+  }
+  return text.size();
+}
+
+/// Remove the contents of balanced <...> groups (template args). `<` that
+/// never closes (comparison) is left alone.
+std::string stripAngles(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '<') {
+      int depth = 1;
+      std::size_t j = i + 1;
+      for (; j < s.size() && depth > 0; ++j) {
+        if (s[j] == '<') ++depth;
+        if (s[j] == '>') --depth;
+        if (s[j] == ';' || s[j] == '{') break;  // not a template group
+      }
+      if (depth == 0) {
+        out += "<>";
+        i = j - 1;
+        continue;
+      }
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+std::string lastIdentifier(const std::string& s) {
+  std::size_t end = s.size();
+  while (end > 0 &&
+         std::isspace(static_cast<unsigned char>(s[end - 1])) != 0)
+    --end;
+  std::size_t begin = end;
+  while (begin > 0 && isIdentChar(s[begin - 1])) --begin;
+  if (begin == end) return {};
+  const std::string id = s.substr(begin, end - begin);
+  if (std::isdigit(static_cast<unsigned char>(id[0])) != 0) return {};
+  return id;
+}
+
+// --- per-file analysis state ------------------------------------------------
+
+struct MemberDecl {
+  std::string name;
+  int line = 0;
+};
+
+struct ClassInfo {
+  std::string name;
+  std::string file;  ///< relative path of the defining header/source
+  int line = 0;
+  std::vector<MemberDecl> members;
+  bool declares_save = false;
+  bool declares_load = false;
+  bool pure_save = false;
+  bool pure_load = false;
+  std::string save_body;  ///< inline or out-of-line definition text
+  std::string load_body;
+};
+
+struct FileData {
+  std::string rel_path;
+  std::string raw;
+  std::string scrubbed;
+  std::vector<Waiver> waivers;
+};
+
+bool hasWaiver(const FileData& f, int line, const std::string& rule,
+               bool want_no_state) {
+  for (const Waiver& w : f.waivers) {
+    if (w.line != line && w.line != line - 1) continue;
+    if (want_no_state && w.no_state) return true;
+    if (!want_no_state && !w.no_state && w.rule == rule) return true;
+  }
+  return false;
+}
+
+bool allowlisted(const Options& opt, const std::string& rel_path,
+                 const std::string& rule) {
+  for (const AllowEntry& e : opt.allow) {
+    if (e.rule != rule) continue;
+    if (rel_path.size() < e.path_suffix.size()) continue;
+    if (rel_path.compare(rel_path.size() - e.path_suffix.size(),
+                         e.path_suffix.size(), e.path_suffix) == 0)
+      return true;
+  }
+  return false;
+}
+
+// --- class / member parsing (R1) --------------------------------------------
+
+/// Walk one class body (scrubbed text in [begin, end)), collecting member
+/// declarations, saveState/loadState declarations and inline bodies.
+/// Nested classes are found by the outer scan; their bodies are skipped
+/// here so their members don't leak into the enclosing class.
+void walkClassBody(const std::string& text, std::size_t begin,
+                   std::size_t end, const LineIndex& lines, ClassInfo& ci) {
+  std::string buf;
+  std::size_t buf_start = begin;  // offset of first char in buf
+  bool buf_dirty = false;
+  auto resetBuf = [&](std::size_t at) {
+    buf.clear();
+    buf_start = at;
+    buf_dirty = false;
+  };
+  auto firstToken = [&]() {
+    const std::string t = trim(buf);
+    std::size_t e = 0;
+    while (e < t.size() && isIdentChar(t[e])) ++e;
+    return t.substr(0, e);
+  };
+  auto classify = [&](bool pure_candidate) {
+    const std::string t = trim(buf);
+    if (t.empty()) return;
+    const std::string stripped = stripAngles(t);
+    const bool is_function = stripped.find('(') != std::string::npos;
+    if (is_function) {
+      const bool pure =
+          pure_candidate && stripped.find("= 0") != std::string::npos;
+      if (containsWord(stripped, "saveState")) {
+        ci.declares_save = true;
+        ci.pure_save = pure;
+      }
+      if (containsWord(stripped, "loadState")) {
+        ci.declares_load = true;
+        ci.pure_load = pure;
+      }
+      return;
+    }
+    const std::string head = firstToken();
+    static const std::set<std::string> kSkipHeads = {
+        "using",  "typedef", "friend",   "template", "struct",
+        "class",  "union",   "enum",     "public",   "protected",
+        "private"};
+    if (kSkipHeads.count(head) != 0) return;
+    if (containsWord(stripped, "static") ||
+        containsWord(stripped, "constexpr"))
+      return;  // not instance state
+    // Split top-level comma declarators: `int a_, b_;`
+    std::vector<std::string> chunks;
+    std::string cur;
+    int bracket = 0;
+    for (char c : stripped) {
+      if (c == '[' || c == '(') ++bracket;
+      if (c == ']' || c == ')') --bracket;
+      if (c == ',' && bracket == 0) {
+        chunks.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    chunks.push_back(cur);
+    for (std::size_t ci_idx = 0; ci_idx < chunks.size(); ++ci_idx) {
+      std::string chunk = chunks[ci_idx];
+      // Truncate at initializer.
+      for (const char stop : {'=', '{'}) {
+        const std::size_t p = chunk.find(stop);
+        if (p != std::string::npos) chunk = chunk.substr(0, p);
+      }
+      // Strip array extents.
+      const std::size_t br = chunk.find('[');
+      if (br != std::string::npos) chunk = chunk.substr(0, br);
+      const std::string name = lastIdentifier(chunk);
+      if (name.empty()) continue;
+      // A lone identifier in the first chunk is a type name, not a
+      // declarator (continuation chunks of `int a_, b_;` ARE lone).
+      if (ci_idx == 0 && trim(chunk) == name) continue;
+      ci.members.push_back({name, lines.lineOf(buf_start)});
+    }
+  };
+
+  std::size_t i = begin;
+  while (i < end) {
+    const char c = text[i];
+    if (c == '{') {
+      const std::string stripped = stripAngles(buf);
+      const bool fn = stripped.find('(') != std::string::npos;
+      const std::string head = firstToken();
+      const bool nested = head == "struct" || head == "class" ||
+                          head == "union" || head == "enum";
+      const std::size_t close = matchBrace(text, i);
+      if (fn) {
+        // Function definition (or a brace in its ctor-init-list). Capture
+        // saveState/loadState inline bodies.
+        const std::string body = text.substr(i, close - i);
+        const std::size_t after = skipSpaces(text, close);
+        const char nxt = after < end ? text[after] : ';';
+        const bool continues = nxt == ':' || nxt == ',' || nxt == '{';
+        if (!continues) {
+          if (containsWord(stripped, "saveState")) {
+            ci.declares_save = true;
+            ci.save_body += body;
+          }
+          if (containsWord(stripped, "loadState")) {
+            ci.declares_load = true;
+            ci.load_body += body;
+          }
+          i = close;
+          if (i < end && text[skipSpaces(text, i)] == ';')
+            i = skipSpaces(text, i) + 1;
+          resetBuf(i);
+          continue;
+        }
+        i = close;
+        continue;  // keep buffer: init-list continues
+      }
+      if (nested) {
+        i = close;  // outer scan records the nested class separately
+        // keep the buffer: `} name_;` declares a member of *this* class,
+        // classified at the `;` (head `struct` is skipped unless a
+        // declarator follows — handled below by rewriting the head).
+        buf += " ";
+        continue;
+      }
+      // Paren-less brace: member aggregate-init `staged_{}` — skip the
+      // initializer, keep the declarator collected so far.
+      i = close;
+      buf += " =";  // ensure classify() truncates at the initializer
+      continue;
+    }
+    if (c == ';') {
+      const std::string head = firstToken();
+      if ((head == "struct" || head == "class" || head == "union" ||
+           head == "enum")) {
+        // `struct Foo { ... } foo_;` / `struct Foo foo_;`: a declarator
+        // identifier after the type name is a member of *this* class. A
+        // plain nested definition or forward declaration ends with the
+        // type name itself, which directly follows the keyword — skip.
+        const std::string t = trim(buf);
+        const std::string name = lastIdentifier(stripAngles(t));
+        std::size_t p = skipSpaces(t, head.size());
+        std::size_t e = p;
+        while (e < t.size() && isIdentChar(t[e])) ++e;
+        const std::string type_name = t.substr(p, e - p);
+        if (!name.empty() && name != head && name != type_name)
+          ci.members.push_back({name, lines.lineOf(buf_start)});
+      } else {
+        classify(true);
+      }
+      ++i;
+      resetBuf(i);
+      continue;
+    }
+    if (!buf_dirty &&
+        std::isspace(static_cast<unsigned char>(c)) == 0) {
+      buf_start = i;
+      buf_dirty = true;
+    }
+    // Access-specifier labels clear the buffer.
+    if (c == ':' && i + 1 < end && text[i + 1] != ':' &&
+        (i == begin || text[i - 1] != ':')) {
+      const std::string t = trim(buf);
+      if (t == "public" || t == "private" || t == "protected" ||
+          t == "signals") {
+        ++i;
+        resetBuf(i);
+        continue;
+      }
+    }
+    buf += c;
+    ++i;
+  }
+}
+
+/// Find every class/struct definition in scrubbed text (recursing into
+/// nested bodies) and record those declaring saveState/loadState.
+void scanClasses(const FileData& f, const LineIndex& lines,
+                 std::vector<ClassInfo>& classes) {
+  const std::string& text = f.scrubbed;
+  for (std::size_t i = 0; i + 5 < text.size(); ++i) {
+    const bool is_class = wordAt(text, i, "class");
+    const bool is_struct = wordAt(text, i, "struct");
+    if (!is_class && !is_struct) continue;
+    // `enum class` is not a class.
+    if (i >= 5) {
+      std::size_t p = i;
+      while (p > 0 &&
+             std::isspace(static_cast<unsigned char>(text[p - 1])) != 0)
+        --p;
+      if (p >= 4 && text.compare(p - 4, 4, "enum") == 0) continue;
+    }
+    std::size_t p = i + (is_class ? 5 : 6);
+    p = skipSpaces(text, p);
+    // Skip attributes / export macros (all-caps identifiers) before the
+    // name: take the last identifier before ':' '{' ';' '<'.
+    std::size_t name_begin = p;
+    while (p < text.size() && isIdentChar(text[p])) ++p;
+    const std::string name = text.substr(name_begin, p - name_begin);
+    if (name.empty()) continue;
+    p = skipSpaces(text, p);
+    if (p < text.size() && text[p] == '<') continue;  // specialization
+    // Scan to the body '{' or a ';' (forward decl) at paren depth 0.
+    int paren = 0;
+    std::size_t body = std::string::npos;
+    for (std::size_t j = p; j < text.size(); ++j) {
+      const char c = text[j];
+      if (c == '(') ++paren;
+      if (c == ')') --paren;
+      if (paren == 0 && c == ';') break;
+      if (paren == 0 && c == '{') {
+        body = j;
+        break;
+      }
+      if (c == '=') break;  // `using X = class ...`? bail out
+    }
+    if (body == std::string::npos) continue;
+    const std::size_t close = matchBrace(text, body);
+    ClassInfo ci;
+    ci.name = name;
+    ci.file = f.rel_path;
+    ci.line = lines.lineOf(i);
+    walkClassBody(text, body + 1, close > 0 ? close - 1 : close, lines,
+                  ci);
+    classes.push_back(std::move(ci));
+  }
+}
+
+/// Attach out-of-line `X::saveState` / `X::loadState` bodies.
+void attachOutOfLineBodies(const std::vector<const FileData*>& files,
+                           std::vector<ClassInfo>& classes) {
+  for (ClassInfo& ci : classes) {
+    if (!ci.declares_save && !ci.declares_load) continue;
+    for (const char* method : {"saveState", "loadState"}) {
+      std::string& body =
+          std::string(method) == "saveState" ? ci.save_body : ci.load_body;
+      if (!body.empty()) continue;
+      const std::string pattern = ci.name + "::" + method;
+      for (const FileData* fp : files) {
+        const std::string& text = fp->scrubbed;
+        for (std::size_t pos = text.find(pattern);
+             pos != std::string::npos;
+             pos = text.find(pattern, pos + 1)) {
+          if (pos > 0 && isIdentChar(text[pos - 1])) continue;
+          const std::size_t open = text.find('{', pos);
+          if (open == std::string::npos) continue;
+          // Reject declarations (a ';' before the '{' means this wasn't
+          // a definition).
+          const std::string between = text.substr(pos, open - pos);
+          if (between.find(';') != std::string::npos) continue;
+          body += text.substr(open, matchBrace(text, open) - open);
+          break;
+        }
+        if (!body.empty()) break;
+      }
+    }
+  }
+}
+
+// --- token rules (R2/R3a/R4) ------------------------------------------------
+
+struct TokenRule {
+  std::string rule;
+  std::string token;    ///< word-boundary token
+  bool call_only;       ///< require '(' as the next non-space char
+  bool string_keyed;    ///< require '"' right after the '('
+  std::string message;
+  bool scope_call = false;  ///< require the token be preceded by "::"
+};
+
+const std::vector<TokenRule>& determinismRules() {
+  static const std::vector<TokenRule> kRules = {
+      {"determinism", "rand", true, false,
+       "rand() breaks seeded determinism — use common/rng.h Rng"},
+      {"determinism", "srand", true, false,
+       "srand() breaks seeded determinism — use common/rng.h Rng"},
+      {"determinism", "random_device", false, false,
+       "std::random_device is nondeterministic — seed a common/rng.h Rng"},
+      {"determinism", "time", true, false,
+       "time() makes runs irreproducible — derive everything from the "
+       "seed"},
+      {"determinism", "clock", true, false,
+       "clock() makes runs irreproducible — derive everything from the "
+       "seed"},
+      {"determinism", "now", true, false,
+       "*_clock::now() makes runs irreproducible — simulated state must "
+       "be a pure function of the seed",
+       /*scope_call=*/true},
+  };
+  return kRules;
+}
+
+const std::vector<TokenRule>& strictParseRules() {
+  static const std::vector<TokenRule> kRules = [] {
+    std::vector<TokenRule> v;
+    for (const char* fn :
+         {"atoi", "atol", "atoll", "atof", "stoi", "stol", "stoll",
+          "stoul", "stoull", "stof", "stod", "strtol", "strtoul",
+          "strtoll", "strtoull", "strtof", "strtod", "sscanf"}) {
+      v.push_back({"strict-parse", fn, true, false,
+                   std::string(fn) +
+                       "() accepts sloppy numerics — use "
+                       "sim::parseU64Strict"});
+    }
+    return v;
+  }();
+  return kRules;
+}
+
+const std::vector<TokenRule>& eventIdRules() {
+  static const std::vector<TokenRule> kRules = {
+      {"eventid", "count", true, true,
+       "string-keyed count() in a per-cycle directory — cache an EventId "
+       "at construction and use count(EventId)"},
+      {"eventid", "eventCount", true, true,
+       "string-keyed eventCount() in a per-cycle directory — use the "
+       "EventId overload"},
+      {"eventid", "eventEnergyPj", true, true,
+       "string-keyed eventEnergyPj() in a per-cycle directory — use the "
+       "EventId overload"},
+      {"eventid", "to_string", true, false,
+       "to_string allocates — keep strings out of per-cycle directories"},
+      {"eventid", "ostringstream", false, false,
+       "string streams allocate — keep them out of per-cycle directories"},
+      {"eventid", "stringstream", false, false,
+       "string streams allocate — keep them out of per-cycle directories"},
+  };
+  return kRules;
+}
+
+void applyTokenRules(const Options& opt, const FileData& f,
+                     const LineIndex& lines,
+                     const std::vector<TokenRule>& rules,
+                     std::vector<Finding>& findings) {
+  const std::string& text = f.scrubbed;
+  for (const TokenRule& r : rules) {
+    if (allowlisted(opt, f.rel_path, r.rule)) continue;
+    for (std::size_t pos = text.find(r.token); pos != std::string::npos;
+         pos = text.find(r.token, pos + 1)) {
+      if (!wordAt(text, pos, r.token)) continue;
+      if (r.scope_call &&
+          (pos < 2 || text.compare(pos - 2, 2, "::") != 0))
+        continue;
+      std::size_t after = skipSpaces(text, pos + r.token.size());
+      if (r.call_only) {
+        if (after >= text.size() || text[after] != '(') continue;
+        if (r.string_keyed) {
+          after = skipSpaces(text, after + 1);
+          if (after >= text.size() || text[after] != '"') continue;
+        }
+        // `.count(` on containers is std::map/set API, not the energy
+        // API — still flagged for `count` in per-cycle dirs ONLY when
+        // string-keyed, which containers of strings would be; accept.
+      }
+      const int line = lines.lineOf(pos);
+      if (hasWaiver(f, line, r.rule, false)) continue;
+      findings.push_back({f.rel_path, line, r.rule, r.message});
+    }
+  }
+}
+
+// --- unordered-container ordering rule (R3b) --------------------------------
+
+/// Collect identifiers declared with an unordered_map/unordered_set type
+/// anywhere in the file (members and locals alike).
+std::set<std::string> unorderedNames(const std::string& text) {
+  std::set<std::string> names;
+  for (const char* kw : {"unordered_map", "unordered_set"}) {
+    for (std::size_t pos = text.find(kw); pos != std::string::npos;
+         pos = text.find(kw, pos + 1)) {
+      if (!wordAt(text, pos, kw)) continue;
+      std::size_t p = skipSpaces(text, pos + std::string(kw).size());
+      if (p >= text.size() || text[p] != '<') continue;
+      int depth = 0;
+      for (; p < text.size(); ++p) {
+        if (text[p] == '<') ++depth;
+        if (text[p] == '>' && --depth == 0) {
+          ++p;
+          break;
+        }
+        if (text[p] == ';') break;
+      }
+      if (depth != 0) continue;
+      p = skipSpaces(text, p);
+      if (p < text.size() && text[p] == '&') p = skipSpaces(text, p + 1);
+      std::size_t b = p;
+      while (p < text.size() && isIdentChar(text[p])) ++p;
+      if (p > b) names.insert(text.substr(b, p - b));
+    }
+  }
+  return names;
+}
+
+bool writesSerializedBytes(const std::string& text) {
+  return containsWord(text, "StateWriter") ||
+         containsWord(text, "ResultSink");
+}
+
+void applyUnorderedOrderRule(const Options& opt, const FileData& f,
+                             const LineIndex& lines,
+                             const std::set<std::string>& global_names,
+                             std::vector<Finding>& findings) {
+  if (allowlisted(opt, f.rel_path, "udc-order")) return;
+  const std::string& text = f.scrubbed;
+  if (!writesSerializedBytes(text)) return;
+  // Names declared unordered anywhere in the scanned tree: a member
+  // declared in the header is iterated from the .cpp.
+  const std::set<std::string>& names = global_names;
+  if (names.empty()) return;
+  std::set<std::pair<int, std::string>> flagged;  // dedupe per line+name
+  auto flag = [&](std::size_t pos, const std::string& name,
+                  const std::string& what) {
+    const int line = lines.lineOf(pos);
+    if (hasWaiver(f, line, "udc-order", false)) return;
+    if (!flagged.insert({line, name}).second) return;
+    findings.push_back(
+        {f.rel_path, line, "udc-order",
+         what + " over unordered container '" + name +
+             "' in a file that writes serialized bytes — hash order "
+             "must never reach checkpoints or reports; sort into a "
+             "vector first (then waive the sorted copy)"});
+  };
+  // Range-for: `for (decl : expr)` where expr's last identifier is an
+  // unordered container.
+  for (std::size_t pos = text.find("for"); pos != std::string::npos;
+       pos = text.find("for", pos + 1)) {
+    if (!wordAt(text, pos, "for")) continue;
+    std::size_t p = skipSpaces(text, pos + 3);
+    if (p >= text.size() || text[p] != '(') continue;
+    int depth = 0;
+    std::size_t close = p;
+    for (; close < text.size(); ++close) {
+      if (text[close] == '(') ++depth;
+      if (text[close] == ')' && --depth == 0) break;
+    }
+    if (close >= text.size()) continue;
+    const std::string inner = text.substr(p + 1, close - p - 1);
+    // top-level single ':' split (ignore '::')
+    std::size_t colon = std::string::npos;
+    int d2 = 0;
+    for (std::size_t k = 0; k < inner.size(); ++k) {
+      const char ch = inner[k];
+      if (ch == '(' || ch == '[' || ch == '{' || ch == '<') ++d2;
+      if (ch == ')' || ch == ']' || ch == '}' || ch == '>') --d2;
+      if (ch == ':' && d2 == 0) {
+        if (k + 1 < inner.size() && inner[k + 1] == ':') {
+          ++k;
+          continue;
+        }
+        if (k > 0 && inner[k - 1] == ':') continue;
+        colon = k;
+        break;
+      }
+    }
+    if (colon == std::string::npos) continue;
+    const std::string range = trim(inner.substr(colon + 1));
+    const std::string name = lastIdentifier(range);
+    if (!name.empty() && names.count(name) != 0)
+      flag(pos, name, "range-for");
+  }
+  // begin()/cbegin() on a known unordered name starts an iteration in
+  // hash order (`find(x) != end()` alone is an order-free lookup, so a
+  // bare .end() is not flagged).
+  for (const std::string& name : names) {
+    for (std::size_t pos = text.find(name); pos != std::string::npos;
+         pos = text.find(name, pos + 1)) {
+      if (!wordAt(text, pos, name)) continue;
+      std::size_t p = pos + name.size();
+      if (p >= text.size() || text[p] != '.') continue;
+      ++p;
+      for (const char* m : {"begin", "cbegin"}) {
+        if (wordAt(text, p, m)) {
+          const std::size_t q = skipSpaces(text, p + std::string(m).size());
+          if (q < text.size() && text[q] == '(')
+            flag(pos, name, std::string(".") + m + "()");
+        }
+      }
+    }
+  }
+}
+
+// --- checkpoint completeness (R1) -------------------------------------------
+
+void applyCheckpointRule(const Options& opt,
+                         const std::map<std::string, FileData>& files,
+                         std::vector<ClassInfo>& classes,
+                         std::vector<Finding>& findings,
+                         std::vector<std::string>& stateful) {
+  for (ClassInfo& ci : classes) {
+    if (!(ci.declares_save && ci.declares_load)) continue;
+    if (ci.pure_save || ci.pure_load) continue;  // abstract interface
+    stateful.push_back(ci.name);
+    if (allowlisted(opt, ci.file, "checkpoint-state")) continue;
+    const FileData& f = files.at(ci.file);
+    if (ci.save_body.empty() || ci.load_body.empty()) {
+      findings.push_back(
+          {ci.file, ci.line, "checkpoint-state",
+           "could not locate the " +
+               std::string(ci.save_body.empty() ? "saveState"
+                                                : "loadState") +
+               " definition for stateful class '" + ci.name + "'"});
+      continue;
+    }
+    for (const MemberDecl& m : ci.members) {
+      const bool in_save = containsWord(ci.save_body, m.name);
+      const bool in_load = containsWord(ci.load_body, m.name);
+      if (in_save && in_load) continue;
+      if (hasWaiver(f, m.line, "checkpoint-state", true)) continue;
+      std::string where =
+          !in_save && !in_load
+              ? "saveState or loadState"
+              : (!in_save ? "saveState" : "loadState");
+      findings.push_back(
+          {ci.file, m.line, "checkpoint-state",
+           "member '" + m.name + "' of stateful class '" + ci.name +
+               "' is not referenced in " + where +
+               " — serialize it or waive with // lint:no-state(reason)"});
+    }
+  }
+  std::sort(stateful.begin(), stateful.end());
+  stateful.erase(std::unique(stateful.begin(), stateful.end()),
+                 stateful.end());
+}
+
+}  // namespace
+
+// --- public API -------------------------------------------------------------
+
+std::vector<AllowEntry> parseAllowlistFile(
+    const std::string& path, std::vector<std::string>& errors) {
+  std::vector<AllowEntry> out;
+  std::ifstream in(path);
+  if (!in) {
+    errors.push_back("cannot open allowlist '" + path + "'");
+    return out;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    std::istringstream ss(t);
+    AllowEntry e;
+    ss >> e.rule >> e.path_suffix;
+    std::getline(ss, e.reason);
+    e.reason = trim(e.reason);
+    if (e.rule.empty() || e.path_suffix.empty() || e.reason.empty()) {
+      errors.push_back(path + ":" + std::to_string(lineno) +
+                       ": allowlist entries are '<rule> <path-suffix> "
+                       "<reason>' — reason is mandatory");
+      continue;
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+Report runLint(const Options& opt) {
+  Report report;
+
+  // Collect files (sorted for determinism).
+  std::vector<std::string> rel_paths;
+  for (const std::string& dir : opt.scan_dirs) {
+    const fs::path base = fs::path(opt.root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cpp" && ext != ".cc")
+        continue;
+      rel_paths.push_back(
+          fs::relative(entry.path(), fs::path(opt.root)).generic_string());
+    }
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+
+  std::map<std::string, FileData> files;
+  for (const std::string& rel : rel_paths) {
+    FileData f;
+    f.rel_path = rel;
+    std::ifstream in(fs::path(opt.root) / rel, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    f.raw = ss.str();
+    f.waivers = extractWaivers(f.raw, report.findings, rel);
+    f.scrubbed = scrub(f.raw);
+    files.emplace(rel, std::move(f));
+  }
+
+  auto inPerCycleDir = [&](const std::string& rel) {
+    for (const std::string& d : opt.per_cycle_dirs) {
+      if (rel.rfind(d + "/", 0) == 0) return true;
+    }
+    return false;
+  };
+
+  std::set<std::string> all_unordered;
+  for (const std::string& rel : rel_paths) {
+    const std::set<std::string> names =
+        unorderedNames(files.at(rel).scrubbed);
+    all_unordered.insert(names.begin(), names.end());
+  }
+
+  std::vector<ClassInfo> classes;
+  for (const std::string& rel : rel_paths) {
+    const FileData& f = files.at(rel);
+    const LineIndex lines(f.scrubbed);
+    applyTokenRules(opt, f, lines, determinismRules(), report.findings);
+    applyTokenRules(opt, f, lines, strictParseRules(), report.findings);
+    if (inPerCycleDir(rel))
+      applyTokenRules(opt, f, lines, eventIdRules(), report.findings);
+    applyUnorderedOrderRule(opt, f, lines, all_unordered, report.findings);
+    scanClasses(f, lines, classes);
+  }
+
+  std::vector<const FileData*> file_list;
+  file_list.reserve(files.size());
+  for (const auto& [rel, f] : files) file_list.push_back(&f);
+  attachOutOfLineBodies(file_list, classes);
+  applyCheckpointRule(opt, files, classes, report.findings,
+                      report.stateful_classes);
+
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return report;
+}
+
+std::string formatFindings(const Report& report) {
+  std::ostringstream out;
+  for (const Finding& f : report.findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace malec::lint

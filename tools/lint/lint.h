@@ -1,0 +1,90 @@
+// malec_lint — static contract checker for the MALEC determinism stack.
+//
+// The repo's evaluation rests on invariants (bit-identical sweeps,
+// checkpoint->restore->continue identity, EventId-only hot paths) that used
+// to be enforced only by runtime tests and one-shot manual audits. This
+// tool parses `src/` headers/sources lexically (comment/string-aware, brace
+// matched — not a full C++ frontend) and enforces the written contracts as
+// machine-checked rules:
+//
+//   checkpoint-state  (R1) every data member of a class declaring
+//                     saveState/loadState must be referenced in BOTH
+//                     bodies, or carry `// lint:no-state(<reason>)` on its
+//                     declaration line or the line above.
+//   eventid           (R2) no string-keyed `count("...")`-style energy
+//                     APIs or allocation-prone string machinery
+//                     (to_string, stringstream, string-keyed maps) in the
+//                     per-cycle directories (src/core, src/cpu, src/lsq,
+//                     src/tlb, src/mem).
+//   determinism       (R3a) rand()/srand()/std::random_device/time()/
+//                     `*_clock::now()` are banned outside the allowlist —
+//                     simulated state must be a pure function of the seed.
+//   udc-order         (R3b) iterating an unordered_map/unordered_set (or
+//                     taking begin()/end() on one) in a file that also
+//                     writes serialized bytes (StateIO, ResultSink) is
+//                     flagged — hash/pointer order must never reach
+//                     checkpoint or report output. Sort first, then waive
+//                     with `// lint:allow(udc-order: <reason>)`.
+//   strict-parse      (R4) raw atoi/stoi/strtol/sscanf-family parsing is
+//                     banned outside sim::parseU64Strict's home — sloppy
+//                     numeric parsing silently misreads budgets and seeds.
+//
+// Waivers: `// lint:no-state(<reason>)` (R1 only) and
+// `// lint:allow(<rule>: <reason>)` (all rules), both requiring a
+// non-empty reason, on the flagged line or the line immediately above.
+// File-scope exemptions live in an allowlist file of
+// `<rule> <path-suffix> <reason...>` lines.
+//
+// Everything is deterministic: files are scanned in sorted order and
+// findings are emitted in (file, line, rule) order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace malec::lint {
+
+struct Finding {
+  std::string file;  ///< path relative to the scan root, '/'-separated
+  int line = 0;      ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct AllowEntry {
+  std::string rule;
+  std::string path_suffix;  ///< matches when the relative path ends with it
+  std::string reason;       ///< must be non-empty
+};
+
+struct Options {
+  /// Repo root; `<root>/src` is scanned (see `scan_dirs`).
+  std::string root;
+  /// Directories under `root` to scan (default: {"src"}).
+  std::vector<std::string> scan_dirs = {"src"};
+  /// Directories (relative to root) subject to the eventid rule.
+  std::vector<std::string> per_cycle_dirs = {"src/core", "src/cpu",
+                                             "src/lsq", "src/tlb",
+                                             "src/mem"};
+  std::vector<AllowEntry> allow;
+};
+
+struct Report {
+  std::vector<Finding> findings;
+  /// Concrete classes declaring both saveState and loadState, sorted —
+  /// the stateful inventory the checkpoint-matrix drift check consumes.
+  std::vector<std::string> stateful_classes;
+};
+
+/// Parse an allowlist file. Returns entries; appends human-readable
+/// problems (malformed line, missing reason) to `errors`.
+std::vector<AllowEntry> parseAllowlistFile(const std::string& path,
+                                           std::vector<std::string>& errors);
+
+/// Run every rule over `<root>/<scan_dir>` and return the report.
+Report runLint(const Options& opt);
+
+/// One "path:line: [rule] message" line per finding.
+std::string formatFindings(const Report& report);
+
+}  // namespace malec::lint

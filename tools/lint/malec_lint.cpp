@@ -1,0 +1,98 @@
+// malec_lint — CLI driver. See lint.h for the rule inventory.
+//
+//   malec_lint --root <repo-root> [--allowlist <file>] [--list-stateful]
+//
+// Exit codes: 0 = clean, 1 = findings, 2 = usage/config error.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --root <repo-root> [--allowlist <file>] [--list-stateful]\n"
+      "\n"
+      "Scans <repo-root>/src and enforces the repo contracts:\n"
+      "  checkpoint-state  saveState/loadState must cover every member\n"
+      "  eventid           no string-keyed energy APIs in per-cycle dirs\n"
+      "  determinism       no rand()/random_device/time()/*_clock::now()\n"
+      "  udc-order         no unordered iteration near serialized output\n"
+      "  strict-parse      no raw atoi/stoi/strtol outside parseU64Strict\n"
+      "\n"
+      "--list-stateful prints the stateful-class inventory (one name per\n"
+      "line) instead of linting — consumed by scripts/check_lint.sh to\n"
+      "cross-check the test_checkpoint matrix.\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  malec::lint::Options opt;
+  std::string allowlist_path;
+  bool list_stateful = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      opt.root = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_path = argv[++i];
+    } else if (arg == "--list-stateful") {
+      list_stateful = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "malec_lint: unknown argument '%s'\n",
+                   arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (opt.root.empty()) {
+    std::fprintf(stderr, "malec_lint: --root is required\n");
+    usage(argv[0]);
+    return 2;
+  }
+  if (!std::filesystem::exists(std::filesystem::path(opt.root) / "src")) {
+    std::fprintf(stderr, "malec_lint: '%s/src' does not exist\n",
+                 opt.root.c_str());
+    return 2;
+  }
+  if (!allowlist_path.empty()) {
+    std::vector<std::string> errors;
+    opt.allow = malec::lint::parseAllowlistFile(allowlist_path, errors);
+    if (!errors.empty()) {
+      for (const std::string& e : errors)
+        std::fprintf(stderr, "malec_lint: %s\n", e.c_str());
+      return 2;
+    }
+  }
+
+  const malec::lint::Report report = malec::lint::runLint(opt);
+
+  if (list_stateful) {
+    for (const std::string& cls : report.stateful_classes)
+      std::printf("%s\n", cls.c_str());
+    return 0;
+  }
+
+  if (!report.findings.empty()) {
+    std::fputs(malec::lint::formatFindings(report).c_str(), stdout);
+    std::fprintf(stderr,
+                 "malec_lint: FAILED — %zu finding(s). Fix them or waive "
+                 "with // lint:no-state(reason) / // lint:allow(rule: "
+                 "reason) / the allowlist.\n",
+                 report.findings.size());
+    return 1;
+  }
+  std::printf("malec_lint: OK — %zu stateful classes, 0 findings\n",
+              report.stateful_classes.size());
+  return 0;
+}
