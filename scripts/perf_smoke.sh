@@ -2,9 +2,11 @@
 # Pinned-budget performance smoke: times a fig4a sweep, a trace replay and
 # a checkpoint save/resume pass (-> BENCH_ckpt.json), the process-sharded
 # coordinator against the same in-process grid (-> BENCH_sweep.json
-# beside it), and the `.mstore` result-store append + query path
-# (-> BENCH_store.json) — so perf regressions, coordinator overhead and
-# store overhead all show up as diffable artifacts instead of anecdotes.
+# beside it), the `.mstore` result-store append + query path
+# (-> BENCH_store.json), and single-run core throughput over the Table-I
+# configs (-> BENCH_core.json, the hot-loop overhaul's gate) — so perf
+# regressions, coordinator overhead and store overhead all show up as
+# diffable artifacts instead of anecdotes.
 # scripts/bench_compare.sh diffs these against bench/baselines/ in CI.
 #
 # Usage: scripts/perf_smoke.sh <build-dir> [out.json]
@@ -150,3 +152,34 @@ cat > "$store_out" <<JSON
 JSON
 echo "perf_smoke: wrote $store_out"
 cat "$store_out"
+
+# 6. core single-run throughput: one long synthetic run per Table-I
+#    config, no sweep/store machinery in the way — this is the number the
+#    hot-loop overhaul (calendar exec queue, arena ROB, SoA scans,
+#    translation memo) moves, and the one its baseline gates. The budget
+#    is long enough that process startup is noise.
+core_instr=1500000
+core_s_for() {
+  local cfg="$1" t0 t1
+  t0="$(now)"
+  "$build_dir/trace_tools" synth gcc --config "$cfg" \
+    --instr "$core_instr" > /dev/null
+  t1="$(now)"
+  elapsed "$t0" "$t1"
+}
+core_malec_s="$(core_s_for MALEC)"
+core_base2ld1st_s="$(core_s_for Base2ld1st)"
+core_base1ldst_s="$(core_s_for Base1ldst)"
+
+core_out="$(dirname "$out")/BENCH_core.json"
+cat > "$core_out" <<JSON
+{
+  "bench": "core_single_run_throughput",
+  "budgets": {"workload": "synth gcc", "core_instr": $core_instr},
+  "core_malec_s": $core_malec_s,
+  "core_base2ld1st_s": $core_base2ld1st_s,
+  "core_base1ldst_s": $core_base1ldst_s
+}
+JSON
+echo "perf_smoke: wrote $core_out"
+cat "$core_out"

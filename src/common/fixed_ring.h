@@ -1,0 +1,88 @@
+// Fixed-capacity ring buffer for per-cycle hot-path queues.
+//
+// The core pipeline's FIFO state (ready queues, store order, load queue,
+// ROB) is bounded by structural limits that never change after
+// construction, so a flat ring over a pre-sized vector replaces deque /
+// node-based containers: zero steady-state allocation, contiguous scans,
+// and logical indexing in push order for serialization. Capacity is NOT
+// required to be a power of two — wrap uses a compare instead of a mask.
+//
+// FixedRing deliberately has no saveState/loadState: owners serialize its
+// contents inline (count + elements in logical order) so the checkpoint
+// bytes stay identical to the deque-based layouts it replaced.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace malec::common {
+
+template <class T>
+class FixedRing {
+ public:
+  explicit FixedRing(std::size_t capacity = 0) { reset(capacity); }
+
+  /// Drop all contents and (re)bind the capacity.
+  void reset(std::size_t capacity) {
+    buf_.assign(capacity, T{});
+    head_ = 0;
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == buf_.size(); }
+
+  void push_back(const T& v) {
+    MALEC_DCHECK(!full());
+    buf_[physical(size_)] = v;
+    ++size_;
+  }
+
+  [[nodiscard]] T& front() {
+    MALEC_DCHECK(!empty());
+    return buf_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    MALEC_DCHECK(!empty());
+    return buf_[head_];
+  }
+
+  void pop_front() {
+    MALEC_DCHECK(!empty());
+    ++head_;
+    if (head_ == buf_.size()) head_ = 0;
+    --size_;
+  }
+
+  /// Logical indexing: [0] is the oldest element (push order).
+  [[nodiscard]] T& operator[](std::size_t i) {
+    MALEC_DCHECK(i < size_);
+    return buf_[physical(i)];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    MALEC_DCHECK(i < size_);
+    return buf_[physical(i)];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t physical(std::size_t i) const {
+    std::size_t p = head_ + i;
+    if (p >= buf_.size()) p -= buf_.size();
+    return p;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace malec::common

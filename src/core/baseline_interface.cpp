@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "ckpt/pq_state.h"
 #include "ckpt/state_io.h"
 #include "common/check.h"
 
@@ -192,7 +191,7 @@ void BaselineInterface::serviceLoads(Cycle now) {
     } else {
       ready = accessL1Load(op, paddr, now) + tr.extra_latency;
     }
-    completions_.emplace(ready, op.seq);
+    completions_.push(ready, op.seq);
   }
 }
 
@@ -203,10 +202,7 @@ void BaselineInterface::endCycle(Cycle now) {
 
 void BaselineInterface::drainCompletions(Cycle now,
                                          std::vector<SeqNum>& out) {
-  while (!completions_.empty() && completions_.top().first <= now) {
-    out.push_back(completions_.top().second);
-    completions_.pop();
-  }
+  completions_.drainReady(now, [&out](SeqNum seq) { out.push_back(seq); });
 }
 
 bool BaselineInterface::quiesced() const {
@@ -225,7 +221,7 @@ void BaselineInterface::saveState(ckpt::StateWriter& w) const {
   for (const MemOp& op : pending_loads_) saveMemOp(w, op);
   w.u8(pending_mbe_.has_value() ? 1 : 0);
   if (pending_mbe_.has_value()) lsq::MergeBuffer::saveEntry(w, *pending_mbe_);
-  ckpt::savePairQueue(w, completions_);
+  completions_.saveState(w);
   for (const auto field : kInterfaceCounterFields) w.u64(stats_.*field);
   w.u64(now_);
 }
@@ -249,7 +245,7 @@ void BaselineInterface::loadState(ckpt::StateReader& r) {
   } else {
     pending_mbe_.reset();
   }
-  ckpt::loadPairQueue(r, completions_);
+  completions_.loadState(r);
   for (const auto field : kInterfaceCounterFields) stats_.*field = r.u64();
   now_ = r.u64();
 }

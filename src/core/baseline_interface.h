@@ -14,9 +14,9 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
+#include "core/event_queue.h"
 #include "core/interface_config.h"
 #include "core/l1_event_ids.h"
 #include "core/mem_interface.h"
@@ -79,8 +79,7 @@ class BaselineInterface final : public MemInterface {
   std::vector<MemOp> pending_loads_;
   std::optional<lsq::MergeBuffer::Entry> pending_mbe_;
 
-  using Ready = std::pair<Cycle, SeqNum>;
-  std::priority_queue<Ready, std::vector<Ready>, std::greater<>> completions_;
+  EventQueue completions_;  ///< (data-ready cycle, seq) load completions
 
   InterfaceStats stats_;
   Cycle now_ = 0;

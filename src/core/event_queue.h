@@ -1,0 +1,142 @@
+// Calendar/bucket event queue for the per-cycle hot path.
+//
+// The simulator's completion queues (core exec events, interface load
+// completions) are (ready_cycle, seq) pairs that are always drained in
+// ascending (cycle, seq) order at the current cycle. A binary heap pays
+// O(log n) churn per event; this queue instead hashes each event into a
+// power-of-two ring of cycle buckets (index = cycle mod kBuckets) and pops
+// a bucket per cycle — O(1) amortised push/pop. Events farther out than
+// kBuckets cycles alias into an earlier bucket and are filtered by their
+// exact cycle at drain time, so arbitrary horizons stay correct.
+//
+// Pop order is identical to the std::priority_queue it replaces: every
+// (cycle, seq) pair is unique (a seq completes at most once per queue), the
+// drain cursor visits cycles in ascending order, and each cycle's events
+// are emitted sorted by seq. Checkpoints serialize exactly the bytes
+// ckpt::savePairQueue produced for the old heap — ascending (cycle, seq)
+// pairs after a u64 count — so the format is unchanged and checkpoints
+// written by either backend restore into either backend.
+//
+// The legacy heap backend is kept behind MALEC_LEGACY_EXEC_QUEUE for one
+// PR as the differential-test reference (tests/test_differential.cpp) and
+// will be removed once the calendar queue has soaked.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace malec::ckpt {
+class StateReader;
+class StateWriter;
+}  // namespace malec::ckpt
+
+namespace malec::core {
+
+/// Backend selector, seeded lazily from MALEC_LEGACY_EXEC_QUEUE ("0" or
+/// "1"; anything else aborts — sloppy toggle values must not silently pick
+/// a backend). false = calendar queue (default), true = std::priority_queue.
+[[nodiscard]] bool execQueueLegacy();
+
+/// Test/differential-harness override. Only flip this between runs (each
+/// EventQueue binds its backend at construction); runManyParallel batches
+/// must not straddle a toggle.
+void setExecQueueLegacy(bool legacy);
+
+class EventQueue {
+ public:
+  EventQueue();
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Enqueue `seq` to pop once the clock reaches `cycle`. Must not be
+  /// called from inside a drainReady() callback. Inline: this is the single
+  /// hottest call in the run loop (one per completion event).
+  void push(Cycle cycle, SeqNum seq) {
+    if (legacy_) {
+      legacy_pq_.emplace(cycle, seq);
+      ++size_;
+      return;
+    }
+    // An empty queue re-anchors the cursor; a push behind it rewinds it
+    // (the run loop never does this — events land at now+latency — but
+    // restored or fuzzed queues may).
+    if (size_ == 0 || cycle < next_) next_ = cycle;
+    buckets_[cycle & (kBuckets - 1)].push_back(Event{cycle, seq});
+    ++size_;
+  }
+
+  /// Pop every event with cycle <= now, invoking fn(seq) in ascending
+  /// (cycle, seq) order — exactly the pop order of a min-heap on the pair.
+  template <class Fn>
+  void drainReady(Cycle now, Fn&& fn) {
+    if (legacy_) {
+      while (!legacy_pq_.empty() && legacy_pq_.top().first <= now) {
+        const SeqNum seq = legacy_pq_.top().second;
+        legacy_pq_.pop();
+        --size_;
+        fn(seq);
+      }
+      return;
+    }
+    while (size_ > 0 && next_ <= now) {
+      std::vector<Event>& b = buckets_[next_ & (kBuckets - 1)];
+      if (!b.empty()) {
+        // Extract this cycle's events; aliased future events stay put
+        // (compacted in place, relative order preserved).
+        drain_scratch_.clear();
+        std::size_t keep = 0;
+        for (const Event& e : b) {
+          if (e.cycle == next_) {
+            drain_scratch_.push_back(e);
+          } else {
+            b[keep++] = e;
+          }
+        }
+        b.resize(keep);
+        if (!drain_scratch_.empty()) {
+          if (drain_scratch_.size() > 1)
+            std::sort(drain_scratch_.begin(), drain_scratch_.end(),
+                      [](const Event& a, const Event& e) {
+                        return a.seq < e.seq;
+                      });
+          size_ -= drain_scratch_.size();
+          for (const Event& e : drain_scratch_) fn(e.seq);
+        }
+      }
+      ++next_;
+    }
+  }
+
+  /// Checkpoint/restore. Byte format: u64 count, then ascending
+  /// (cycle, seq) u64 pairs — identical to ckpt::savePairQueue on the
+  /// legacy heap, so either backend restores a file written by the other.
+  void saveState(ckpt::StateWriter& w) const;
+  void loadState(ckpt::StateReader& r);
+
+ private:
+  struct Event {
+    Cycle cycle;
+    SeqNum seq;
+  };
+  static constexpr std::size_t kBuckets = 1024;  // power of two (mask index)
+
+  bool legacy_;  // lint:no-state(backend choice, bound at construction)
+  std::size_t size_ = 0;
+  /// Next cycle the drain cursor will visit; a lower bound on every pending
+  /// event's cycle.
+  Cycle next_ = 0;  // lint:no-state(derived: recomputed as the min pending cycle in loadState)
+  std::vector<std::vector<Event>> buckets_;
+  std::vector<Event> drain_scratch_;  // lint:no-state(per-drain scratch)
+  std::priority_queue<std::pair<Cycle, SeqNum>,
+                      std::vector<std::pair<Cycle, SeqNum>>, std::greater<>>
+      legacy_pq_;
+};
+
+}  // namespace malec::core

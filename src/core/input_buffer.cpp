@@ -7,6 +7,19 @@
 
 namespace malec::core {
 
+// ORDER CONTRACT (regression-tested in test_input_buffer.cpp): the packed
+// arrays are scanned low-to-high everywhere in this file, and three
+// invariants make those scans equivalent to explicit priority sorting:
+//   1. Index order IS age order: entries append with strictly increasing
+//      order_ values and remove() preserves relative order.
+//   2. arrival_ is non-decreasing in index order (appends stamp the current
+//      cycle, which never goes backwards), so overCommitted() may stop at
+//      the first entry that arrived this cycle.
+//   3. The comparator budget in group() is consumed per *valid* entry in
+//      index order BEFORE the ready check — hardware wires comparators to
+//      storage slots, not to ready entries — so scan order is part of the
+//      modelled semantics, not an implementation detail.
+
 InputBuffer::InputBuffer(std::uint32_t carry_slots, std::uint32_t agu_slots,
                          std::uint32_t group_comparators,
                          AddressLayout layout)
@@ -17,49 +30,51 @@ InputBuffer::InputBuffer(std::uint32_t carry_slots, std::uint32_t agu_slots,
   MALEC_CHECK(agu_slots >= 1);
 }
 
-std::size_t InputBuffer::loadCount() const {
-  std::size_t n = 0;
-  for (const Entry& e : entries_)
-    if (!e.is_mbe) ++n;
-  return n;
-}
-
 bool InputBuffer::hasLoadSpace() const {
   return loadCount() < carry_slots_ + agu_slots_;
 }
 
-bool InputBuffer::hasMbeSpace() const {
-  return std::none_of(entries_.begin(), entries_.end(),
-                      [](const Entry& e) { return e.is_mbe; });
-}
-
 bool InputBuffer::overCommitted(Cycle now) const {
   std::size_t carried = 0;
-  for (const Entry& e : entries_)
-    if (!e.is_mbe && e.arrival < now) ++carried;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    // Invariant 2: arrivals are non-decreasing in index order, so the
+    // first same-cycle entry ends the carried prefix.
+    if (arrival_[i] >= now) break;
+    if (i != mbe_pos_) ++carried;
+  }
   return carried > carry_slots_;
 }
 
 void InputBuffer::addLoad(const MemOp& op, Cycle now) {
   MALEC_CHECK_MSG(hasLoadSpace(), "InputBuffer load overflow");
   MALEC_CHECK(op.is_load);
-  entries_.push_back(Entry{op, false, now, now, next_order_++});
+  MALEC_DCHECK(arrival_.empty() || arrival_.back() <= now);
+  ops_.push_back(op);
+  not_before_.push_back(now);
+  arrival_.push_back(now);
+  order_.push_back(next_order_++);
+  page_.push_back(layout_.pageId(op.vaddr));
 }
 
 void InputBuffer::addMbe(const MemOp& op, Cycle now) {
   MALEC_CHECK_MSG(hasMbeSpace(), "second MBE in InputBuffer");
   MALEC_CHECK(!op.is_load);
-  entries_.push_back(Entry{op, true, now, now, next_order_++});
+  MALEC_DCHECK(arrival_.empty() || arrival_.back() <= now);
+  mbe_pos_ = ops_.size();
+  ops_.push_back(op);
+  not_before_.push_back(now);
+  arrival_.push_back(now);
+  order_.push_back(next_order_++);
+  page_.push_back(layout_.pageId(op.vaddr));
 }
 
 std::optional<std::size_t> InputBuffer::selectHead(Cycle now) const {
-  // Loads in age order first; the MBE is always lowest priority (its
-  // stores already committed, Sec. IV).
+  // Loads in age order first (invariant 1: index order is age order); the
+  // MBE is always lowest priority (its stores already committed, Sec. IV).
   std::optional<std::size_t> mbe;
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    const Entry& e = entries_[i];
-    if (e.not_before > now) continue;
-    if (e.is_mbe) {
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (not_before_[i] > now) continue;
+    if (i == mbe_pos_) {
       mbe = i;
       continue;
     }
@@ -77,30 +92,38 @@ std::vector<std::size_t> InputBuffer::group(std::size_t head,
 
 void InputBuffer::group(std::size_t head, Cycle now,
                         std::vector<std::size_t>& g) const {
-  MALEC_CHECK(head < entries_.size());
-  const PageId page = layout_.pageId(entries_[head].op.vaddr);
+  MALEC_CHECK(head < ops_.size());
+  const PageId page = page_[head];
   g.clear();
-  g.push_back(head);
+  // The result is priority-ordered without sorting: if the head is a load
+  // it is the OLDEST ready load (selectHead), so every ready load matched
+  // below has a larger index (invariant 1) and index order is priority
+  // order; the MBE, matched or head, always goes last.
+  if (head != mbe_pos_) g.push_back(head);
+  bool mbe_matched = false;
   std::uint32_t compared = 0;
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
     if (i == head) continue;
     if (compared >= group_comparators_) break;
-    ++compared;  // every remaining valid entry consumes a comparator
-    const Entry& e = entries_[i];
-    if (e.not_before > now) continue;
-    if (layout_.pageId(e.op.vaddr) == page) g.push_back(i);
+    // Invariant 3: every valid entry consumes a comparator, ready or not.
+    ++compared;
+    if (not_before_[i] > now) continue;
+    if (page_[i] == page) {
+      if (i == mbe_pos_) {
+        mbe_matched = true;
+      } else {
+        MALEC_DCHECK(head == mbe_pos_ || i > head);
+        g.push_back(i);
+      }
+    }
   }
-  // Keep priority order: loads by order, MBE last.
-  std::sort(g.begin(), g.end(), [this](std::size_t a, std::size_t b) {
-    if (entries_[a].is_mbe != entries_[b].is_mbe)
-      return entries_[b].is_mbe;
-    return entries_[a].order < entries_[b].order;
-  });
+  if (mbe_matched) g.push_back(mbe_pos_);
+  if (head == mbe_pos_) g.push_back(head);
 }
 
 void InputBuffer::defer(std::size_t index, Cycle until) {
-  MALEC_CHECK(index < entries_.size());
-  entries_[index].not_before = until;
+  MALEC_CHECK(index < ops_.size());
+  not_before_[index] = until;
 }
 
 void InputBuffer::remove(const std::vector<std::size_t>& indices) {
@@ -108,20 +131,32 @@ void InputBuffer::remove(const std::vector<std::size_t>& indices) {
   std::sort(sorted.begin(), sorted.end());
   MALEC_DCHECK(std::adjacent_find(sorted.begin(), sorted.end()) ==
                sorted.end());
+  // Erase descending so lower indices stay valid; relative order of the
+  // survivors is preserved (invariant 1 depends on it).
   for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
-    MALEC_CHECK(*it < entries_.size());
-    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(*it));
+    const std::size_t i = *it;
+    MALEC_CHECK(i < ops_.size());
+    ops_.erase(ops_.begin() + static_cast<std::ptrdiff_t>(i));
+    not_before_.erase(not_before_.begin() + static_cast<std::ptrdiff_t>(i));
+    arrival_.erase(arrival_.begin() + static_cast<std::ptrdiff_t>(i));
+    order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(i));
+    page_.erase(page_.begin() + static_cast<std::ptrdiff_t>(i));
+    if (i == mbe_pos_) {
+      mbe_pos_ = kNoMbe;
+    } else if (mbe_pos_ != kNoMbe && i < mbe_pos_) {
+      --mbe_pos_;
+    }
   }
 }
 
 void InputBuffer::saveState(ckpt::StateWriter& w) const {
-  w.u64(entries_.size());
-  for (const Entry& e : entries_) {
-    saveMemOp(w, e.op);
-    w.u8(e.is_mbe ? 1 : 0);
-    w.u64(e.not_before);
-    w.u64(e.arrival);
-    w.u64(e.order);
+  w.u64(ops_.size());
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    saveMemOp(w, ops_[i]);
+    w.u8(isMbe(i) ? 1 : 0);
+    w.u64(not_before_[i]);
+    w.u64(arrival_[i]);
+    w.u64(order_[i]);
   }
   w.u64(next_order_);
 }
@@ -131,13 +166,24 @@ void InputBuffer::loadState(ckpt::StateReader& r) {
   // Structural bound: carried + newly-computed loads plus the one MBE slot.
   MALEC_CHECK_MSG(n <= carry_slots_ + agu_slots_ + 1u,
                   "input-buffer checkpoint exceeds this capacity");
-  entries_.assign(static_cast<std::size_t>(n), Entry{});
-  for (Entry& e : entries_) {
-    e.op = loadMemOp(r);
-    e.is_mbe = r.u8() != 0;
-    e.not_before = r.u64();
-    e.arrival = r.u64();
-    e.order = r.u64();
+  ops_.clear();
+  not_before_.clear();
+  arrival_.clear();
+  order_.clear();
+  page_.clear();
+  mbe_pos_ = kNoMbe;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ops_.push_back(loadMemOp(r));
+    const bool is_mbe = r.u8() != 0;
+    if (is_mbe) {
+      MALEC_CHECK_MSG(mbe_pos_ == kNoMbe,
+                      "input-buffer checkpoint holds two MBEs");
+      mbe_pos_ = static_cast<std::size_t>(i);
+    }
+    not_before_.push_back(r.u64());
+    arrival_.push_back(r.u64());
+    order_.push_back(r.u64());
+    page_.push_back(layout_.pageId(ops_.back().vaddr));
   }
   next_order_ = r.u64();
 }

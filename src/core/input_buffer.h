@@ -11,6 +11,12 @@
 //
 // If more loads need carrying than the carry capacity allows, the address
 // computation units stall (canAcceptLoad() turns false).
+//
+// Layout: struct-of-arrays, packed by age. The parallel arrays are kept in
+// insertion order (order_ strictly increasing), which the selection,
+// grouping and stall scans all depend on — see the ORDER CONTRACT comments
+// in the .cpp. Page IDs are cached per entry so the per-cycle group scan
+// compares integers instead of re-deriving them from addresses.
 #pragma once
 
 #include <cstdint>
@@ -30,23 +36,13 @@ namespace malec::core {
 
 class InputBuffer {
  public:
-  struct Entry {
-    MemOp op;
-    bool is_mbe = false;
-    /// Entry not selectable before this cycle (pending TLB access / walk).
-    Cycle not_before = 0;
-    /// Cycle the entry entered the buffer.
-    Cycle arrival = 0;
-    std::uint64_t order = 0;  ///< global priority: lower = older = higher
-  };
-
   InputBuffer(std::uint32_t carry_slots, std::uint32_t agu_slots,
               std::uint32_t group_comparators, AddressLayout layout);
 
   /// Can another load enter this cycle? (carry + AGU slots not exhausted)
   [[nodiscard]] bool hasLoadSpace() const;
   /// Is the single MBE slot free?
-  [[nodiscard]] bool hasMbeSpace() const;
+  [[nodiscard]] bool hasMbeSpace() const { return mbe_pos_ == kNoMbe; }
 
   void addLoad(const MemOp& op, Cycle now);
   void addMbe(const MemOp& op, Cycle now);
@@ -54,8 +50,8 @@ class InputBuffer {
   /// Highest-priority entry index ready at `now`, or nullopt if idle.
   [[nodiscard]] std::optional<std::size_t> selectHead(Cycle now) const;
 
-  /// Indices (into entries(), priority order, head first) of the head's
-  /// page group: entries sharing the head's vPageID among the first
+  /// Indices (priority order, head first) of the head's page group:
+  /// entries sharing the head's vPageID among the first
   /// `group_comparators` ready candidates (hardware comparator limit).
   [[nodiscard]] std::vector<std::size_t> group(std::size_t head,
                                                Cycle now) const;
@@ -67,12 +63,20 @@ class InputBuffer {
   /// Defer an entry (TLB access or page walk in flight).
   void defer(std::size_t index, Cycle until);
 
-  /// Remove serviced entries (indices into entries(); any order).
+  /// Remove serviced entries (indices into the buffer; any order).
   void remove(const std::vector<std::size_t>& indices);
 
-  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
-  [[nodiscard]] std::size_t loadCount() const;
-  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  // --- per-entry accessors (index = position in age order) ---------------
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+  [[nodiscard]] const MemOp& op(std::size_t i) const { return ops_[i]; }
+  [[nodiscard]] bool isMbe(std::size_t i) const { return i == mbe_pos_; }
+  /// Cached virtual page ID of entry `i` (layout.pageId(op(i).vaddr)).
+  [[nodiscard]] PageId pageOf(std::size_t i) const { return page_[i]; }
+
+  [[nodiscard]] std::size_t loadCount() const {
+    return ops_.size() - (mbe_pos_ == kNoMbe ? 0 : 1);
+  }
+  [[nodiscard]] bool empty() const { return ops_.empty(); }
   /// True when loads carried over from earlier cycles exceed the carry
   /// capacity — the address-computation units must stall (paper Sec. IV:
   /// "should the Input Buffer's storage elements be insufficient, one or
@@ -85,11 +89,23 @@ class InputBuffer {
   void loadState(ckpt::StateReader& r);
 
  private:
+  static constexpr std::size_t kNoMbe = static_cast<std::size_t>(-1);
+
   std::uint32_t carry_slots_;  // lint:no-state(config; bounds-checked on load)
   std::uint32_t agu_slots_;    // lint:no-state(config; bounds-checked on load)
   std::uint32_t group_comparators_;  // lint:no-state(config)
   AddressLayout layout_;             // lint:no-state(config)
-  std::vector<Entry> entries_;  ///< kept sorted by order (oldest first)
+
+  // Parallel arrays, packed by age (oldest first; see header comment).
+  std::vector<MemOp> ops_;
+  std::vector<Cycle> not_before_;  ///< entry not selectable before this cycle
+  std::vector<Cycle> arrival_;     ///< cycle the entry entered the buffer
+  std::vector<std::uint64_t> order_;  ///< global priority: lower = older
+  // lint:no-state(derived from ops_; recomputed in loadState)
+  std::vector<PageId> page_;
+  /// Index of the single MBE entry, kNoMbe when absent.
+  std::size_t mbe_pos_ = kNoMbe;  // lint:no-state(derived from the per-entry mbe flags; recomputed in loadState)
+
   std::uint64_t next_order_ = 0;
 };
 

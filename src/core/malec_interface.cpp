@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "ckpt/pq_state.h"
 #include "ckpt/state_io.h"
 #include "common/check.h"
 
@@ -261,14 +260,14 @@ void MalecInterface::accessL1Write(const MemOp& op, PageId vpage, Addr paddr,
 }
 
 void MalecInterface::complete(SeqNum seq, Cycle ready) {
-  completions_.emplace(ready, seq);
+  completions_.push(ready, seq);
 }
 
 void MalecInterface::serviceGroup(Cycle now) {
   const auto head = ib_.selectHead(now);
   if (!head.has_value()) return;
 
-  const PageId vpage = sys_.layout.pageId(ib_.entries()[*head].op.vaddr);
+  const PageId vpage = ib_.pageOf(*head);
   const auto tr = engine_.translate(vpage);
   if (tr.extra_latency > 0) {
     // uTLB miss: the TLB access (or page walk) occupies the translation
@@ -290,8 +289,8 @@ void MalecInterface::serviceGroup(Cycle now) {
   cands.clear();
   cands.reserve(members.size());
   for (std::size_t ib_idx : members) {
-    const InputBuffer::Entry& e = ib_.entries()[ib_idx];
-    cands.push_back(ArbCandidate{ib_idx, e.op.vaddr, e.op.size, e.is_mbe});
+    const MemOp& op = ib_.op(ib_idx);
+    cands.push_back(ArbCandidate{ib_idx, op.vaddr, op.size, ib_.isMbe(ib_idx)});
   }
 
   const ArbOutcome& arb = arb_scratch_;
@@ -306,12 +305,11 @@ void MalecInterface::serviceGroup(Cycle now) {
   for (std::size_t i = 0; i < cands.size(); ++i) {
     if (arb.action[i] != ArbOutcome::Action::kWinner) continue;
     const ArbCandidate& c = cands[i];
-    const InputBuffer::Entry& e = ib_.entries()[c.ib_index];
     const Addr paddr =
         sys_.layout.compose(tr.ppage, sys_.layout.pageOffset(c.vaddr));
 
     if (c.is_mbe) {
-      accessL1Write(e.op, vpage, paddr, tr.uwt_slot, now);
+      accessL1Write(ib_.op(c.ib_index), vpage, paddr, tr.uwt_slot, now);
       serviced.push_back(c.ib_index);
       ++stats_.group_entries;
       continue;
@@ -332,7 +330,7 @@ void MalecInterface::serviceGroup(Cycle now) {
     bool l1_done = false;
     for (std::size_t pj = 0; pj < party.size(); ++pj) {
       const ArbCandidate& m = cands[party[pj]];
-      const InputBuffer::Entry& me = ib_.entries()[m.ib_index];
+      const MemOp& mop = ib_.op(m.ib_index);
       const bool fwd_sb = sb_.coversLoad(m.vaddr, m.size, /*split=*/true);
       const bool fwd_mb =
           !fwd_sb && mb_.coversLoad(m.vaddr, m.size, /*split=*/true);
@@ -344,14 +342,14 @@ void MalecInterface::serviceGroup(Cycle now) {
       } else if (!l1_done) {
         const Addr mpaddr =
             sys_.layout.compose(tr.ppage, sys_.layout.pageOffset(m.vaddr));
-        ready = accessL1Load(me.op, vpage, mpaddr, tr.uwt_slot, now);
+        ready = accessL1Load(mop, vpage, mpaddr, tr.uwt_slot, now);
         l1_ready = ready;
         l1_done = true;
       } else {
         ready = l1_ready;  // shares the winner's data read
         ++stats_.merged_loads;
       }
-      complete(me.op.seq, ready);
+      complete(mop.seq, ready);
       serviced.push_back(m.ib_index);
       ++stats_.group_entries;
     }
@@ -406,10 +404,7 @@ void MalecInterface::endCycle(Cycle now) {
 }
 
 void MalecInterface::drainCompletions(Cycle now, std::vector<SeqNum>& out) {
-  while (!completions_.empty() && completions_.top().first <= now) {
-    out.push_back(completions_.top().second);
-    completions_.pop();
-  }
+  completions_.drainReady(now, [&out](SeqNum seq) { out.push_back(seq); });
 }
 
 bool MalecInterface::quiesced() const {
@@ -432,7 +427,7 @@ void MalecInterface::saveState(ckpt::StateWriter& w) const {
   ib_.saveState(w);
   w.u8(pending_mbe_.has_value() ? 1 : 0);
   if (pending_mbe_.has_value()) lsq::MergeBuffer::saveEntry(w, *pending_mbe_);
-  ckpt::savePairQueue(w, completions_);
+  completions_.saveState(w);
   for (const auto field : kInterfaceCounterFields) w.u64(stats_.*field);
   w.u64(now_);
   w.u64(window_accesses_);
@@ -461,7 +456,7 @@ void MalecInterface::loadState(ckpt::StateReader& r) {
   } else {
     pending_mbe_.reset();
   }
-  ckpt::loadPairQueue(r, completions_);
+  completions_.loadState(r);
   for (const auto field : kInterfaceCounterFields) stats_.*field = r.u64();
   now_ = r.u64();
   window_accesses_ = r.u64();

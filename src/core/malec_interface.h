@@ -12,10 +12,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "core/arbitration_unit.h"
+#include "core/event_queue.h"
 #include "core/input_buffer.h"
 #include "core/interface_config.h"
 #include "core/l1_event_ids.h"
@@ -115,8 +115,7 @@ class MalecInterface final : public MemInterface {
   std::vector<std::size_t> serviced_scratch_;  // lint:no-state(per-cycle scratch)
   std::vector<std::size_t> party_scratch_;     // lint:no-state(per-cycle scratch)
 
-  using Ready = std::pair<Cycle, SeqNum>;
-  std::priority_queue<Ready, std::vector<Ready>, std::greater<>> completions_;
+  EventQueue completions_;  ///< (data-ready cycle, seq) load completions
 
   InterfaceStats stats_;
   Cycle now_ = 0;

@@ -61,6 +61,7 @@ TranslationEngine::TranslationEngine(const Params& p,
       ea_.count(id_.wt_write);
     }
     uwt_.invalidateSlot(slot);
+    memo_valid_ = false;
   });
 
   // TLB eviction invalidates the WT entry and any shadowing uTLB/uWT slot
@@ -71,6 +72,7 @@ TranslationEngine::TranslationEngine(const Params& p,
     if (auto uslot = utlb_.probeV(vpage); uslot.has_value()) {
       if (p_.way_tables) uwt_.invalidateSlot(*uslot);
       utlb_.invalidate(*uslot);
+      memo_valid_ = false;
     }
   });
 }
@@ -78,6 +80,10 @@ TranslationEngine::TranslationEngine(const Params& p,
 void TranslationEngine::installIntoUtlb(PageId vpage, PageId ppage,
                                         std::uint32_t tlb_slot,
                                         bool tlb_entry_fresh) {
+  // Defensive: insert() below may recycle the memoized slot (the evict
+  // callback also clears the memo, but an invalid-slot reuse does not fire
+  // it). Callers re-arm the memo with the new mapping before returning.
+  memo_valid_ = false;
   const std::uint32_t uslot = utlb_.insert(vpage, ppage);
   if (!p_.way_tables) return;
   if (tlb_entry_fresh) {
@@ -94,6 +100,22 @@ void TranslationEngine::installIntoUtlb(PageId vpage, PageId ppage,
 TranslationEngine::Result TranslationEngine::translate(PageId vpage) {
   Result r;
   ea_.count(id_.utlb_search);
+  // Memoized repeat of the previous translation: replays the exact uTLB-hit
+  // bookkeeping (replacement touch, hit counter, uWT read, last-entry push)
+  // without the associative scan. suspended_ is checked here, not at memo
+  // install, so setSuspended() needs no invalidation.
+  if (memo_valid_ && vpage == memo_vpage_) {
+    utlb_.repeatHit(memo_slot_);
+    r.utlb_hit = true;
+    r.ppage = utlb_.entry(memo_slot_).ppage;
+    r.uwt_slot = memo_slot_;
+    r.extra_latency = 0;
+    if (p_.way_tables && !suspended_) {
+      ea_.count(id_.uwt_read);
+      last_entry_.push(memo_slot_, vpage);
+    }
+    return r;
+  }
   if (auto uslot = utlb_.lookupV(vpage); uslot.has_value()) {
     r.utlb_hit = true;
     r.ppage = utlb_.entry(*uslot).ppage;
@@ -103,6 +125,9 @@ TranslationEngine::Result TranslationEngine::translate(PageId vpage) {
       ea_.count(id_.uwt_read);
       last_entry_.push(*uslot, vpage);
     }
+    memo_valid_ = true;
+    memo_vpage_ = vpage;
+    memo_slot_ = *uslot;
     return r;
   }
 
@@ -116,6 +141,9 @@ TranslationEngine::Result TranslationEngine::translate(PageId vpage) {
     MALEC_CHECK(uslot.has_value());
     r.uwt_slot = *uslot;
     if (p_.way_tables) last_entry_.push(*uslot, vpage);
+    memo_valid_ = true;
+    memo_vpage_ = vpage;
+    memo_slot_ = *uslot;
     return r;
   }
 
@@ -129,6 +157,9 @@ TranslationEngine::Result TranslationEngine::translate(PageId vpage) {
   MALEC_CHECK(uslot.has_value());
   r.uwt_slot = *uslot;
   if (p_.way_tables) last_entry_.push(*uslot, vpage);
+  memo_valid_ = true;
+  memo_vpage_ = vpage;
+  memo_slot_ = *uslot;
   return r;
 }
 
@@ -234,6 +265,7 @@ void TranslationEngine::loadState(ckpt::StateReader& r) {
   // Restore the raw flag, NOT through setSuspended(): the transition hook
   // flushes way tables on resume, which must not fire for a state copy.
   suspended_ = r.u8() != 0;
+  memo_valid_ = false;
 }
 
 }  // namespace malec::core

@@ -127,6 +127,14 @@ class TranslationEngine {
   std::uint64_t way_known_ = 0;
   std::uint64_t feedbacks_ = 0;
   bool suspended_ = false;
+
+  // Last-translation memo: translate() replays the uTLB-hit bookkeeping for
+  // a repeated vpage without the associative scan (hot loops translate the
+  // same page many cycles in a row). Invalidated wherever a uTLB slot can
+  // change underneath it and dropped on restore — never checkpointed.
+  bool memo_valid_ = false;  // lint:no-state(derived cache; dropped in loadState)
+  PageId memo_vpage_ = 0;  // lint:no-state(derived cache)
+  std::uint32_t memo_slot_ = 0;  // lint:no-state(derived cache)
 };
 
 }  // namespace malec::core

@@ -4,7 +4,6 @@
 #include <iterator>
 #include <utility>
 
-#include "ckpt/pq_state.h"
 #include "ckpt/state_io.h"
 #include "common/check.h"
 
@@ -21,16 +20,32 @@ static_assert(sizeof(CoreStats) ==
 CoreModel::CoreModel(const core::SystemConfig& sys,
                      const core::InterfaceConfig& ifc,
                      trace::TraceSource& src, core::MemInterface& mem)
-    : sys_(sys), ifc_cfg_(ifc), src_(src), mem_(mem), lq_(sys.lq_entries) {}
+    : sys_(sys),
+      ifc_cfg_(ifc),
+      src_(src),
+      mem_(mem),
+      lq_(sys.lq_entries),
+      rob_slots_(sys.rob_entries),
+      ready_exec_(sys.rob_entries),
+      ready_loads_(sys.rob_entries),
+      store_order_(sys.rob_entries) {}
 
 bool CoreModel::inRob(SeqNum seq) const {
-  return !rob_.empty() && seq >= head_seq_ &&
-         seq < head_seq_ + rob_.size();
+  return rob_size_ > 0 && seq >= head_seq_ && seq < head_seq_ + rob_size_;
 }
 
 CoreModel::RobEntry& CoreModel::entry(SeqNum seq) {
   MALEC_DCHECK(inRob(seq));
-  return rob_[static_cast<std::size_t>(seq - head_seq_)];
+  std::size_t i = rob_head_ + static_cast<std::size_t>(seq - head_seq_);
+  if (i >= rob_slots_.size()) i -= rob_slots_.size();
+  return rob_slots_[i];
+}
+
+const CoreModel::RobEntry& CoreModel::slot(std::size_t logical) const {
+  MALEC_DCHECK(logical < rob_size_);
+  std::size_t i = rob_head_ + logical;
+  if (i >= rob_slots_.size()) i -= rob_slots_.size();
+  return rob_slots_[i];
 }
 
 void CoreModel::enqueueReady(SeqNum seq) {
@@ -54,22 +69,20 @@ void CoreModel::markCompleted(SeqNum seq) {
   RobEntry& e = entry(seq);
   if (e.completed) return;
   e.completed = true;
-  auto it = dependents_.find(seq);
-  if (it == dependents_.end()) return;
-  for (SeqNum dep : it->second) {
+  for (SeqNum dep : e.deps) {
     if (!inRob(dep)) continue;  // dependent already retired (cannot happen
                                 // for true deps, defensive anyway)
     RobEntry& d = entry(dep);
     MALEC_DCHECK(d.pending_deps > 0);
     if (--d.pending_deps == 0) enqueueReady(dep);
   }
-  dependents_.erase(it);
+  e.deps.clear();
 }
 
 void CoreModel::doCommit() {
   std::uint32_t committed = 0;
-  while (committed < sys_.commit_width && !rob_.empty()) {
-    RobEntry& head = rob_.front();
+  while (committed < sys_.commit_width && rob_size_ > 0) {
+    RobEntry& head = rob_slots_[rob_head_];
     if (head.instr.isStore()) {
       if (!head.agu_done) break;  // store not yet buffered
       mem_.notifyStoreCommit(head.instr.seq);
@@ -80,8 +93,10 @@ void CoreModel::doCommit() {
     // A store's dependents (if any) were woken at submit; make sure the
     // completion bookkeeping is consistent before retiring.
     if (!head.completed) markCompleted(head.instr.seq);
-    dependents_.erase(head.instr.seq);
-    rob_.pop_front();
+    head.deps.clear();  // defensive; markCompleted already drained it
+    ++rob_head_;
+    if (rob_head_ == rob_slots_.size()) rob_head_ = 0;
+    --rob_size_;
     ++head_seq_;
     ++stats_.instructions;
     ++committed;
@@ -95,7 +110,7 @@ void CoreModel::doExecute() {
     const SeqNum seq = ready_exec_.front();
     ready_exec_.pop_front();
     if (!inRob(seq)) continue;
-    exec_events_.emplace(now_ + 1, seq);
+    exec_events_.push(now_ + 1, seq);
     ++issued;
   }
 }
@@ -158,7 +173,7 @@ void CoreModel::doDispatch() {
   std::uint32_t dispatched = 0;
   bool stalled = false;
   while (dispatched < sys_.fetch_width && !trace_done_) {
-    if (rob_.size() >= sys_.rob_entries) {
+    if (rob_size_ >= sys_.rob_entries) {
       ++stats_.rob_full_cycles;
       stalled = true;
       break;
@@ -208,11 +223,9 @@ CoreStats CoreModel::run(Cycle max_cycles, Cycle start_cycle) {
     mem_.drainCompletions(now_, completion_buf_);
     for (SeqNum seq : completion_buf_)
       if (inRob(seq)) markCompleted(seq);
-    while (!exec_events_.empty() && exec_events_.top().first <= now_) {
-      const SeqNum seq = exec_events_.top().second;
-      exec_events_.pop();
+    exec_events_.drainReady(now_, [this](SeqNum seq) {
       if (inRob(seq)) markCompleted(seq);
-    }
+    });
 
     // 2. Retire.
     doCommit();
@@ -221,7 +234,7 @@ CoreStats CoreModel::run(Cycle max_cycles, Cycle start_cycle) {
     doAgu();
     // 4. Bring in new work (staged record first).
     if (has_staged_) {
-      if (rob_.size() < sys_.rob_entries &&
+      if (rob_size_ < sys_.rob_entries &&
           !(staged_.isLoad() && lq_.full())) {
         dispatchRecord(staged_);
         has_staged_ = false;
@@ -235,7 +248,7 @@ CoreStats CoreModel::run(Cycle max_cycles, Cycle start_cycle) {
     mem_.endCycle(now_);
 
     ++now_;
-    if (trace_done_ && !has_staged_ && rob_.empty() && mem_.quiesced())
+    if (trace_done_ && !has_staged_ && rob_size_ == 0 && mem_.quiesced())
       break;
     if (max_cycles != 0 && now_ - run_base_ >= max_cycles) break;
     // Checkpoint AFTER the continue decision: the hook only fires at a
@@ -270,12 +283,24 @@ void loadRecord(ckpt::StateReader& r, trace::InstrRecord& out) {
   out.addr_dep_distance = r.u32();
 }
 
+/// Read a queue length and bounds-check it against the restoring ring's
+/// capacity (a hostile or mismatched checkpoint must hard-error, not
+/// overflow the slab).
+std::uint64_t readBounded(ckpt::StateReader& r,
+                          const common::FixedRing<SeqNum>& ring) {
+  const std::uint64_t n = r.u64();
+  MALEC_CHECK_MSG(n <= ring.capacity(),
+                  "queue checkpoint exceeds this capacity");
+  return n;
+}
+
 }  // namespace
 
 void CoreModel::saveState(ckpt::StateWriter& w) const {
   w.u64(head_seq_);
-  w.u64(rob_.size());
-  for (const RobEntry& e : rob_) {
+  w.u64(rob_size_);
+  for (std::size_t i = 0; i < rob_size_; ++i) {
+    const RobEntry& e = slot(i);
     saveRecord(w, e.instr);
     w.u8(e.pending_deps);
     w.u8(static_cast<std::uint8_t>((e.agu_done ? 1 : 0) |
@@ -286,29 +311,30 @@ void CoreModel::saveState(ckpt::StateWriter& w) const {
   w.u64(run_base_);
   w.u8(has_staged_ ? 1 : 0);
   if (has_staged_) saveRecord(w, staged_);
-  // dependents_ is an unordered map — serialize sorted by producer seq so
-  // the same state always produces the same checkpoint bytes. The
-  // per-producer dependent lists keep their insertion order (it is the
-  // wakeup order).
-  std::vector<SeqNum> producers;
-  producers.reserve(dependents_.size());
-  // lint:allow(udc-order: sorted below before any byte is written)
-  for (const auto& [seq, deps] : dependents_) producers.push_back(seq);
-  std::sort(producers.begin(), producers.end());
-  w.u64(producers.size());
-  for (const SeqNum seq : producers) {
-    const auto& deps = dependents_.at(seq);
-    w.u64(seq);
-    w.u64(deps.size());
-    for (const SeqNum d : deps) w.u64(d);
+  // Dependency lists: walking the ROB head→tail is ascending producer seq,
+  // exactly the sorted-by-producer order the old unordered_map side table
+  // serialized. Each list keeps its insertion order (the wakeup order). A
+  // producer has a non-empty list only while !completed, matching the old
+  // map's erase-on-completion lifetime.
+  std::uint64_t producers = 0;
+  for (std::size_t i = 0; i < rob_size_; ++i)
+    if (!slot(i).deps.empty()) ++producers;
+  w.u64(producers);
+  for (std::size_t i = 0; i < rob_size_; ++i) {
+    const RobEntry& e = slot(i);
+    if (e.deps.empty()) continue;
+    MALEC_DCHECK(!e.completed);
+    w.u64(e.instr.seq);
+    w.u64(e.deps.size());
+    for (const SeqNum d : e.deps) w.u64(d);
   }
   w.u64(ready_exec_.size());
-  for (const SeqNum s : ready_exec_) w.u64(s);
+  for (std::size_t i = 0; i < ready_exec_.size(); ++i) w.u64(ready_exec_[i]);
   w.u64(ready_loads_.size());
-  for (const SeqNum s : ready_loads_) w.u64(s);
+  for (std::size_t i = 0; i < ready_loads_.size(); ++i) w.u64(ready_loads_[i]);
   w.u64(store_order_.size());
-  for (const SeqNum s : store_order_) w.u64(s);
-  ckpt::savePairQueue(w, exec_events_);
+  for (std::size_t i = 0; i < store_order_.size(); ++i) w.u64(store_order_[i]);
+  exec_events_.saveState(w);
   lq_.saveState(w);
   w.u64(stats_.cycles);
   w.u64(stats_.instructions);
@@ -317,40 +343,43 @@ void CoreModel::saveState(ckpt::StateWriter& w) const {
 
 void CoreModel::loadState(ckpt::StateReader& r) {
   head_seq_ = r.u64();
-  rob_.clear();
   const std::uint64_t rob_n = r.u64();
+  MALEC_CHECK_MSG(rob_n <= rob_slots_.size(),
+                  "ROB checkpoint exceeds this capacity");
+  rob_head_ = 0;
+  rob_size_ = static_cast<std::size_t>(rob_n);
   for (std::uint64_t i = 0; i < rob_n; ++i) {
-    RobEntry e;
+    RobEntry& e = rob_slots_[i];
     loadRecord(r, e.instr);
     e.pending_deps = r.u8();
     const std::uint8_t f = r.u8();
     e.agu_done = (f & 1) != 0;
     e.completed = (f & 2) != 0;
-    rob_.push_back(std::move(e));
+    e.deps.clear();
   }
   trace_done_ = r.u8() != 0;
   now_ = r.u64();
   run_base_ = r.u64();
   has_staged_ = r.u8() != 0;
   if (has_staged_) loadRecord(r, staged_);
-  dependents_.clear();
   const std::uint64_t producers = r.u64();
   for (std::uint64_t i = 0; i < producers; ++i) {
     const SeqNum seq = r.u64();
-    std::vector<SeqNum>& deps = dependents_[seq];
+    MALEC_CHECK_MSG(inRob(seq), "dependency producer outside the ROB");
+    std::vector<SeqNum>& deps = entry(seq).deps;
     deps.resize(static_cast<std::size_t>(r.u64()));
     for (SeqNum& d : deps) d = r.u64();
   }
   ready_exec_.clear();
-  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i)
+  for (std::uint64_t i = 0, n = readBounded(r, ready_exec_); i < n; ++i)
     ready_exec_.push_back(r.u64());
   ready_loads_.clear();
-  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i)
+  for (std::uint64_t i = 0, n = readBounded(r, ready_loads_); i < n; ++i)
     ready_loads_.push_back(r.u64());
   store_order_.clear();
-  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i)
+  for (std::uint64_t i = 0, n = readBounded(r, store_order_); i < n; ++i)
     store_order_.push_back(r.u64());
-  ckpt::loadPairQueue(r, exec_events_);
+  exec_events_.loadState(r);
   lq_.loadState(r);
   stats_.cycles = r.u64();
   stats_.instructions = r.u64();
@@ -360,8 +389,16 @@ void CoreModel::loadState(ckpt::StateReader& r) {
 }
 
 void CoreModel::dispatchRecord(const trace::InstrRecord& r) {
-  rob_.push_back(RobEntry{r, 0, false, false});
-  RobEntry& e = rob_.back();
+  MALEC_DCHECK(rob_size_ < rob_slots_.size());
+  std::size_t tail = rob_head_ + rob_size_;
+  if (tail >= rob_slots_.size()) tail -= rob_slots_.size();
+  RobEntry& e = rob_slots_[tail];
+  e.instr = r;
+  e.pending_deps = 0;
+  e.agu_done = false;
+  e.completed = false;
+  e.deps.clear();  // recycled slot: drop stale list, keep its capacity
+  ++rob_size_;
   if (r.isLoad()) {
     lq_.allocate(r.seq);
     ++stats_.loads;
@@ -376,7 +413,7 @@ void CoreModel::dispatchRecord(const trace::InstrRecord& r) {
     if (!inRob(target)) return;           // producer already retired
     RobEntry& t = entry(target);
     if (t.completed) return;              // producer done
-    dependents_[target].push_back(r.seq);
+    t.deps.push_back(r.seq);
     ++e.pending_deps;
   };
   addDep(r.dep_distance);

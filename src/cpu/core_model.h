@@ -15,13 +15,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "common/fixed_ring.h"
 #include "common/types.h"
+#include "core/event_queue.h"
 #include "core/interface_config.h"
 #include "core/mem_interface.h"
 #include "lsq/load_queue.h"
@@ -104,10 +103,17 @@ class CoreModel {
     std::uint8_t pending_deps = 0;
     bool agu_done = false;   ///< mem op handed to the interface
     bool completed = false;  ///< result available / retire-eligible
+    /// Wakeup list of this producer's dependents. Non-empty only while
+    /// !completed (markCompleted drains and clears it); the vector keeps
+    /// its capacity across slot reuse, so the steady state allocates
+    /// nothing. Replaces the old seq-keyed unordered_map side table.
+    std::vector<SeqNum> deps;
   };
 
   [[nodiscard]] bool inRob(SeqNum seq) const;
   [[nodiscard]] RobEntry& entry(SeqNum seq);
+  /// ROB entry by logical position: 0 = oldest (head) — ascending seq.
+  [[nodiscard]] const RobEntry& slot(std::size_t logical) const;
   void markCompleted(SeqNum seq);
   void enqueueReady(SeqNum seq);
   void doCommit();
@@ -122,8 +128,17 @@ class CoreModel {
   core::MemInterface& mem_;  // lint:no-state(wiring ref; checkpoints itself)
   lsq::LoadQueue lq_;
 
-  std::deque<RobEntry> rob_;
-  SeqNum head_seq_ = 0;  ///< seq of rob_.front()
+  /// Arena-allocated ROB: a fixed slab of sys_.rob_entries slots used as a
+  /// ring. In-flight seqs are consecutive [head_seq_, head_seq_ + rob_size_),
+  /// so a seq maps straight to its slot — no per-instruction allocation, no
+  /// hashing. Slots are recycled in place (their deps vectors keep their
+  /// capacity).
+  // lint:no-state(serialized via slot() in logical head-first order)
+  std::vector<RobEntry> rob_slots_;
+  /// Physical slot of the oldest entry.
+  std::size_t rob_head_ = 0;  // lint:no-state(physical origin; checkpoints store logical order, loadState resets it to 0)
+  std::size_t rob_size_ = 0;
+  SeqNum head_seq_ = 0;  ///< seq of the oldest ROB entry
   bool trace_done_ = false;
   Cycle now_ = 0;
   /// Clock value the (original) run started at — reported cycles and the
@@ -140,13 +155,13 @@ class CoreModel {
   trace::InstrRecord staged_{};
   bool has_staged_ = false;
 
-  std::unordered_map<SeqNum, std::vector<SeqNum>> dependents_;
-  std::deque<SeqNum> ready_exec_;       ///< non-mem, deps resolved
-  std::deque<SeqNum> ready_loads_;      ///< loads, deps resolved
-  std::deque<SeqNum> store_order_;      ///< stores in program order
-  using ExecEvent = std::pair<Cycle, SeqNum>;
-  std::priority_queue<ExecEvent, std::vector<ExecEvent>, std::greater<>>
-      exec_events_;
+  // Ready/ordering queues are bounded by the ROB (an instruction is queued
+  // at most once and leaves the queue no later than it leaves the ROB), so
+  // fixed rings sized to the ROB replace the deques.
+  common::FixedRing<SeqNum> ready_exec_;   ///< non-mem, deps resolved
+  common::FixedRing<SeqNum> ready_loads_;  ///< loads, deps resolved
+  common::FixedRing<SeqNum> store_order_;  ///< stores in program order
+  core::EventQueue exec_events_;           ///< (ready cycle, seq) wakeups
   std::vector<SeqNum> completion_buf_;  // lint:no-state(per-cycle scratch)
 
   CoreStats stats_;

@@ -4,67 +4,72 @@
 // excluded from the paper's accounting (similar across configurations), so
 // this model only enforces the structural limit and collects occupancy
 // statistics.
+//
+// Loads allocate in dispatch order (strictly ascending seq) and release at
+// commit, which is program order — the LQ is a strict FIFO. The ring
+// layout encodes that invariant: release checks the head instead of
+// searching, and serialization walks the ring, which IS ascending-seq
+// order, producing the same bytes the old sorted-set layout wrote.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
-#include <unordered_set>
-#include <vector>
 
 #include "ckpt/state_io.h"
 #include "common/check.h"
+#include "common/fixed_ring.h"
 #include "common/types.h"
 
 namespace malec::lsq {
 
 class LoadQueue {
  public:
-  explicit LoadQueue(std::uint32_t capacity = 40) : capacity_(capacity) {
+  explicit LoadQueue(std::uint32_t capacity = 40) : ring_(capacity) {
     MALEC_CHECK(capacity >= 1);
   }
 
-  [[nodiscard]] bool full() const { return live_.size() >= capacity_; }
-  [[nodiscard]] std::size_t size() const { return live_.size(); }
-  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+  [[nodiscard]] bool full() const { return ring_.full(); }
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  [[nodiscard]] std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(ring_.capacity());
+  }
 
   /// Allocate at dispatch. Caller must check full() first.
   void allocate(SeqNum seq) {
     MALEC_CHECK_MSG(!full(), "LoadQueue overflow");
-    const bool inserted = live_.insert(seq).second;
-    MALEC_CHECK_MSG(inserted, "duplicate LQ allocation");
-    peak_ = live_.size() > peak_ ? live_.size() : peak_;
+    MALEC_CHECK_MSG(ring_.empty() || seq > ring_[ring_.size() - 1],
+                    "duplicate or out-of-order LQ allocation");
+    ring_.push_back(seq);
+    peak_ = ring_.size() > peak_ ? ring_.size() : peak_;
   }
 
-  /// Release at commit.
+  /// Release at commit (program order — always the oldest live load).
   void release(SeqNum seq) {
-    const auto erased = live_.erase(seq);
-    MALEC_CHECK_MSG(erased == 1, "LQ release of unknown load");
+    MALEC_CHECK_MSG(!ring_.empty() && ring_.front() == seq,
+                    "LQ release of unknown or out-of-order load");
+    ring_.pop_front();
   }
 
   [[nodiscard]] std::size_t peakOccupancy() const { return peak_; }
 
   /// Checkpoint/restore of the in-flight load set and peak statistic.
+  /// Ring order is ascending seq, so the bytes match the sorted-set
+  /// serialization this layout replaced.
   void saveState(ckpt::StateWriter& w) const {
-    // live_ is an unordered set — serialize sorted so the same state
-    // always produces the same checkpoint bytes.
-    // lint:allow(udc-order: sorted below before any byte is written)
-    std::vector<SeqNum> live(live_.begin(), live_.end());
-    std::sort(live.begin(), live.end());
-    w.u64(live.size());
-    for (const SeqNum s : live) w.u64(s);
+    w.u64(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) w.u64(ring_[i]);
     w.u64(peak_);
   }
   void loadState(ckpt::StateReader& r) {
-    live_.clear();
+    ring_.clear();
     const std::uint64_t n = r.u64();
-    MALEC_CHECK_MSG(n <= capacity_, "LQ checkpoint exceeds this capacity");
-    for (std::uint64_t i = 0; i < n; ++i) live_.insert(r.u64());
+    MALEC_CHECK_MSG(n <= ring_.capacity(),
+                    "LQ checkpoint exceeds this capacity");
+    for (std::uint64_t i = 0; i < n; ++i) ring_.push_back(r.u64());
     peak_ = static_cast<std::size_t>(r.u64());
   }
 
  private:
-  std::uint32_t capacity_;  // lint:no-state(config; bounds-checked on load)
-  std::unordered_set<SeqNum> live_;
+  common::FixedRing<SeqNum> ring_;
   std::size_t peak_ = 0;
 };
 

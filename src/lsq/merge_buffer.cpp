@@ -1,7 +1,5 @@
 #include "lsq/merge_buffer.h"
 
-#include <algorithm>
-
 #include "ckpt/state_io.h"
 #include "common/check.h"
 
@@ -19,11 +17,11 @@ std::uint64_t MergeBuffer::maskFor(Addr vaddr, std::uint8_t size) const {
 
 bool MergeBuffer::absorb(Addr vaddr, std::uint8_t size) {
   const Addr line = layout_.lineBase(vaddr);
-  for (Entry& e : entries_) {
-    if (e.line_base == line) {
-      e.byte_mask |= maskFor(vaddr, size);
-      e.lru = ++tick_;
-      ++e.merged_stores;
+  for (std::size_t i = 0; i < line_base_.size(); ++i) {
+    if (line_base_[i] == line) {
+      byte_mask_[i] |= maskFor(vaddr, size);
+      lru_[i] = ++tick_;
+      ++merged_[i];
       ++merges_;
       return true;
     }
@@ -33,21 +31,28 @@ bool MergeBuffer::absorb(Addr vaddr, std::uint8_t size) {
 
 void MergeBuffer::allocate(Addr vaddr, std::uint8_t size) {
   MALEC_CHECK_MSG(!full(), "MergeBuffer overflow");
-  Entry e;
-  e.line_base = layout_.lineBase(vaddr);
-  e.byte_mask = maskFor(vaddr, size);
-  e.lru = ++tick_;
-  e.merged_stores = 1;
-  entries_.push_back(e);
+  line_base_.push_back(layout_.lineBase(vaddr));
+  byte_mask_.push_back(maskFor(vaddr, size));
+  lru_.push_back(++tick_);
+  merged_.push_back(1);
+  page_.push_back(layout_.pageId(line_base_.back()));
 }
 
 std::optional<MergeBuffer::Entry> MergeBuffer::evictLru() {
-  if (entries_.empty()) return std::nullopt;
-  auto it = std::min_element(
-      entries_.begin(), entries_.end(),
-      [](const Entry& a, const Entry& b) { return a.lru < b.lru; });
-  Entry e = *it;
-  entries_.erase(it);
+  if (line_base_.empty()) return std::nullopt;
+  // LRU ticks are unique (each merge/allocate takes a fresh ++tick_), so
+  // the minimum is unambiguous; scanning low-to-high and keeping the first
+  // strict improvement preserves the old min_element tie-break regardless.
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < lru_.size(); ++i)
+    if (lru_[i] < lru_[victim]) victim = i;
+  Entry e{line_base_[victim], byte_mask_[victim], lru_[victim],
+          merged_[victim]};
+  line_base_.erase(line_base_.begin() + static_cast<std::ptrdiff_t>(victim));
+  byte_mask_.erase(byte_mask_.begin() + static_cast<std::ptrdiff_t>(victim));
+  lru_.erase(lru_.begin() + static_cast<std::ptrdiff_t>(victim));
+  merged_.erase(merged_.begin() + static_cast<std::ptrdiff_t>(victim));
+  page_.erase(page_.begin() + static_cast<std::ptrdiff_t>(victim));
   return e;
 }
 
@@ -56,20 +61,24 @@ bool MergeBuffer::coversLoad(Addr vaddr, std::uint8_t size,
   const Addr line = layout_.lineBase(vaddr);
   const std::uint64_t need = maskFor(vaddr, size);
   bool covered = false;
-  for (const Entry& e : entries_) {
-    if (split_lookup) {
-      ++page_compares_;
-      if (layout_.pageId(e.line_base) != layout_.pageId(vaddr)) continue;
+  if (split_lookup) {
+    const PageId page = layout_.pageId(vaddr);
+    page_compares_ += line_base_.size();
+    for (std::size_t i = 0; i < line_base_.size(); ++i) {
+      if (page_[i] != page) continue;
       ++offset_compares_;
-    } else {
-      ++full_compares_;
+      if (line_base_[i] == line && (byte_mask_[i] & need) == need)
+        covered = true;
     }
-    if (e.line_base == line && (e.byte_mask & need) == need) covered = true;
+  } else {
+    full_compares_ += line_base_.size();
+    for (std::size_t i = 0; i < line_base_.size(); ++i)
+      if (line_base_[i] == line && (byte_mask_[i] & need) == need)
+        covered = true;
   }
   if (covered) ++forwards_;
   return covered;
 }
-
 
 void MergeBuffer::saveEntry(ckpt::StateWriter& w, const Entry& e) {
   w.u64(e.line_base);
@@ -88,8 +97,9 @@ MergeBuffer::Entry MergeBuffer::loadEntry(ckpt::StateReader& r) {
 }
 
 void MergeBuffer::saveState(ckpt::StateWriter& w) const {
-  w.u64(entries_.size());
-  for (const Entry& e : entries_) saveEntry(w, e);
+  w.u64(line_base_.size());
+  for (std::size_t i = 0; i < line_base_.size(); ++i)
+    saveEntry(w, Entry{line_base_[i], byte_mask_[i], lru_[i], merged_[i]});
   w.u64(tick_);
   w.u64(merges_);
   w.u64(forwards_);
@@ -102,8 +112,19 @@ void MergeBuffer::loadState(ckpt::StateReader& r) {
   const std::uint64_t n = r.u64();
   MALEC_CHECK_MSG(n <= capacity_,
                   "merge-buffer checkpoint exceeds this capacity");
-  entries_.assign(static_cast<std::size_t>(n), Entry{});
-  for (Entry& e : entries_) e = loadEntry(r);
+  line_base_.clear();
+  byte_mask_.clear();
+  lru_.clear();
+  merged_.clear();
+  page_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Entry e = loadEntry(r);
+    line_base_.push_back(e.line_base);
+    byte_mask_.push_back(e.byte_mask);
+    lru_.push_back(e.lru);
+    merged_.push_back(e.merged_stores);
+    page_.push_back(layout_.pageId(e.line_base));
+  }
   tick_ = r.u64();
   merges_ = r.u64();
   forwards_ = r.u64();

@@ -34,8 +34,8 @@ class MergeBuffer {
   MergeBuffer(std::uint32_t capacity, AddressLayout layout)
       : capacity_(capacity), layout_(layout) {}
 
-  [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool full() const { return line_base_.size() >= capacity_; }
+  [[nodiscard]] std::size_t size() const { return line_base_.size(); }
 
   /// Try to merge a committed store into an existing entry.
   bool absorb(Addr vaddr, std::uint8_t size);
@@ -64,7 +64,17 @@ class MergeBuffer {
 
   std::uint32_t capacity_;  // lint:no-state(config; bounds-checked on load)
   AddressLayout layout_;    // lint:no-state(config)
-  std::vector<Entry> entries_;
+
+  // Parallel arrays in allocation order (struct-of-arrays: the per-cycle
+  // forwarding scan streams cached page IDs / line bases instead of
+  // striding over structs).
+  std::vector<Addr> line_base_;  ///< virtual line base each entry covers
+  std::vector<std::uint64_t> byte_mask_;  ///< bit i = byte i written
+  std::vector<std::uint64_t> lru_;  ///< unique last-merge ticks
+  std::vector<std::uint32_t> merged_;  ///< stores coalesced per entry
+  // lint:no-state(derived from line_base_; recomputed in loadState)
+  std::vector<PageId> page_;
+
   std::uint64_t tick_ = 0;
   std::uint64_t merges_ = 0;
   std::uint64_t forwards_ = 0;

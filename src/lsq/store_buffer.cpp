@@ -1,22 +1,22 @@
 #include "lsq/store_buffer.h"
 
-#include <algorithm>
-
 #include "ckpt/state_io.h"
-#include "common/check.h"
 
 namespace malec::lsq {
 
 void StoreBuffer::insert(SeqNum seq, Addr vaddr, std::uint8_t size) {
   MALEC_CHECK_MSG(!full(), "StoreBuffer overflow");
   MALEC_CHECK(size > 0);
-  entries_.push_back(Entry{seq, vaddr, size, false});
+  seq_.push_back(seq);
+  vaddr_.push_back(vaddr);
+  size8_.push_back(size);
+  page_.push_back(layout_.pageId(vaddr));
 }
 
 void StoreBuffer::markCommitted(SeqNum seq) {
-  for (Entry& e : entries_) {
-    if (e.seq == seq) {
-      e.committed = true;
+  for (std::size_t i = 0; i < seq_.size(); ++i) {
+    if (seq_[i] == seq) {
+      committed_mask_ |= std::uint64_t{1} << i;
       return;
     }
   }
@@ -24,14 +24,22 @@ void StoreBuffer::markCommitted(SeqNum seq) {
 }
 
 std::optional<StoreBuffer::Entry> StoreBuffer::popCommitted() {
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].committed) {
-      Entry e = entries_[i];
-      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
-      return e;
-    }
-  }
-  return std::nullopt;
+  if (committed_mask_ == 0) return std::nullopt;
+  // Oldest committed first (buffer order, not commit order): the lowest
+  // set bit is the lowest index = oldest entry.
+  const std::size_t i =
+      static_cast<std::size_t>(__builtin_ctzll(committed_mask_));
+  Entry e{seq_[i], vaddr_[i], size8_[i], true};
+  seq_.erase(seq_.begin() + static_cast<std::ptrdiff_t>(i));
+  vaddr_.erase(vaddr_.begin() + static_cast<std::ptrdiff_t>(i));
+  size8_.erase(size8_.begin() + static_cast<std::ptrdiff_t>(i));
+  page_.erase(page_.begin() + static_cast<std::ptrdiff_t>(i));
+  // Close the gap in the mask: bits below i keep their position, bits
+  // above shift down by one.
+  const std::uint64_t below = committed_mask_ & ((std::uint64_t{1} << i) - 1);
+  const std::uint64_t above = committed_mask_ >> (i + 1);
+  committed_mask_ = below | (above << i);
+  return e;
 }
 
 bool StoreBuffer::coversLoad(Addr vaddr, std::uint8_t size,
@@ -39,17 +47,20 @@ bool StoreBuffer::coversLoad(Addr vaddr, std::uint8_t size,
   const Addr lo = vaddr;
   const Addr hi = vaddr + size;
   bool covered = false;
-  for (const Entry& e : entries_) {
-    if (split_lookup) {
-      // Shared page-ID segment evaluated once per candidate; the narrow
-      // offset comparator only fires for entries on the matching page.
-      ++page_compares_;
-      if (layout_.pageId(e.vaddr) != layout_.pageId(vaddr)) continue;
+  if (split_lookup) {
+    // Shared page-ID segment evaluated once per candidate; the narrow
+    // offset comparator only fires for entries on the matching page.
+    const PageId page = layout_.pageId(vaddr);
+    page_compares_ += seq_.size();
+    for (std::size_t i = 0; i < seq_.size(); ++i) {
+      if (page_[i] != page) continue;
       ++offset_compares_;
-    } else {
-      ++full_compares_;
+      if (vaddr_[i] <= lo && vaddr_[i] + size8_[i] >= hi) covered = true;
     }
-    if (e.vaddr <= lo && e.vaddr + e.size >= hi) covered = true;
+  } else {
+    full_compares_ += seq_.size();
+    for (std::size_t i = 0; i < seq_.size(); ++i)
+      if (vaddr_[i] <= lo && vaddr_[i] + size8_[i] >= hi) covered = true;
   }
   if (covered) ++forwards_;
   return covered;
@@ -58,19 +69,18 @@ bool StoreBuffer::coversLoad(Addr vaddr, std::uint8_t size,
 bool StoreBuffer::hasOverlap(Addr vaddr, std::uint8_t size) const {
   const Addr lo = vaddr;
   const Addr hi = vaddr + size;
-  return std::any_of(entries_.begin(), entries_.end(), [&](const Entry& e) {
-    return e.vaddr < hi && e.vaddr + e.size > lo;
-  });
+  for (std::size_t i = 0; i < seq_.size(); ++i)
+    if (vaddr_[i] < hi && vaddr_[i] + size8_[i] > lo) return true;
+  return false;
 }
 
-
 void StoreBuffer::saveState(ckpt::StateWriter& w) const {
-  w.u64(entries_.size());
-  for (const Entry& e : entries_) {
-    w.u64(e.seq);
-    w.u64(e.vaddr);
-    w.u8(e.size);
-    w.u8(e.committed ? 1 : 0);
+  w.u64(seq_.size());
+  for (std::size_t i = 0; i < seq_.size(); ++i) {
+    w.u64(seq_[i]);
+    w.u64(vaddr_[i]);
+    w.u8(size8_[i]);
+    w.u8(((committed_mask_ >> i) & 1) != 0 ? 1 : 0);
   }
   w.u64(full_compares_);
   w.u64(page_compares_);
@@ -82,12 +92,17 @@ void StoreBuffer::loadState(ckpt::StateReader& r) {
   const std::uint64_t n = r.u64();
   MALEC_CHECK_MSG(n <= capacity_,
                   "store-buffer checkpoint exceeds this capacity");
-  entries_.assign(static_cast<std::size_t>(n), Entry{});
-  for (Entry& e : entries_) {
-    e.seq = r.u64();
-    e.vaddr = r.u64();
-    e.size = r.u8();
-    e.committed = r.u8() != 0;
+  seq_.clear();
+  vaddr_.clear();
+  size8_.clear();
+  page_.clear();
+  committed_mask_ = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    seq_.push_back(r.u64());
+    vaddr_.push_back(r.u64());
+    size8_.push_back(r.u8());
+    if (r.u8() != 0) committed_mask_ |= std::uint64_t{1} << i;
+    page_.push_back(layout_.pageId(vaddr_.back()));
   }
   full_compares_ = r.u64();
   page_compares_ = r.u64();

@@ -8,6 +8,11 @@
 // on every port. The SB's energy is excluded from the paper's totals, but
 // we still count comparator activity so the simplification is visible in
 // the stats.
+//
+// Layout: struct-of-arrays in buffer (allocation) order plus a committed
+// bitmask, so the per-cycle forwarding scan streams flat arrays of cached
+// page IDs and popCommitted() finds the oldest committed store with a
+// count-trailing-zeros instead of a scan.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +20,7 @@
 #include <vector>
 
 #include "common/address.h"
+#include "common/check.h"
 #include "common/types.h"
 
 namespace malec::ckpt {
@@ -34,10 +40,12 @@ class StoreBuffer {
   };
 
   StoreBuffer(std::uint32_t capacity, AddressLayout layout)
-      : capacity_(capacity), layout_(layout) {}
+      : capacity_(capacity), layout_(layout) {
+    MALEC_CHECK_MSG(capacity <= 64, "StoreBuffer capacity exceeds bitmask");
+  }
 
-  [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool full() const { return seq_.size() >= capacity_; }
+  [[nodiscard]] std::size_t size() const { return seq_.size(); }
 
   /// Insert a store that finished address computation. Caller checks full().
   void insert(SeqNum seq, Addr vaddr, std::uint8_t size);
@@ -76,7 +84,19 @@ class StoreBuffer {
  private:
   std::uint32_t capacity_;  // lint:no-state(config; bounds-checked on load)
   AddressLayout layout_;    // lint:no-state(config)
-  std::vector<Entry> entries_;  ///< ordered oldest -> youngest
+
+  // Parallel arrays ordered oldest -> youngest (buffer order).
+  std::vector<SeqNum> seq_;
+  std::vector<Addr> vaddr_;
+  std::vector<std::uint8_t> size8_;
+  // lint:no-state(derived from vaddr_; recomputed in loadState)
+  std::vector<PageId> page_;
+  /// Bit i set = entry i committed. Commits can arrive out of buffer order
+  /// (test_store_buffer pins this), so this is a mask, not a prefix
+  /// counter; the lowest set bit is always the oldest committed store in
+  /// buffer order — exactly what popCommitted must drain first.
+  std::uint64_t committed_mask_ = 0;
+
   std::uint64_t full_compares_ = 0;
   std::uint64_t page_compares_ = 0;
   std::uint64_t offset_compares_ = 0;

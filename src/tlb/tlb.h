@@ -62,6 +62,15 @@ class Tlb {
   /// Probe without updating replacement state (tests, peek paths).
   [[nodiscard]] std::optional<std::uint32_t> probeV(PageId vpage) const;
 
+  /// Replay the bookkeeping of a lookupV hit on an already-known slot
+  /// (memoized translation fast path): the identical replacement touch and
+  /// hit count, without the associative scan. Caller guarantees the slot
+  /// still maps the page it memoized.
+  void repeatHit(std::uint32_t slot) {
+    repl_->touch(0, slot);
+    ++hits_;
+  }
+
   /// Insert a translation; evicts if full. Returns the slot used.
   std::uint32_t insert(PageId vpage, PageId ppage);
 

@@ -1,0 +1,271 @@
+// Property/fuzz tests for the hot-loop containers this PR introduces:
+//
+//  - EventQueue's calendar/bucket backend against the reference
+//    std::priority_queue semantics it replaced — randomized push/drain
+//    schedules (horizons both inside and far beyond the kBuckets=1024
+//    aliasing window), ~10k operations per seed, identical pop order.
+//  - Checkpoint compatibility: both backends serialize byte-identical
+//    files, and a file written by either backend restores into the other.
+//  - FixedRing against a std::deque reference: push/pop/index fuzz across
+//    wrap boundaries, recycle after drain, exhaustion (full()), and stable
+//    logical indexing (operator[] follows push order).
+//
+// All randomness flows from fixed seeds through common/rng.h — reruns are
+// deterministic.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <deque>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ckpt/state_io.h"
+#include "common/fixed_ring.h"
+#include "common/rng.h"
+#include "core/event_queue.h"
+
+namespace malec::core {
+namespace {
+
+using PQ = std::priority_queue<std::pair<Cycle, SeqNum>,
+                               std::vector<std::pair<Cycle, SeqNum>>,
+                               std::greater<>>;
+
+std::string tmpPath(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+/// RAII backend pin: EventQueue binds its backend at construction, so each
+/// test sets the toggle before constructing and restores it after.
+class BackendPin {
+ public:
+  explicit BackendPin(bool legacy) : saved_(execQueueLegacy()) {
+    setExecQueueLegacy(legacy);
+  }
+  ~BackendPin() { setExecQueueLegacy(saved_); }
+
+ private:
+  bool saved_;
+};
+
+/// Drain both the queue under test and the reference heap at `now` and
+/// compare the popped seq order element by element.
+void drainBoth(EventQueue& q, PQ& ref, Cycle now) {
+  std::vector<SeqNum> got;
+  q.drainReady(now, [&got](SeqNum seq) { got.push_back(seq); });
+  std::vector<SeqNum> want;
+  while (!ref.empty() && ref.top().first <= now) {
+    want.push_back(ref.top().second);
+    ref.pop();
+  }
+  ASSERT_EQ(got, want) << "pop order diverged at cycle " << now;
+}
+
+/// One fuzz schedule: random bursts of pushes with horizon `max_ahead`,
+/// interleaved with drains as the clock advances by random strides.
+void fuzzAgainstHeap(std::uint64_t seed, std::uint64_t max_ahead,
+                     int iterations) {
+  BackendPin pin(/*legacy=*/false);
+  EventQueue q;
+  PQ ref;
+  Rng rng(seed);
+  Cycle now = 0;
+  SeqNum next_seq = 0;  // unique seqs, like the run loop's instruction seqs
+  for (int i = 0; i < iterations; ++i) {
+    const std::uint64_t pushes = rng.below(4);
+    for (std::uint64_t p = 0; p < pushes; ++p) {
+      const Cycle cycle = now + rng.below(max_ahead) + 1;
+      const SeqNum seq = next_seq++;
+      q.push(cycle, seq);
+      ref.emplace(cycle, seq);
+    }
+    ASSERT_EQ(q.size(), ref.size());
+    now += rng.below(3);  // strides of 0-2 revisit cycles and skip cycles
+    drainBoth(q, ref, now);
+  }
+  // Flush everything left so the whole schedule is compared.
+  drainBoth(q, ref, now + max_ahead + 1);
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(ref.empty());
+}
+
+TEST(CalendarQueue, FuzzShortHorizon) {
+  // Horizon well inside one bucket ring revolution.
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    fuzzAgainstHeap(seed, /*max_ahead=*/64, /*iterations=*/10000);
+  }
+}
+
+TEST(CalendarQueue, FuzzAliasingHorizon) {
+  // Horizon far beyond kBuckets=1024: future events alias into earlier
+  // buckets and must be filtered by exact cycle, never popped early.
+  for (std::uint64_t seed : {11ull, 12ull}) {
+    fuzzAgainstHeap(seed, /*max_ahead=*/5000, /*iterations=*/3000);
+  }
+}
+
+TEST(CalendarQueue, SameCycleSeqOrder) {
+  // Many events on one cycle pop in ascending seq order regardless of
+  // push order.
+  BackendPin pin(/*legacy=*/false);
+  EventQueue q;
+  const std::vector<SeqNum> scrambled{7, 2, 9, 0, 5, 3, 8, 1, 6, 4};
+  for (SeqNum s : scrambled) q.push(10, s);
+  std::vector<SeqNum> got;
+  q.drainReady(10, [&got](SeqNum s) { got.push_back(s); });
+  EXPECT_EQ(got, (std::vector<SeqNum>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+/// Serialize `q` into a single-section file and return the file's bytes.
+std::string saveToFile(const EventQueue& q, const char* name) {
+  const std::string path = tmpPath(name);
+  ckpt::StateWriter w;
+  w.beginSection("queue");
+  q.saveState(w);
+  w.endSection();
+  std::string err;
+  EXPECT_TRUE(w.writeTo(path, err)) << err;
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_FALSE(bytes.empty());
+  return bytes;
+}
+
+/// Fill a queue with a deterministic schedule (same for every backend).
+void fillSchedule(EventQueue& q) {
+  Rng rng(99);
+  for (SeqNum s = 0; s < 200; ++s) q.push(rng.below(4096), s);
+}
+
+TEST(CalendarQueue, BothBackendsSerializeIdenticalBytes) {
+  BackendPin legacy_pin(/*legacy=*/true);
+  EventQueue legacy_q;
+  fillSchedule(legacy_q);
+  const std::string legacy_bytes = saveToFile(legacy_q, "eq_legacy.bin");
+
+  setExecQueueLegacy(false);
+  EventQueue calendar_q;
+  fillSchedule(calendar_q);
+  const std::string calendar_bytes =
+      saveToFile(calendar_q, "eq_calendar.bin");
+
+  EXPECT_EQ(legacy_bytes, calendar_bytes);
+  std::remove(tmpPath("eq_legacy.bin").c_str());
+  std::remove(tmpPath("eq_calendar.bin").c_str());
+}
+
+TEST(CalendarQueue, CrossBackendRestore) {
+  // A file written under either backend restores into the other, and the
+  // restored queue drains in the exact order of the original.
+  for (const bool write_legacy : {true, false}) {
+    BackendPin write_pin(write_legacy);
+    EventQueue writer;
+    fillSchedule(writer);
+    const std::string path = tmpPath("eq_cross.bin");
+    ckpt::StateWriter w;
+    w.beginSection("queue");
+    writer.saveState(w);
+    w.endSection();
+    std::string err;
+    ASSERT_TRUE(w.writeTo(path, err)) << err;
+
+    std::vector<std::pair<Cycle, SeqNum>> want;
+    for (Cycle c = 0; c < 4096; ++c)
+      writer.drainReady(c, [&want, c](SeqNum s) { want.emplace_back(c, s); });
+
+    setExecQueueLegacy(!write_legacy);
+    EventQueue reader;
+    ckpt::StateReader r(path);
+    ASSERT_TRUE(r.ok()) << r.error();
+    r.openSection("queue");
+    reader.loadState(r);
+    r.endSection();
+    ASSERT_EQ(reader.size(), want.size());
+    std::vector<std::pair<Cycle, SeqNum>> got;
+    for (Cycle c = 0; c < 4096; ++c)
+      reader.drainReady(c, [&got, c](SeqNum s) { got.emplace_back(c, s); });
+    EXPECT_EQ(got, want)
+        << "restore " << (write_legacy ? "legacy->calendar" : "calendar->legacy")
+        << " diverged";
+    std::remove(path.c_str());
+  }
+}
+
+// --- FixedRing ---------------------------------------------------------------
+
+TEST(FixedRing, FuzzAgainstDeque) {
+  // Non-power-of-two capacity exercises the compare-based wrap; the
+  // reference deque pins FIFO order, logical indexing and sizes across
+  // thousands of recycle cycles.
+  for (std::uint64_t seed : {21ull, 22ull, 23ull}) {
+    common::FixedRing<std::uint64_t> ring(7);
+    std::deque<std::uint64_t> ref;
+    Rng rng(seed);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 10000; ++i) {
+      if (!ring.full() && rng.below(2) == 0) {
+        ring.push_back(v);
+        ref.push_back(v);
+        ++v;
+      } else if (!ring.empty()) {
+        ASSERT_EQ(ring.front(), ref.front());
+        ring.pop_front();
+        ref.pop_front();
+      }
+      ASSERT_EQ(ring.size(), ref.size());
+      ASSERT_EQ(ring.empty(), ref.empty());
+      ASSERT_EQ(ring.full(), ref.size() == 7);
+      // Stable logical handles: index i always names the i-th oldest.
+      for (std::size_t j = 0; j < ref.size(); ++j)
+        ASSERT_EQ(ring[j], ref[j]);
+    }
+  }
+}
+
+TEST(FixedRing, ExhaustionAndRecycle) {
+  common::FixedRing<int> ring(3);
+  for (int i = 0; i < 3; ++i) ring.push_back(i);
+  EXPECT_TRUE(ring.full());
+  // Drain and refill several times: slots recycle, order is preserved.
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_EQ(ring.front(), round * 3);
+    ring.pop_front();
+    ring.push_back(round * 3 + 3);
+    EXPECT_TRUE(ring.full());
+    EXPECT_EQ(ring[0], round * 3 + 1);
+    EXPECT_EQ(ring[2], round * 3 + 3);
+    ring.pop_front();
+    ring.pop_front();
+    EXPECT_EQ(ring.size(), 1u);
+    ring.push_back(round * 3 + 4);
+    // Leave the ring holding {3r+3, 3r+4} and top up to full for the next
+    // round's head expectation.
+    ring.pop_front();
+    ring.push_back(round * 3 + 5);
+    ASSERT_EQ(ring.size(), 2u);
+    ring.pop_front();
+    ring.pop_front();
+    for (int i = 0; i < 3; ++i) ring.push_back((round + 1) * 3 + i);
+  }
+}
+
+TEST(FixedRing, ClearAndReset) {
+  common::FixedRing<int> ring(4);
+  ring.push_back(1);
+  ring.push_back(2);
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), 4u);
+  ring.push_back(9);
+  EXPECT_EQ(ring.front(), 9);
+  ring.reset(2);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), 2u);
+}
+
+}  // namespace
+}  // namespace malec::core

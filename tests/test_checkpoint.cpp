@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ckpt/state_io.h"
+#include "sim/differential.h"
 #include "sim/experiment.h"
 #include "sim/presets.h"
 #include "sim/registry.h"
@@ -34,6 +35,7 @@ constexpr const char* kCheckpointAuditedClasses[] = {
     "BaselineInterface",
     "CoreModel",
     "EnergyAccount",
+    "EventQueue",
     "InputBuffer",
     "L1Cache",
     "L2Cache",
@@ -81,25 +83,9 @@ RunConfig baseConfig(const char* bench, core::InterfaceConfig cfg,
 }
 
 void expectBitIdentical(const RunOutput& a, const RunOutput& b) {
-  EXPECT_EQ(a.benchmark, b.benchmark);
-  EXPECT_EQ(a.config, b.config);
-  EXPECT_EQ(a.cycles, b.cycles);
-  EXPECT_EQ(a.instructions, b.instructions);
-  EXPECT_EQ(a.ipc, b.ipc);
-  EXPECT_EQ(a.dynamic_pj, b.dynamic_pj);
-  EXPECT_EQ(a.leakage_pj, b.leakage_pj);
-  EXPECT_EQ(a.total_pj, b.total_pj);
-  EXPECT_EQ(a.way_coverage, b.way_coverage);
-  EXPECT_EQ(a.l1_load_miss_rate, b.l1_load_miss_rate);
-  EXPECT_EQ(a.merged_load_fraction, b.merged_load_fraction);
-  for (const auto field : core::kInterfaceCounterFields)
-    EXPECT_EQ(a.ifc.*field, b.ifc.*field);
-  EXPECT_EQ(a.core.cycles, b.core.cycles);
-  EXPECT_EQ(a.core.instructions, b.core.instructions);
-  for (const auto field : cpu::kCoreScaledCounterFields)
-    EXPECT_EQ(a.core.*field, b.core.*field);
-  // The full energy report, every event counter and pJ cell.
-  EXPECT_EQ(a.energy_detail.toTable(), b.energy_detail.toTable());
+  // Exhaustive field-by-field comparison (every counter plus the byte-exact
+  // energy table) shared with the exec-queue differential harness.
+  EXPECT_EQ(diffOutputs(a, b), "");
 }
 
 /// One matrix cell: run straight through; run again writing a checkpoint

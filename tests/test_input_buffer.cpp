@@ -39,7 +39,7 @@ TEST(InputBuffer, HeadIsOldestLoad) {
   ib.addLoad(load(2, kPageA), 0);
   const auto head = ib.selectHead(0);
   ASSERT_TRUE(head.has_value());
-  EXPECT_EQ(ib.entries()[*head].op.seq, 1u);
+  EXPECT_EQ(ib.op(*head).seq, 1u);
 }
 
 TEST(InputBuffer, MbeIsLowestPriority) {
@@ -48,12 +48,12 @@ TEST(InputBuffer, MbeIsLowestPriority) {
   ib.addLoad(load(1, kPageA), 0);
   const auto head = ib.selectHead(0);
   ASSERT_TRUE(head.has_value());
-  EXPECT_FALSE(ib.entries()[*head].is_mbe);
+  EXPECT_FALSE(ib.isMbe(*head));
   // With only the MBE present it becomes the head.
   ib.remove({*head});
   const auto head2 = ib.selectHead(0);
   ASSERT_TRUE(head2.has_value());
-  EXPECT_TRUE(ib.entries()[*head2].is_mbe);
+  EXPECT_TRUE(ib.isMbe(*head2));
 }
 
 TEST(InputBuffer, DeferredEntriesNotSelectable) {
@@ -63,11 +63,11 @@ TEST(InputBuffer, DeferredEntriesNotSelectable) {
   ib.defer(0, 10);  // entry 0 waits for a page walk
   const auto head = ib.selectHead(5);
   ASSERT_TRUE(head.has_value());
-  EXPECT_EQ(ib.entries()[*head].op.seq, 2u);
+  EXPECT_EQ(ib.op(*head).seq, 2u);
   // After the walk completes, priority order is restored.
   const auto later = ib.selectHead(10);
   ASSERT_TRUE(later.has_value());
-  EXPECT_EQ(ib.entries()[*later].op.seq, 1u);
+  EXPECT_EQ(ib.op(*later).seq, 1u);
 }
 
 TEST(InputBuffer, EmptyOrAllDeferredYieldsNoHead) {
@@ -88,9 +88,9 @@ TEST(InputBuffer, GroupCollectsSamePageEntries) {
   const auto group = ib.group(*head, 0);
   // Loads 1 and 3 plus the MBE share page A; load 2 does not.
   ASSERT_EQ(group.size(), 3u);
-  EXPECT_EQ(ib.entries()[group[0]].op.seq, 1u);
-  EXPECT_EQ(ib.entries()[group[1]].op.seq, 3u);
-  EXPECT_TRUE(ib.entries()[group[2]].is_mbe);  // MBE sorted last
+  EXPECT_EQ(ib.op(group[0]).seq, 1u);
+  EXPECT_EQ(ib.op(group[1]).seq, 3u);
+  EXPECT_TRUE(ib.isMbe(group[2]));  // MBE sorted last
 }
 
 TEST(InputBuffer, ComparatorLimitBoundsGroup) {
@@ -107,8 +107,8 @@ TEST(InputBuffer, RemoveKeepsOthersIntact) {
   ib.addLoad(load(2, kPageB), 0);
   ib.addLoad(load(3, kPageA + 64), 0);
   ib.remove({0, 2});
-  ASSERT_EQ(ib.entries().size(), 1u);
-  EXPECT_EQ(ib.entries()[0].op.seq, 2u);
+  ASSERT_EQ(ib.size(), 1u);
+  EXPECT_EQ(ib.op(0).seq, 2u);
 }
 
 TEST(InputBuffer, OverCommittedCountsCarriedLoadsOnly) {
@@ -120,6 +120,57 @@ TEST(InputBuffer, OverCommittedCountsCarriedLoadsOnly) {
   EXPECT_TRUE(ib.overCommitted(1));
   ib.remove({0});
   EXPECT_FALSE(ib.overCommitted(1));
+}
+
+// --- ORDER CONTRACT regression tests (see input_buffer.cpp) ------------------
+// The packed arrays are scanned low-to-high everywhere; these pin the three
+// invariants that make that equivalent to explicit priority sorting, so a
+// future "optimisation" that reorders a scan fails here instead of silently
+// changing grouping decisions (and with them every downstream counter).
+
+TEST(InputBuffer, OrderContractIndexOrderIsAgeOrder) {
+  // Invariant 1: removals compact without reordering, so index order stays
+  // insertion (age) order and group() needs no sort.
+  InputBuffer ib = makeIb(/*carry=*/4, /*agu=*/4);
+  for (SeqNum i = 0; i < 6; ++i) ib.addLoad(load(i, kPageA + i * 8), 0);
+  ib.remove({1, 4});
+  ASSERT_EQ(ib.size(), 4u);
+  const SeqNum expect[] = {0, 2, 3, 5};
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(ib.op(i).seq, expect[i]);
+  // The group is emitted in index order = age order, head first.
+  const auto group = ib.group(0, 0);
+  ASSERT_EQ(group.size(), 4u);
+  for (std::size_t i = 1; i < group.size(); ++i)
+    EXPECT_LT(group[i - 1], group[i]);
+}
+
+TEST(InputBuffer, OrderContractComparatorBudgetSpentInIndexOrder) {
+  // Invariant 3: comparators wire to storage slots in index order and are
+  // consumed per valid entry BEFORE the ready check. A deferred (not-ready)
+  // early entry therefore burns budget and can push a ready same-page LATE
+  // entry out of the group.
+  InputBuffer ib(8, 8, /*comparators=*/2, AddressLayout{});
+  ib.addLoad(load(0, kPageA), 0);       // head
+  ib.addLoad(load(1, kPageB), 0);       // deferred below: consumes comparator
+  ib.addLoad(load(2, kPageB), 0);       // consumes the second comparator
+  ib.addLoad(load(3, kPageA + 8), 0);   // ready, same page — but no budget
+  ib.defer(1, 100);
+  const auto group = ib.group(0, 0);
+  ASSERT_EQ(group.size(), 1u);  // head only: seq 3 was never compared
+  EXPECT_EQ(ib.op(group[0]).seq, 0u);
+}
+
+TEST(InputBuffer, OrderContractArrivalPrefixEndsOverCommittedScan) {
+  // Invariant 2: arrival_ is non-decreasing in index order, so the carried
+  // count is the prefix before the first same-cycle arrival.
+  InputBuffer ib = makeIb(/*carry=*/1, /*agu=*/3);
+  ib.addLoad(load(0, kPageA), 0);       // carried by cycle 1
+  ib.addLoad(load(1, kPageA + 8), 1);   // arrives at the probe cycle
+  ib.addLoad(load(2, kPageA + 16), 1);  // arrives at the probe cycle
+  // Only the one pre-cycle-1 load counts against the single carry slot.
+  EXPECT_FALSE(ib.overCommitted(1));
+  // One cycle later the whole prefix is carried: 3 > 1.
+  EXPECT_TRUE(ib.overCommitted(2));
 }
 
 TEST(InputBufferDeath, LoadOverflowAborts) {

@@ -36,6 +36,34 @@ TEST(MergeBuffer, EvictsLeastRecentlyMerged) {
   EXPECT_EQ(mb.size(), 1u);
 }
 
+// ORDER CONTRACT regression: eviction selects the minimum LRU tick by
+// scanning index order low-to-high and keeping the first strict
+// improvement. Ticks are unique (every allocate/absorb takes a fresh one),
+// so the victim is fully determined by merge recency — never by allocation
+// index — and interleaved refreshes must rotate the victim accordingly.
+TEST(MergeBuffer, OrderContractEvictionFollowsMergeRecencyNotIndex) {
+  MergeBuffer mb = makeMb(3);
+  mb.allocate(0x1000, 8);  // tick 1
+  mb.allocate(0x2000, 8);  // tick 2
+  mb.allocate(0x3000, 8);  // tick 3
+  mb.absorb(0x1008, 8);    // index 0 refreshed last (tick 4)
+  auto e = mb.evictLru();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->line_base, 0x2000u);  // stalest tick despite middle index
+  mb.absorb(0x3010, 8);  // refresh 0x3000 (tick 5)
+  mb.allocate(0x4000, 8);  // tick 6
+  e = mb.evictLru();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->line_base, 0x1000u);  // now the stalest (tick 4)
+  e = mb.evictLru();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->line_base, 0x3000u);
+  e = mb.evictLru();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->line_base, 0x4000u);
+  EXPECT_EQ(mb.size(), 0u);
+}
+
 TEST(MergeBuffer, EvictEmptyReturnsNothing) {
   MergeBuffer mb = makeMb();
   EXPECT_FALSE(mb.evictLru().has_value());

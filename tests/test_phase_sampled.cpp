@@ -13,6 +13,7 @@
 #include "energy/energy_account.h"
 #include "phase/planner.h"
 #include "phase/sample_plan.h"
+#include "sim/differential.h"
 #include "sim/presets.h"
 #include "sim/registry.h"
 #include "sim/suite.h"
@@ -51,24 +52,9 @@ std::string captureWithPlan(const char* bench, const char* name,
 }
 
 void expectBitIdentical(const RunOutput& a, const RunOutput& b) {
-  EXPECT_EQ(a.benchmark, b.benchmark);
-  EXPECT_EQ(a.cycles, b.cycles);
-  EXPECT_EQ(a.instructions, b.instructions);
-  EXPECT_EQ(a.ipc, b.ipc);
-  EXPECT_EQ(a.dynamic_pj, b.dynamic_pj);
-  EXPECT_EQ(a.leakage_pj, b.leakage_pj);
-  EXPECT_EQ(a.total_pj, b.total_pj);
-  EXPECT_EQ(a.way_coverage, b.way_coverage);
-  EXPECT_EQ(a.l1_load_miss_rate, b.l1_load_miss_rate);
-  EXPECT_EQ(a.merged_load_fraction, b.merged_load_fraction);
-  EXPECT_EQ(a.ifc.load_l1_accesses, b.ifc.load_l1_accesses);
-  EXPECT_EQ(a.ifc.load_l1_misses, b.ifc.load_l1_misses);
-  EXPECT_EQ(a.ifc.loads_submitted, b.ifc.loads_submitted);
-  EXPECT_EQ(a.ifc.merged_loads, b.ifc.merged_loads);
-  EXPECT_EQ(a.core.loads, b.core.loads);
-  EXPECT_EQ(a.core.stores, b.core.stores);
-  // The full energy report, every event counter and pJ cell.
-  EXPECT_EQ(a.energy_detail.toTable(), b.energy_detail.toTable());
+  // Exhaustive field-by-field comparison (every counter plus the byte-exact
+  // energy table) shared with the exec-queue differential harness.
+  EXPECT_EQ(diffOutputs(a, b), "");
 }
 
 RunConfig sampledConfig(const std::string& trace_path) {

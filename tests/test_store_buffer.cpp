@@ -65,6 +65,42 @@ TEST(StoreBuffer, SplitLookupSameResultFewerNarrowCompares) {
   EXPECT_EQ(sb.fullWidthCompares(), 4u);
 }
 
+// ORDER CONTRACT regression: commits arrive in arbitrary order relative to
+// buffer (insertion) order, pops interleave with fresh inserts, and
+// popCommitted must always yield the lowest-index committed entry — the
+// committed bitmask has to shift correctly over every erase, or a later pop
+// returns the wrong store (silent wrong-data forwarding downstream).
+TEST(StoreBuffer, OrderContractCommitMaskSurvivesInterleavedPops) {
+  StoreBuffer sb = makeSb();
+  sb.insert(1, 0x1000, 8);
+  sb.insert(2, 0x2000, 8);
+  sb.insert(3, 0x3000, 8);
+  sb.insert(4, 0x4000, 8);
+  sb.markCommitted(3);  // out of buffer order
+  sb.markCommitted(1);
+  auto e = sb.popCommitted();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->seq, 1u);  // lowest committed index, not first commit
+  sb.insert(5, 0x5000, 8);  // new youngest while 3 is still pending
+  sb.markCommitted(4);
+  e = sb.popCommitted();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->seq, 3u);  // mask shifted over the erase of seq 1
+  e = sb.popCommitted();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->seq, 4u);
+  EXPECT_FALSE(sb.popCommitted().has_value());
+  sb.markCommitted(2);
+  sb.markCommitted(5);
+  e = sb.popCommitted();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->seq, 2u);  // still older than 5 in buffer order
+  e = sb.popCommitted();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->seq, 5u);
+  EXPECT_EQ(sb.size(), 0u);
+}
+
 TEST(StoreBuffer, OverlapDetection) {
   StoreBuffer sb = makeSb();
   sb.insert(1, 0x1000, 8);
