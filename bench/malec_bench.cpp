@@ -62,7 +62,7 @@
 #include "store/result_store.h"
 #include "store/store_sink.h"
 #include "sweep/coordinator.h"
-#include "sweep/store_merge.h"
+#include "store/store_merge.h"
 
 namespace {
 

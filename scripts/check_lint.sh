@@ -14,6 +14,12 @@
 #    saveState/loadState component that is not covered by the checkpoint
 #    test fails the build, and so does a stale matrix row whose class no
 #    longer exists.
+# 3. Schema-drift gate (when <root>/tools/lint/schemas exists): schemas
+#    are regenerated with `--emit-schema` into a scratch dir and diffed
+#    against the committed goldens, both directions — a reordered
+#    saveState field, a new stateful class without a committed schema,
+#    and a stale schema for a deleted class all fail. Regenerate with:
+#      build/malec_lint --root . --emit-schema tools/lint/schemas
 #
 # The tree-root argument exists so the fixture suite (tools/lint/fixtures,
 # driven by test_lint) can prove that seeded violations make this script
@@ -64,6 +70,24 @@ if [[ -f "$matrix" ]]; then
       fail=1
     fi
   done
+fi
+
+# --- 3. Schema-drift gate ---------------------------------------------------
+schemas="$root/tools/lint/schemas"
+if [[ -d "$schemas" ]]; then
+  scratch=$(mktemp -d)
+  trap 'rm -rf "$scratch"' EXIT
+  if ! "$lint" --root "$root" --emit-schema "$scratch" > /dev/null; then
+    echo "check_lint: --emit-schema failed" >&2
+    exit 2
+  fi
+  # diff both ways: -r catches committed-but-stale AND fresh-but-uncommitted
+  # schema files as well as content drift.
+  if ! diff -ru "$schemas" "$scratch" > /dev/null 2>&1; then
+    diff -ru "$schemas" "$scratch" | head -40 || true
+    echo "check_lint: committed serialization schemas in $schemas drifted from the saveState bodies — review the layout change and regenerate with '$lint --root $root --emit-schema $schemas'"
+    fail=1
+  fi
 fi
 
 if [[ "$fail" -ne 0 ]]; then

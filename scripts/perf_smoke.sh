@@ -3,10 +3,11 @@
 # a checkpoint save/resume pass (-> BENCH_ckpt.json), the process-sharded
 # coordinator against the same in-process grid (-> BENCH_sweep.json
 # beside it), the `.mstore` result-store append + query path
-# (-> BENCH_store.json), and single-run core throughput over the Table-I
-# configs (-> BENCH_core.json, the hot-loop overhaul's gate) — so perf
-# regressions, coordinator overhead and store overhead all show up as
-# diffable artifacts instead of anecdotes.
+# (-> BENCH_store.json), single-run core throughput over the Table-I
+# configs (-> BENCH_core.json, the hot-loop overhaul's gate), and a
+# full-tree malec_lint pass (-> BENCH_lint.json) — so perf regressions,
+# coordinator overhead, store overhead and developer-loop lint cost all
+# show up as diffable artifacts instead of anecdotes.
 # scripts/bench_compare.sh diffs these against bench/baselines/ in CI.
 #
 # Usage: scripts/perf_smoke.sh <build-dir> [out.json]
@@ -183,3 +184,25 @@ cat > "$core_out" <<JSON
 JSON
 echo "perf_smoke: wrote $core_out"
 cat "$core_out"
+
+# 7. static-analysis throughput: one full-tree malec_lint pass (every
+#    rule family + schema extraction over src/ + tools/ + bench/). The
+#    lint runs on every CI build and before every commit, so its wall
+#    clock is a developer-loop cost worth gating like the simulator's.
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+t0="$(now)"
+"$build_dir/malec_lint" --root "$repo_root" \
+  --allowlist "$repo_root/tools/lint/allowlist.txt" > /dev/null
+t1="$(now)"
+lint_full_tree_s="$(elapsed "$t0" "$t1")"
+
+lint_out="$(dirname "$out")/BENCH_lint.json"
+cat > "$lint_out" <<JSON
+{
+  "bench": "lint_full_tree",
+  "budgets": {"tree": "src + tools + bench, all rule families + schemas"},
+  "lint_full_tree_s": $lint_full_tree_s
+}
+JSON
+echo "perf_smoke: wrote $lint_out"
+cat "$lint_out"

@@ -86,6 +86,7 @@ bool BaselineInterface::canAcceptStore() const { return !sb_.full(); }
 bool BaselineInterface::submit(const MemOp& op) {
   if (op.is_load) {
     if (!canAcceptLoad()) return false;
+    // lint:allow(hot-alloc: pending-load list is bounded by canAcceptLoad and reuses retained capacity)
     pending_loads_.push_back(op);
     ++stats_.loads_submitted;
   } else {
@@ -202,6 +203,7 @@ void BaselineInterface::endCycle(Cycle now) {
 
 void BaselineInterface::drainCompletions(Cycle now,
                                          std::vector<SeqNum>& out) {
+  // lint:allow(hot-alloc: caller-owned completion vector retains its capacity across cycles)
   completions_.drainReady(now, [&out](SeqNum seq) { out.push_back(seq); });
 }
 

@@ -68,6 +68,7 @@ class EventQueue {
     // (the run loop never does this — events land at now+latency — but
     // restored or fuzzed queues may).
     if (size_ == 0 || cycle < next_) next_ = cycle;
+    // lint:allow(hot-alloc: buckets keep their high-water capacity — steady-state pushes reuse retained storage)
     buckets_[cycle & (kBuckets - 1)].push_back(Event{cycle, seq});
     ++size_;
   }
@@ -94,11 +95,13 @@ class EventQueue {
         std::size_t keep = 0;
         for (const Event& e : b) {
           if (e.cycle == next_) {
+            // lint:allow(hot-alloc: drain scratch retains capacity across cycles)
             drain_scratch_.push_back(e);
           } else {
             b[keep++] = e;
           }
         }
+        // lint:allow(hot-alloc: shrinking resize — compacts in place, never grows)
         b.resize(keep);
         if (!drain_scratch_.empty()) {
           if (drain_scratch_.size() > 1)

@@ -290,6 +290,7 @@ void MalecInterface::serviceGroup(Cycle now) {
   cands.reserve(members.size());
   for (std::size_t ib_idx : members) {
     const MemOp& op = ib_.op(ib_idx);
+    // lint:allow(hot-alloc: cand_scratch_ is reserved above and retained across cycles)
     cands.push_back(ArbCandidate{ib_idx, op.vaddr, op.size, ib_.isMbe(ib_idx)});
   }
 
@@ -310,6 +311,7 @@ void MalecInterface::serviceGroup(Cycle now) {
 
     if (c.is_mbe) {
       accessL1Write(ib_.op(c.ib_index), vpage, paddr, tr.uwt_slot, now);
+      // lint:allow(hot-alloc: serviced_scratch_ retains capacity across cycles)
       serviced.push_back(c.ib_index);
       ++stats_.group_entries;
       continue;
@@ -318,10 +320,12 @@ void MalecInterface::serviceGroup(Cycle now) {
     // Collect this winner's party (the loads merged onto it).
     std::vector<std::size_t>& party = party_scratch_;  // cand indices
     party.clear();
+    // lint:allow(hot-alloc: party_scratch_ retains capacity across cycles)
     party.push_back(i);
     for (std::size_t j = 0; j < cands.size(); ++j)
       if (arb.action[j] == ArbOutcome::Action::kMerged &&
           arb.winner_of[j] == i)
+        // lint:allow(hot-alloc: party_scratch_ retains capacity across cycles)
         party.push_back(j);
 
     // Store/Merge Buffer forwarding first; the first non-forwarded member
@@ -350,6 +354,7 @@ void MalecInterface::serviceGroup(Cycle now) {
         ++stats_.merged_loads;
       }
       complete(mop.seq, ready);
+      // lint:allow(hot-alloc: serviced_scratch_ retains capacity across cycles)
       serviced.push_back(m.ib_index);
       ++stats_.group_entries;
     }
@@ -404,6 +409,7 @@ void MalecInterface::endCycle(Cycle now) {
 }
 
 void MalecInterface::drainCompletions(Cycle now, std::vector<SeqNum>& out) {
+  // lint:allow(hot-alloc: caller-owned completion vector retains its capacity across cycles)
   completions_.drainReady(now, [&out](SeqNum seq) { out.push_back(seq); });
 }
 

@@ -53,9 +53,11 @@ void CoreModel::enqueueReady(SeqNum seq) {
   MALEC_DCHECK(e.pending_deps == 0);
   switch (e.instr.kind) {
     case trace::InstrKind::kOther:
+      // lint:allow(hot-alloc: FixedRing::push_back writes into a preallocated slab — no allocation)
       ready_exec_.push_back(seq);
       break;
     case trace::InstrKind::kLoad:
+      // lint:allow(hot-alloc: FixedRing::push_back writes into a preallocated slab — no allocation)
       ready_loads_.push_back(seq);
       break;
     case trace::InstrKind::kStore:
@@ -341,6 +343,7 @@ void CoreModel::saveState(ckpt::StateWriter& w) const {
   for (const auto field : kCoreScaledCounterFields) w.u64(stats_.*field);
 }
 
+// lint:allow(ckpt-symmetry: readBounded() consumes exactly the one u64 length saveState writes inline for each ready ring — lexically unpairable, runtime matrix pins the identity)
 void CoreModel::loadState(ckpt::StateReader& r) {
   head_seq_ = r.u64();
   const std::uint64_t rob_n = r.u64();
@@ -413,6 +416,7 @@ void CoreModel::dispatchRecord(const trace::InstrRecord& r) {
     if (!inRob(target)) return;           // producer already retired
     RobEntry& t = entry(target);
     if (t.completed) return;              // producer done
+    // lint:allow(hot-alloc: dep lists keep their capacity when ROB slots recycle)
     t.deps.push_back(r.seq);
     ++e.pending_deps;
   };
@@ -420,6 +424,7 @@ void CoreModel::dispatchRecord(const trace::InstrRecord& r) {
   if (r.isMem() && r.addr_dep_distance != r.dep_distance)
     addDep(r.addr_dep_distance);
 
+  // lint:allow(hot-alloc: FixedRing::push_back writes into a preallocated slab — no allocation)
   if (r.isStore()) store_order_.push_back(r.seq);
   if (e.pending_deps == 0) enqueueReady(r.seq);
 }

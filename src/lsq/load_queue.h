@@ -38,6 +38,7 @@ class LoadQueue {
     MALEC_CHECK_MSG(!full(), "LoadQueue overflow");
     MALEC_CHECK_MSG(ring_.empty() || seq > ring_[ring_.size() - 1],
                     "duplicate or out-of-order LQ allocation");
+    // lint:allow(hot-alloc: FixedRing::push_back writes into a preallocated slab — no allocation)
     ring_.push_back(seq);
     peak_ = ring_.size() > peak_ ? ring_.size() : peak_;
   }

@@ -135,10 +135,13 @@ std::unique_ptr<ReplacementPolicy> makePolicy(ReplacementKind kind,
                                               std::uint32_t ways, Rng rng) {
   switch (kind) {
     case ReplacementKind::kLru:
+      // lint:allow(hot-alloc: construction-time factory — every call site is a ctor init-list)
       return std::make_unique<LruPolicy>(sets, ways);
     case ReplacementKind::kRandom:
+      // lint:allow(hot-alloc: construction-time factory — every call site is a ctor init-list)
       return std::make_unique<RandomPolicy>(sets, ways, rng);
     case ReplacementKind::kSecondChance:
+      // lint:allow(hot-alloc: construction-time factory — every call site is a ctor init-list)
       return std::make_unique<SecondChancePolicy>(sets, ways);
   }
   MALEC_CHECK(false);

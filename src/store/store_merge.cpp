@@ -1,4 +1,4 @@
-#include "sweep/store_merge.h"
+#include "store/store_merge.h"
 
 #include <cstdio>
 #include <filesystem>

@@ -8,7 +8,8 @@
 //    scripts/check_lint.sh are exec'd per fixture; every seeded rule
 //    family must make the gate exit non-zero, and the clean/waived trees
 //    must exit zero. bad_drift proves the checkpoint-matrix cross-check
-//    fails even though the lint itself is clean.
+//    fails even though the lint itself is clean, and schema_drift proves
+//    the same for the committed-schema regenerate-and-diff gate.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -109,6 +110,115 @@ TEST(LintLibrary, InlineAndFileScopeWaiversSilenceFindings) {
   EXPECT_TRUE(r.findings.empty()) << malec::lint::formatFindings(r);
 }
 
+TEST(LintLibrary, SymmetryRuleFlagsReorderedLoadState) {
+  const Report r = lintFixture("bad_symmetry");
+  ASSERT_EQ(r.findings.size(), 1u) << malec::lint::formatFindings(r);
+  EXPECT_EQ(r.findings[0].rule, "ckpt-symmetry");
+  // The message names the first diverging op pair.
+  EXPECT_NE(r.findings[0].message.find("u64"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("u8"), std::string::npos);
+}
+
+TEST(LintLibrary, LayeringRuleFlagsUpStackIncludeOnly) {
+  const Report r = lintFixture("bad_layering");
+  ASSERT_EQ(r.findings.size(), 1u) << malec::lint::formatFindings(r);
+  EXPECT_EQ(r.findings[0].rule, "layering");
+  // The sim include is the violation; the ckpt include is legal.
+  EXPECT_NE(r.findings[0].message.find("sim/suite.h"), std::string::npos);
+}
+
+TEST(LintLibrary, HotAllocFlagsSteadyStateAllocationNotCtor) {
+  const Report r = lintFixture("bad_hotalloc");
+  // Two push_back sites; the constructor one is exempt.
+  ASSERT_EQ(r.findings.size(), 1u) << malec::lint::formatFindings(r);
+  EXPECT_EQ(r.findings[0].rule, "hot-alloc");
+}
+
+TEST(LintLibrary, SchemaDriftTreeLintsClean) {
+  // Drift between committed schemas and the saveState bodies is a
+  // check_lint.sh gate concern, not a lint finding — the tree itself is
+  // contract-clean.
+  const Report r = lintFixture("schema_drift");
+  EXPECT_TRUE(r.findings.empty()) << malec::lint::formatFindings(r);
+  ASSERT_EQ(r.schemas.size(), 1u);
+  const std::vector<std::string> want = {"u64 value_", "u64 extra_"};
+  EXPECT_EQ(r.schemas[0].lines, want);
+}
+
+TEST(LintLibrary, SchemaExtractionRecordsOrderedOps) {
+  const Report r = lintFixture("clean");
+  ASSERT_EQ(r.schemas.size(), 1u);
+  EXPECT_EQ(r.schemas[0].class_name, "Widget");
+  EXPECT_EQ(r.schemas[0].file, "src/core/widget.h");
+  const std::vector<std::string> want = {"call put(w, value_)",
+                                         "call put(w, history_.size())",
+                                         "call put(w, h)"};
+  EXPECT_EQ(r.schemas[0].lines, want);
+  const std::string text = malec::lint::formatSchema(r.schemas[0]);
+  EXPECT_NE(text.find("class Widget\n"), std::string::npos);
+  EXPECT_NE(text.find("source src/core/widget.h\n"), std::string::npos);
+}
+
+TEST(LintLibrary, AllowlistSuffixMatchesAtComponentBoundariesOnly) {
+  // Regression: a suffix like core/foo.h must exempt src/core/foo.h but
+  // NOT src/othercore/foo.h (plain ends-with matching did).
+  const std::string dir = std::string(::testing::TempDir()) + "lint_suffix";
+  ASSERT_EQ(runCommand("mkdir -p " + dir + "/src/core " + dir +
+                       "/src/othercore"),
+            0);
+  for (const char* sub : {"core", "othercore"}) {
+    std::ofstream f(dir + "/src/" + sub + "/foo.h");
+    f << "inline int f(const char* s) { return atoi(s); }\n";
+  }
+  Options opt;
+  opt.root = dir;
+  opt.allow.push_back({"strict-parse", "core/foo.h", "fixture"});
+  const Report r = malec::lint::runLint(opt);
+  ASSERT_EQ(r.findings.size(), 1u) << malec::lint::formatFindings(r);
+  EXPECT_EQ(r.findings[0].file, "src/othercore/foo.h");
+}
+
+TEST(LintLibrary, RuleFilterRestrictsFamilies) {
+  Options opt;
+  opt.root = fixtureRoot("bad_parse");
+  opt.rule_filter = {"determinism"};
+  EXPECT_TRUE(malec::lint::runLint(opt).findings.empty());
+  opt.rule_filter = {"strict-parse"};
+  EXPECT_EQ(malec::lint::runLint(opt).findings.size(), 2u);
+}
+
+TEST(LintLibrary, RestrictedDirsGetDeterminismAndStrictParseOnly) {
+  // tools/ and bench/ stay reproducible (determinism, strict-parse) but
+  // are exempt from the simulation-state families.
+  const std::string dir = std::string(::testing::TempDir()) + "lint_tools";
+  ASSERT_EQ(runCommand("mkdir -p " + dir + "/src " + dir + "/tools " + dir +
+                       "/tools/x/fixtures/src"),
+            0);
+  {
+    std::ofstream f(dir + "/tools/gen.cpp");
+    f << "#include <cstdlib>\n"
+         "#include <unordered_map>\n"
+         "struct StateWriter {};\n"  // udc-order bait: restricted files
+         "std::unordered_map<int, int> m;\n"
+         "int gen() {\n"
+         "  int s = 0;\n"
+         "  for (const auto& kv : m) s += kv.second;\n"
+         "  return s + rand();\n"
+         "}\n";
+  }
+  {
+    // Violations under a fixtures/ component must not be scanned at all.
+    std::ofstream f(dir + "/tools/x/fixtures/src/seeded.cpp");
+    f << "#include <cstdlib>\nint s(const char* v) { return atoi(v); }\n";
+  }
+  Options opt;
+  opt.root = dir;
+  const Report r = malec::lint::runLint(opt);
+  ASSERT_EQ(r.findings.size(), 1u) << malec::lint::formatFindings(r);
+  EXPECT_EQ(r.findings[0].rule, "determinism");
+  EXPECT_EQ(r.findings[0].file, "tools/gen.cpp");
+}
+
 TEST(LintLibrary, MalformedWaiverIsItselfAFinding) {
   // A waiver without a reason must not silently disable a rule.
   const std::string dir = std::string(::testing::TempDir()) + "lint_waiver";
@@ -153,6 +263,22 @@ TEST(LintExitCodes, MalecLintUsageErrorsExitTwo) {
   EXPECT_EQ(runCommand(std::string(MALEC_LINT_BIN) +
                        " --root /nonexistent-malec-root"),
             2);
+  // Unknown --rule family is a usage error, not a clean pass.
+  EXPECT_EQ(runCommand(std::string(MALEC_LINT_BIN) + " --root " +
+                       fixtureRoot("clean") + " --rule bogus-family"),
+            2);
+  EXPECT_EQ(runCommand(std::string(MALEC_LINT_BIN) + " --root " +
+                       fixtureRoot("clean") +
+                       " --list-stateful --emit-schema /tmp/x"),
+            2);
+}
+
+TEST(LintExitCodes, RuleFlagRunsASingleFamily) {
+  const std::string base =
+      std::string(MALEC_LINT_BIN) + " --root " + fixtureRoot("bad_parse");
+  EXPECT_EQ(runCommand(base), 1);
+  EXPECT_EQ(runCommand(base + " --rule strict-parse"), 1);
+  EXPECT_EQ(runCommand(base + " --rule determinism"), 0);
 }
 
 TEST(LintExitCodes, CheckLintPassesCleanTrees) {
@@ -166,10 +292,19 @@ TEST(LintExitCodes, CheckLintFailsEverySeededRuleFamily) {
   EXPECT_EQ(checkLintExit("bad_determinism"), 1);
   EXPECT_EQ(checkLintExit("bad_udc"), 1);
   EXPECT_EQ(checkLintExit("bad_parse"), 1);
+  EXPECT_EQ(checkLintExit("bad_symmetry"), 1);
+  EXPECT_EQ(checkLintExit("bad_layering"), 1);
+  EXPECT_EQ(checkLintExit("bad_hotalloc"), 1);
 }
 
 TEST(LintExitCodes, CheckLintFailsOnCheckpointMatrixDrift) {
   EXPECT_EQ(checkLintExit("bad_drift"), 1);
+}
+
+TEST(LintExitCodes, CheckLintFailsOnSchemaDrift) {
+  // The schema_drift tree lints clean — only the committed golden is
+  // stale. The regenerate-and-diff gate must still fail the build.
+  EXPECT_EQ(checkLintExit("schema_drift"), 1);
 }
 
 }  // namespace

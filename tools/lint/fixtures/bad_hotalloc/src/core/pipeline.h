@@ -1,0 +1,26 @@
+// Positive fixture for hot-alloc: a per-cycle class that allocates in
+// its tick path. The constructor's push_back is exempt by design (the
+// rule bans steady-state allocation, not setup); the one in tick() is
+// the violation. Expected: exactly one hot-alloc finding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class Pipeline {
+ public:
+  Pipeline() { slots_.push_back(0); }
+
+  void tick() {
+    slots_.push_back(next_);
+    ++next_;
+  }
+
+ private:
+  std::vector<std::uint64_t> slots_;
+  std::uint64_t next_ = 1;
+};
+
+}  // namespace fixture

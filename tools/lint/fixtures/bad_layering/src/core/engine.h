@@ -1,0 +1,14 @@
+// Positive fixture for layering: src/core reaching up the stack into
+// src/sim. The layer DAG says core may depend on {common, ckpt, mem,
+// tlb, waydet, lsq, energy} only. Expected: exactly one layering
+// finding on the sim include (the ckpt include below is legal).
+#pragma once
+
+#include "ckpt/state_io.h"
+#include "sim/suite.h"
+
+namespace fixture {
+
+inline int engineTick() { return 0; }
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Positive fixture for ckpt-symmetry: loadState reads the two fields in
+// the opposite order (and widths) from the one saveState writes — the
+// restored checkpoint would put flag_ bytes into value_. Expected:
+// exactly one ckpt-symmetry finding (checkpoint-state is satisfied;
+// both members appear in both bodies).
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct StateWriter {
+  void u64(std::uint64_t) {}
+  void u8(std::uint8_t) {}
+};
+struct StateReader {
+  std::uint64_t u64() { return 0; }
+  std::uint8_t u8() { return 0; }
+};
+
+class Widget {
+ public:
+  void tick() { ++value_; }
+
+  void saveState(StateWriter& w) const {
+    w.u64(value_);
+    w.u8(flag_);
+  }
+  void loadState(StateReader& r) {
+    flag_ = r.u8();
+    value_ = r.u64();
+  }
+
+ private:
+  std::uint64_t value_ = 0;
+  std::uint8_t flag_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Positive fixture for the schema-drift gate: the tree itself lints
+// clean (symmetric save/load, every member serialized), but the
+// committed golden under tools/lint/schemas/ records the two u64 fields
+// in the opposite order — as if someone reordered the saveState body
+// without regenerating. Expected: zero lint findings, check_lint.sh
+// exit 1 from the regenerate-and-diff gate.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct StateWriter {
+  void u64(std::uint64_t) {}
+};
+struct StateReader {
+  std::uint64_t u64() { return 0; }
+};
+
+class Widget {
+ public:
+  void tick() { ++value_; }
+
+  void saveState(StateWriter& w) const {
+    w.u64(value_);
+    w.u64(extra_);
+  }
+  void loadState(StateReader& r) {
+    value_ = r.u64();
+    extra_ = r.u64();
+  }
+
+ private:
+  std::uint64_t value_ = 0;
+  std::uint64_t extra_ = 0;
+};
+
+}  // namespace fixture

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace fixture {
 
@@ -22,6 +23,11 @@ class Widget {
     ea_.count("widget.built");
   }
 
+  void tick() {
+    // lint:allow(hot-alloc: samples ring retains its high-water capacity)
+    samples_.push_back(value_);
+  }
+
   void saveState(StateWriter& w) const { put(w, value_); }
   void loadState(StateReader& r) { value_ = get(r); }
 
@@ -32,6 +38,28 @@ class Widget {
   EnergyAccount& ea_;  // lint:no-state(wiring ref; checkpoints itself)
   std::uint64_t value_ = 0;
   std::uint64_t scratch_ = 0;  // lint:no-state(per-cycle scratch; rebuilt every tick)
+  std::vector<std::uint64_t> samples_;  // lint:no-state(diagnostic ring; rebuilt every run)
+};
+
+// A save/load pair the lexical symmetry pass cannot line up: save writes
+// two fields through a helper each, load restores both through one
+// bounds-checked helper. Semantically symmetric, so the class carries a
+// reasoned waiver.
+// lint:allow(ckpt-symmetry: restore() consumes exactly the two fields the save helpers write; runtime matrix pins the identity)
+class Gauge {
+ public:
+  void saveState(StateWriter& w) const {
+    put(w, ticks_);
+    put(w, peak_);
+  }
+  void loadState(StateReader& r) { restore(r, ticks_, peak_); }
+
+ private:
+  static void put(StateWriter&, std::uint64_t) {}
+  static void restore(StateReader&, std::uint64_t&, std::uint64_t&) {}
+
+  std::uint64_t ticks_ = 0;
+  std::uint64_t peak_ = 0;
 };
 
 }  // namespace fixture

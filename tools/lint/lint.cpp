@@ -49,6 +49,23 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b);
 }
 
+/// Collapse whitespace runs to single spaces and trim — schema lines and
+/// finding details must not depend on source formatting.
+std::string normalizeSpace(const std::string& s) {
+  std::string out;
+  bool pending = false;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      pending = !out.empty();
+      continue;
+    }
+    if (pending) out += ' ';
+    pending = false;
+    out += c;
+  }
+  return out;
+}
+
 // --- waivers ----------------------------------------------------------------
 
 struct Waiver {
@@ -58,8 +75,9 @@ struct Waiver {
   std::string reason;
 };
 
-/// Extract `lint:no-state(...)` / `lint:allow(...)` markers from the raw
-/// (pre-scrub) text so waivers written in comments survive.
+/// Extract `lint:no-state` / `lint:allow` waiver markers. The input is
+/// the string-blanked (comments kept) text: waivers live in comments, and
+/// literals spelling a marker must not register as waivers.
 std::vector<Waiver> extractWaivers(const std::string& raw,
                                    std::vector<Finding>& findings,
                                    const std::string& rel_path) {
@@ -119,10 +137,13 @@ std::vector<Waiver> extractWaivers(const std::string& raw,
 
 // --- scrubbing --------------------------------------------------------------
 
-/// Replace comment text and string/char-literal *contents* with spaces
-/// (delimiting quotes are kept so "literal present here" is still visible),
-/// preserving every newline so line numbers survive.
-std::string scrub(const std::string& raw) {
+/// Replace string/char-literal *contents* — and, when `blank_comments`,
+/// comment text — with spaces (delimiting quotes are kept so "literal
+/// present here" is still visible), preserving every newline so line
+/// numbers survive. Waiver extraction scrubs literals but keeps comments
+/// (waivers live in comments; a rule-message string that happens to spell
+/// a waiver marker must not register).
+std::string scrub(const std::string& raw, bool blank_comments = true) {
   std::string out = raw;
   std::size_t i = 0;
   const std::size_t n = raw.size();
@@ -132,14 +153,21 @@ std::string scrub(const std::string& raw) {
   while (i < n) {
     const char c = raw[i];
     if (c == '/' && i + 1 < n && raw[i + 1] == '/') {
-      while (i < n && raw[i] != '\n') blank(i++);
+      while (i < n && raw[i] != '\n') {
+        if (blank_comments) blank(i);
+        ++i;
+      }
     } else if (c == '/' && i + 1 < n && raw[i + 1] == '*') {
-      blank(i++);
-      blank(i++);
-      while (i + 1 < n && !(raw[i] == '*' && raw[i + 1] == '/')) blank(i++);
+      auto step = [&] {
+        if (blank_comments) blank(i);
+        ++i;
+      };
+      step();
+      step();
+      while (i + 1 < n && !(raw[i] == '*' && raw[i + 1] == '/')) step();
       if (i + 1 < n) {
-        blank(i++);
-        blank(i++);
+        step();
+        step();
       }
     } else if (c == '"') {
       // Raw string literal? R"delim( ... )delim"
@@ -219,6 +247,16 @@ std::size_t matchBrace(const std::string& text, std::size_t open) {
   return text.size();
 }
 
+/// Offset just past the paren matching the '(' at `open` (or text.size()).
+std::size_t matchParen(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')' && --depth == 0) return i + 1;
+  }
+  return text.size();
+}
+
 /// Remove the contents of balanced <...> groups (template args). `<` that
 /// never closes (comparison) is left alone.
 std::string stripAngles(const std::string& s) {
@@ -257,11 +295,34 @@ std::string lastIdentifier(const std::string& s) {
   return id;
 }
 
+/// Parameter name of a saveState/loadState signature: the last identifier
+/// inside the first balanced paren group (`(ckpt::StateWriter& w) const`
+/// -> "w"). Empty when no paren group or no parameter.
+std::string signatureParamName(const std::string& signature) {
+  const std::size_t open = signature.find('(');
+  if (open == std::string::npos) return {};
+  const std::size_t close = matchParen(signature, open);
+  if (close <= open + 2) return {};  // "()" or unbalanced
+  std::string inner = signature.substr(open + 1, close - open - 2);
+  // Drop a default argument if one ever appears.
+  const std::size_t eq = inner.find('=');
+  if (eq != std::string::npos) inner = inner.substr(0, eq);
+  return lastIdentifier(inner);
+}
+
 // --- per-file analysis state ------------------------------------------------
 
 struct MemberDecl {
   std::string name;
   int line = 0;
+};
+
+/// Where one saveState/loadState definition body lives — the symmetry
+/// pass anchors findings and waiver lookups here.
+struct MethodDef {
+  std::string file;
+  int line = 0;
+  std::string param;  ///< the StateWriter/StateReader parameter name
 };
 
 struct ClassInfo {
@@ -275,13 +336,23 @@ struct ClassInfo {
   bool pure_load = false;
   std::string save_body;  ///< inline or out-of-line definition text
   std::string load_body;
+  MethodDef save_def;
+  MethodDef load_def;
 };
+
+/// [begin, end) offset ranges exempt from the hot-alloc rule: constructor,
+/// destructor, saveState and loadState bodies.
+using ExemptRanges = std::vector<std::pair<std::size_t, std::size_t>>;
 
 struct FileData {
   std::string rel_path;
   std::string raw;
   std::string scrubbed;
   std::vector<Waiver> waivers;
+  /// Restricted files (tools/, bench/) get only the determinism and
+  /// strict-parse families — they never serialize simulated state.
+  bool restricted = false;
+  ExemptRanges alloc_exempt;
 };
 
 bool hasWaiver(const FileData& f, int line, const std::string& rule,
@@ -294,26 +365,52 @@ bool hasWaiver(const FileData& f, int line, const std::string& rule,
   return false;
 }
 
+bool hasWaiverIn(const std::map<std::string, FileData>& files,
+                 const std::string& rel_path, int line,
+                 const std::string& rule) {
+  const auto it = files.find(rel_path);
+  return it != files.end() && hasWaiver(it->second, line, rule, false);
+}
+
+/// Component-boundary-aware suffix match: `core/foo.h` matches
+/// `src/core/foo.h` but NOT `src/othercore/foo.h` — the suffix must be
+/// the whole path or begin right after a '/'.
+bool pathSuffixMatches(const std::string& rel_path,
+                       const std::string& suffix) {
+  if (rel_path.size() < suffix.size()) return false;
+  if (rel_path.compare(rel_path.size() - suffix.size(), suffix.size(),
+                       suffix) != 0)
+    return false;
+  if (rel_path.size() == suffix.size()) return true;
+  return rel_path[rel_path.size() - suffix.size() - 1] == '/';
+}
+
 bool allowlisted(const Options& opt, const std::string& rel_path,
                  const std::string& rule) {
   for (const AllowEntry& e : opt.allow) {
     if (e.rule != rule) continue;
-    if (rel_path.size() < e.path_suffix.size()) continue;
-    if (rel_path.compare(rel_path.size() - e.path_suffix.size(),
-                         e.path_suffix.size(), e.path_suffix) == 0)
-      return true;
+    if (pathSuffixMatches(rel_path, e.path_suffix)) return true;
   }
   return false;
+}
+
+bool ruleEnabled(const Options& opt, const std::string& rule) {
+  if (opt.rule_filter.empty()) return true;
+  return std::find(opt.rule_filter.begin(), opt.rule_filter.end(), rule) !=
+         opt.rule_filter.end();
 }
 
 // --- class / member parsing (R1) --------------------------------------------
 
 /// Walk one class body (scrubbed text in [begin, end)), collecting member
-/// declarations, saveState/loadState declarations and inline bodies.
+/// declarations, saveState/loadState declarations and inline bodies, and
+/// the hot-alloc-exempt body ranges (ctor/dtor/saveState/loadState).
 /// Nested classes are found by the outer scan; their bodies are skipped
 /// here so their members don't leak into the enclosing class.
 void walkClassBody(const std::string& text, std::size_t begin,
-                   std::size_t end, const LineIndex& lines, ClassInfo& ci) {
+                   std::size_t end, const LineIndex& lines,
+                   const std::string& rel_path, ClassInfo& ci,
+                   ExemptRanges& exempt) {
   std::string buf;
   std::size_t buf_start = begin;  // offset of first char in buf
   bool buf_dirty = false;
@@ -407,14 +504,26 @@ void walkClassBody(const std::string& text, std::size_t begin,
         const char nxt = after < end ? text[after] : ';';
         const bool continues = nxt == ':' || nxt == ',' || nxt == '{';
         if (!continues) {
+          // Function name = last identifier before the signature's
+          // first '(' — tells ctors/dtors and the state methods apart.
+          const std::size_t sig_paren = stripped.find('(');
+          const std::string fname =
+              lastIdentifier(stripped.substr(0, sig_paren));
           if (containsWord(stripped, "saveState")) {
             ci.declares_save = true;
             ci.save_body += body;
+            ci.save_def = {rel_path, lines.lineOf(buf_start),
+                           signatureParamName(stripped)};
           }
           if (containsWord(stripped, "loadState")) {
             ci.declares_load = true;
             ci.load_body += body;
+            ci.load_def = {rel_path, lines.lineOf(buf_start),
+                           signatureParamName(stripped)};
           }
+          if (fname == ci.name || fname == "saveState" ||
+              fname == "loadState")
+            exempt.push_back({i, close});
           i = close;
           if (i < end && text[skipSpaces(text, i)] == ';')
             i = skipSpaces(text, i) + 1;
@@ -484,7 +593,7 @@ void walkClassBody(const std::string& text, std::size_t begin,
 
 /// Find every class/struct definition in scrubbed text (recursing into
 /// nested bodies) and record those declaring saveState/loadState.
-void scanClasses(const FileData& f, const LineIndex& lines,
+void scanClasses(FileData& f, const LineIndex& lines,
                  std::vector<ClassInfo>& classes) {
   const std::string& text = f.scrubbed;
   for (std::size_t i = 0; i + 5 < text.size(); ++i) {
@@ -530,22 +639,25 @@ void scanClasses(const FileData& f, const LineIndex& lines,
     ci.file = f.rel_path;
     ci.line = lines.lineOf(i);
     walkClassBody(text, body + 1, close > 0 ? close - 1 : close, lines,
-                  ci);
+                  f.rel_path, ci, f.alloc_exempt);
     classes.push_back(std::move(ci));
   }
 }
 
-/// Attach out-of-line `X::saveState` / `X::loadState` bodies.
-void attachOutOfLineBodies(const std::vector<const FileData*>& files,
+/// Attach out-of-line `X::saveState` / `X::loadState` bodies, recording
+/// the defining file/line and parameter name for the symmetry pass.
+void attachOutOfLineBodies(const std::vector<FileData*>& files,
                            std::vector<ClassInfo>& classes) {
   for (ClassInfo& ci : classes) {
     if (!ci.declares_save && !ci.declares_load) continue;
     for (const char* method : {"saveState", "loadState"}) {
-      std::string& body =
-          std::string(method) == "saveState" ? ci.save_body : ci.load_body;
+      const bool is_save = std::string(method) == "saveState";
+      std::string& body = is_save ? ci.save_body : ci.load_body;
+      MethodDef& def = is_save ? ci.save_def : ci.load_def;
       if (!body.empty()) continue;
       const std::string pattern = ci.name + "::" + method;
       for (const FileData* fp : files) {
+        if (fp->restricted) continue;
         const std::string& text = fp->scrubbed;
         for (std::size_t pos = text.find(pattern);
              pos != std::string::npos;
@@ -558,6 +670,9 @@ void attachOutOfLineBodies(const std::vector<const FileData*>& files,
           const std::string between = text.substr(pos, open - pos);
           if (between.find(';') != std::string::npos) continue;
           body += text.substr(open, matchBrace(text, open) - open);
+          def.file = fp->rel_path;
+          def.line = LineIndex(text).lineOf(pos);
+          def.param = signatureParamName(between);
           break;
         }
         if (!body.empty()) break;
@@ -566,15 +681,93 @@ void attachOutOfLineBodies(const std::vector<const FileData*>& files,
   }
 }
 
-// --- token rules (R2/R3a/R4) ------------------------------------------------
+/// Out-of-line hot-alloc exemptions: `X::X(...)`, `X::~X()`,
+/// `X::saveState(...)` and `X::loadState(...)` definition bodies in the
+/// file's scrubbed text. The init-list walk treats each `name(...)` /
+/// `name{...}` initializer as one unit, so a brace initializer is never
+/// mistaken for the function body.
+void collectOutOfLineExemptRanges(FileData& f) {
+  const std::string& text = f.scrubbed;
+  for (std::size_t pos = text.find("::"); pos != std::string::npos;
+       pos = text.find("::", pos + 2)) {
+    // Left identifier.
+    std::size_t lb = pos;
+    while (lb > 0 && isIdentChar(text[lb - 1])) --lb;
+    if (lb == pos) continue;
+    const std::string left = text.substr(lb, pos - lb);
+    // Right token: optional '~', then an identifier.
+    std::size_t rb = pos + 2;
+    bool dtor = false;
+    if (rb < text.size() && text[rb] == '~') {
+      dtor = true;
+      ++rb;
+    }
+    std::size_t re = rb;
+    while (re < text.size() && isIdentChar(text[re])) ++re;
+    const std::string right = text.substr(rb, re - rb);
+    if (right.empty()) continue;
+    const bool interesting =
+        right == left || (dtor && right == left) ||
+        (!dtor && (right == "saveState" || right == "loadState"));
+    if (!interesting || (!dtor && right != left && right != "saveState" &&
+                         right != "loadState"))
+      continue;
+    std::size_t p = skipSpaces(text, re);
+    if (p >= text.size() || text[p] != '(') continue;
+    p = matchParen(text, p);
+    // Trailing qualifiers before the body or init-list.
+    for (;;) {
+      p = skipSpaces(text, p);
+      if (p >= text.size()) break;
+      if (isIdentChar(text[p])) {  // const, noexcept, override...
+        while (p < text.size() && isIdentChar(text[p])) ++p;
+        continue;
+      }
+      break;
+    }
+    if (p < text.size() && text[p] == ':' &&
+        (p + 1 >= text.size() || text[p + 1] != ':')) {
+      // ctor-init-list: `ident(args)` or `ident{args}` units, comma-
+      // separated; the first top-level token after the list is the body.
+      ++p;
+      for (;;) {
+        p = skipSpaces(text, p);
+        while (p < text.size() &&
+               (isIdentChar(text[p]) || text[p] == ':' || text[p] == '<' ||
+                text[p] == '>'))
+          ++p;
+        p = skipSpaces(text, p);
+        if (p < text.size() && text[p] == '(')
+          p = matchParen(text, p);
+        else if (p < text.size() && text[p] == '{')
+          p = matchBrace(text, p);
+        else
+          break;
+        p = skipSpaces(text, p);
+        if (p < text.size() && text[p] == ',') {
+          ++p;
+          continue;
+        }
+        break;
+      }
+    }
+    if (p >= text.size() || text[p] != '{') continue;  // declaration
+    const std::size_t close = matchBrace(text, p);
+    f.alloc_exempt.push_back({p, close});
+    pos = close >= 2 ? close - 2 : close;
+  }
+}
+
+// --- token rules (R2/R3a/R4/R7) ---------------------------------------------
 
 struct TokenRule {
   std::string rule;
   std::string token;    ///< word-boundary token
-  bool call_only;       ///< require '(' as the next non-space char
+  bool call_only;       ///< require '(' (or '<' template args) next
   bool string_keyed;    ///< require '"' right after the '('
   std::string message;
   bool scope_call = false;  ///< require the token be preceded by "::"
+  bool bare_word = false;   ///< flag the word alone (the `new` keyword)
 };
 
 const std::vector<TokenRule>& determinismRules() {
@@ -637,12 +830,41 @@ const std::vector<TokenRule>& eventIdRules() {
   return kRules;
 }
 
+const std::vector<TokenRule>& hotAllocRules() {
+  static const std::vector<TokenRule> kRules = [] {
+    std::vector<TokenRule> v;
+    const char* suffix =
+        " in a per-cycle directory outside ctor/saveState/loadState — the "
+        "run loop must not allocate; hoist to construction or waive with "
+        "// lint:allow(hot-alloc: reason)";
+    v.push_back({"hot-alloc", "new", false, false,
+                 std::string("`new`") + suffix, false, /*bare_word=*/true});
+    for (const char* fn : {"malloc", "calloc", "realloc", "make_unique",
+                           "make_shared", "push_back", "emplace_back",
+                           "resize"}) {
+      v.push_back({"hot-alloc", fn, true, false,
+                   std::string(fn) + "()" + suffix});
+    }
+    return v;
+  }();
+  return kRules;
+}
+
+bool inExemptRange(const ExemptRanges& ranges, std::size_t pos) {
+  for (const auto& [b, e] : ranges) {
+    if (pos >= b && pos < e) return true;
+  }
+  return false;
+}
+
 void applyTokenRules(const Options& opt, const FileData& f,
                      const LineIndex& lines,
                      const std::vector<TokenRule>& rules,
-                     std::vector<Finding>& findings) {
+                     std::vector<Finding>& findings,
+                     bool honor_exempt_ranges = false) {
   const std::string& text = f.scrubbed;
   for (const TokenRule& r : rules) {
+    if (!ruleEnabled(opt, r.rule)) continue;
     if (allowlisted(opt, f.rel_path, r.rule)) continue;
     for (std::size_t pos = text.find(r.token); pos != std::string::npos;
          pos = text.find(r.token, pos + 1)) {
@@ -651,9 +873,12 @@ void applyTokenRules(const Options& opt, const FileData& f,
           (pos < 2 || text.compare(pos - 2, 2, "::") != 0))
         continue;
       std::size_t after = skipSpaces(text, pos + r.token.size());
-      if (r.call_only) {
-        if (after >= text.size() || text[after] != '(') continue;
+      if (r.call_only && !r.bare_word) {
+        if (after >= text.size() ||
+            (text[after] != '(' && text[after] != '<'))
+          continue;
         if (r.string_keyed) {
+          if (text[after] != '(') continue;
           after = skipSpaces(text, after + 1);
           if (after >= text.size() || text[after] != '"') continue;
         }
@@ -661,6 +886,8 @@ void applyTokenRules(const Options& opt, const FileData& f,
         // API — still flagged for `count` in per-cycle dirs ONLY when
         // string-keyed, which containers of strings would be; accept.
       }
+      if (honor_exempt_ranges && inExemptRange(f.alloc_exempt, pos))
+        continue;
       const int line = lines.lineOf(pos);
       if (hasWaiver(f, line, r.rule, false)) continue;
       findings.push_back({f.rel_path, line, r.rule, r.message});
@@ -709,6 +936,7 @@ void applyUnorderedOrderRule(const Options& opt, const FileData& f,
                              const LineIndex& lines,
                              const std::set<std::string>& global_names,
                              std::vector<Finding>& findings) {
+  if (!ruleEnabled(opt, "udc-order")) return;
   if (allowlisted(opt, f.rel_path, "udc-order")) return;
   const std::string& text = f.scrubbed;
   if (!writesSerializedBytes(text)) return;
@@ -799,6 +1027,7 @@ void applyCheckpointRule(const Options& opt,
     if (!(ci.declares_save && ci.declares_load)) continue;
     if (ci.pure_save || ci.pure_load) continue;  // abstract interface
     stateful.push_back(ci.name);
+    if (!ruleEnabled(opt, "checkpoint-state")) continue;
     if (allowlisted(opt, ci.file, "checkpoint-state")) continue;
     const FileData& f = files.at(ci.file);
     if (ci.save_body.empty() || ci.load_body.empty()) {
@@ -831,9 +1060,339 @@ void applyCheckpointRule(const Options& opt,
                  stateful.end());
 }
 
+// --- save/load symmetry + schema extraction (R5) ----------------------------
+
+/// One StateWriter/StateReader operation in a saveState/loadState body.
+struct CkptOp {
+  std::string kind;    ///< u8|u32|u64|f64|str|bytes | sub | call
+  std::string detail;  ///< argument / owner / helper call text
+};
+
+bool isPrimitiveOp(const std::string& name) {
+  return name == "u8" || name == "u32" || name == "u64" || name == "f64" ||
+         name == "str" || name == "bytes";
+}
+
+/// First argument of the call whose '(' is at `open` — text up to the
+/// top-level ',' or the closing ')'.
+std::string firstArgText(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      if (depth == 0) return text.substr(open + 1, i - open - 1);
+    }
+    if (c == ',' && depth == 1)
+      return text.substr(open + 1, i - open - 1);
+  }
+  return {};
+}
+
+/// The qualified expression ending at `end` (exclusive): identifiers
+/// joined by '.', '->' and '::' — `repl_->saveState`, `lq_.saveState`.
+std::string qualifiedExprEndingAt(const std::string& text,
+                                  std::size_t end) {
+  std::size_t b = end;
+  while (b > 0) {
+    const char c = text[b - 1];
+    if (isIdentChar(c) || c == '.' || c == ':') {
+      --b;
+      continue;
+    }
+    if (c == '>' && b >= 2 && text[b - 2] == '-') {
+      b -= 2;
+      continue;
+    }
+    break;
+  }
+  return text.substr(b, end - b);
+}
+
+/// Extract the ordered StateWriter/StateReader operation sequence from a
+/// saveState/loadState body, given the writer/reader parameter name:
+///   param.u64(expr)            -> {u64, expr}
+///   owner.saveState(param)     -> {sub, owner.saveState}
+///   helper(param, more...)     -> {call, helper(...)}
+/// Left-to-right textual order IS the serialization order for straight-
+/// line code; loops contribute their body once (symmetric on both sides
+/// when the loop bodies pair up — shapes that don't are waived).
+std::vector<CkptOp> extractCkptOps(const std::string& body,
+                                   const std::string& param,
+                                   const std::string& method_word) {
+  std::vector<CkptOp> ops;
+  if (param.empty()) return ops;
+  for (std::size_t pos = body.find(param); pos != std::string::npos;
+       pos = body.find(param, pos + 1)) {
+    if (!wordAt(body, pos, param)) continue;
+    std::size_t after = skipSpaces(body, pos + param.size());
+    if (after < body.size() && body[after] == '.') {
+      std::size_t mb = skipSpaces(body, after + 1);
+      std::size_t me = mb;
+      while (me < body.size() && isIdentChar(body[me])) ++me;
+      const std::string m = body.substr(mb, me - mb);
+      const std::size_t open = skipSpaces(body, me);
+      if (isPrimitiveOp(m) && open < body.size() && body[open] == '(') {
+        ops.push_back({m, normalizeSpace(firstArgText(body, open))});
+      }
+      continue;
+    }
+    if (after >= body.size() || (body[after] != ',' && body[after] != ')'))
+      continue;
+    // The param is a whole argument — find the innermost enclosing call.
+    int depth = 0;
+    std::size_t open = std::string::npos;
+    for (std::size_t j = pos; j > 0; --j) {
+      const char c = body[j - 1];
+      if (c == ')') ++depth;
+      if (c == '(') {
+        if (depth == 0) {
+          open = j - 1;
+          break;
+        }
+        --depth;
+      }
+    }
+    if (open == std::string::npos) continue;
+    std::size_t ne = open;
+    while (ne > 0 &&
+           std::isspace(static_cast<unsigned char>(body[ne - 1])) != 0)
+      --ne;
+    std::size_t nb = ne;
+    while (nb > 0 && isIdentChar(body[nb - 1])) --nb;
+    const std::string callee = body.substr(nb, ne - nb);
+    if (callee.empty()) continue;  // parenthesized expression, not a call
+    static const std::set<std::string> kKeywords = {
+        "if", "while", "for", "switch", "return", "sizeof"};
+    if (kKeywords.count(callee) != 0) continue;
+    if (callee == method_word) {
+      ops.push_back({"sub", normalizeSpace(qualifiedExprEndingAt(body, ne))});
+    } else if (callee == "saveState" || callee == "loadState") {
+      // A save body calling loadState (or vice versa) is still a nested
+      // component hand-off — record it so the mismatch shows as order
+      // divergence, not a miscount.
+      ops.push_back({"sub", normalizeSpace(qualifiedExprEndingAt(body, ne))});
+    } else {
+      const std::size_t close =
+          std::min(matchParen(body, open), body.size());
+      std::string call_text =
+          qualifiedExprEndingAt(body, ne) + body.substr(ne, close - ne);
+      ops.push_back({"call", normalizeSpace(call_text)});
+    }
+  }
+  return ops;
+}
+
+std::string describeOp(const CkptOp& op) {
+  if (op.kind == "sub") return "sub " + op.detail;
+  if (op.kind == "call") return "call " + op.detail;
+  return op.kind + "(" + op.detail + ")";
+}
+
+void applySymmetryRule(const Options& opt,
+                       const std::map<std::string, FileData>& files,
+                       const std::vector<ClassInfo>& classes,
+                       std::vector<Finding>& findings,
+                       std::vector<ClassSchema>& schemas) {
+  for (const ClassInfo& ci : classes) {
+    if (!(ci.declares_save && ci.declares_load)) continue;
+    if (ci.pure_save || ci.pure_load) continue;
+    if (ci.save_body.empty() || ci.load_body.empty()) continue;
+    const std::vector<CkptOp> save_ops =
+        extractCkptOps(ci.save_body, ci.save_def.param, "saveState");
+    const std::vector<CkptOp> load_ops =
+        extractCkptOps(ci.load_body, ci.load_def.param, "loadState");
+
+    // Schema: the ordered field layout the saveState body writes. Always
+    // extracted (the drift gate needs it even when the rule is waived).
+    ClassSchema schema;
+    schema.class_name = ci.name;
+    schema.file = ci.save_def.file.empty() ? ci.file : ci.save_def.file;
+    for (const CkptOp& op : save_ops) {
+      if (op.kind == "sub")
+        schema.lines.push_back("sub " + op.detail);
+      else if (op.kind == "call")
+        schema.lines.push_back("call " + op.detail);
+      else
+        schema.lines.push_back(op.kind + " " + op.detail);
+    }
+    schemas.push_back(std::move(schema));
+
+    if (!ruleEnabled(opt, "ckpt-symmetry")) continue;
+    const std::string anchor_file =
+        ci.save_def.file.empty() ? ci.file : ci.save_def.file;
+    const int anchor_line =
+        ci.save_def.file.empty() ? ci.line : ci.save_def.line;
+    if (allowlisted(opt, anchor_file, "ckpt-symmetry") ||
+        allowlisted(opt, ci.file, "ckpt-symmetry"))
+      continue;
+    // Per-method waiver: on/above the class, saveState or loadState
+    // definition line.
+    if (hasWaiverIn(files, ci.file, ci.line, "ckpt-symmetry")) continue;
+    if (!ci.save_def.file.empty() &&
+        hasWaiverIn(files, ci.save_def.file, ci.save_def.line,
+                    "ckpt-symmetry"))
+      continue;
+    if (!ci.load_def.file.empty() &&
+        hasWaiverIn(files, ci.load_def.file, ci.load_def.line,
+                    "ckpt-symmetry"))
+      continue;
+    if (ci.save_def.param.empty() || ci.load_def.param.empty())
+      continue;  // signature the lexical pass can't see through
+
+    const std::size_t n = std::min(save_ops.size(), load_ops.size());
+    std::size_t diverge = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (save_ops[i].kind != load_ops[i].kind) {
+        diverge = i;
+        break;
+      }
+    }
+    if (diverge < n) {
+      findings.push_back(
+          {anchor_file, anchor_line, "ckpt-symmetry",
+           "stateful class '" + ci.name + "': op #" +
+               std::to_string(diverge + 1) + " diverges — saveState " +
+               describeOp(save_ops[diverge]) + " vs loadState " +
+               describeOp(load_ops[diverge]) +
+               " — a restored checkpoint would misread every later "
+               "field; reorder the bodies or waive with "
+               "// lint:allow(ckpt-symmetry: reason)"});
+    } else if (save_ops.size() != load_ops.size()) {
+      const bool save_more = save_ops.size() > load_ops.size();
+      const CkptOp& extra =
+          save_more ? save_ops[n] : load_ops[n];
+      findings.push_back(
+          {anchor_file, anchor_line, "ckpt-symmetry",
+           "stateful class '" + ci.name + "': saveState emits " +
+               std::to_string(save_ops.size()) +
+               " StateWriter ops but loadState consumes " +
+               std::to_string(load_ops.size()) +
+               " (first unmatched: " +
+               std::string(save_more ? "saveState " : "loadState ") +
+               describeOp(extra) +
+               ") — pair the bodies or waive with "
+               "// lint:allow(ckpt-symmetry: reason)"});
+    }
+  }
+  std::sort(schemas.begin(), schemas.end(),
+            [](const ClassSchema& a, const ClassSchema& b) {
+              return std::tie(a.class_name, a.file) <
+                     std::tie(b.class_name, b.file);
+            });
+}
+
+// --- layer DAG (R6) ---------------------------------------------------------
+
+/// The normative allowed-edges table: src/<key> may include headers only
+/// from itself and the listed components. This is docs/ARCHITECTURE.md's
+/// layer diagram, transitively closed — keep the two in sync (the doc
+/// carries the same table).
+const std::map<std::string, std::set<std::string>>& layerAllowedDeps() {
+  static const std::map<std::string, std::set<std::string>> kTable = [] {
+    std::map<std::string, std::set<std::string>> t;
+    t["common"] = {};
+    t["ckpt"] = {"common"};
+    t["mem"] = {"common", "ckpt"};
+    t["tlb"] = {"common", "ckpt", "mem"};
+    t["waydet"] = {"common", "ckpt"};
+    t["lsq"] = {"common", "ckpt"};
+    t["energy"] = {"common", "ckpt"};
+    t["trace"] = {"common", "ckpt"};
+    t["phase"] = {"common", "ckpt", "trace"};
+    t["core"] = {"common", "ckpt", "mem", "tlb", "waydet", "lsq",
+                 "energy"};
+    t["cpu"] = {"common", "ckpt", "mem",  "tlb",   "waydet",
+                "lsq",    "energy", "core", "trace"};
+    t["sim"] = {"common", "ckpt", "mem",  "tlb",  "waydet", "lsq",
+                "energy", "core", "cpu",  "trace", "phase"};
+    t["sweep"] = t["sim"];
+    t["sweep"].insert("sim");
+    t["store"] = t["sweep"];
+    t["store"].insert("sweep");
+    t["explore"] = t["store"];
+    t["explore"].insert("store");
+    return t;
+  }();
+  return kTable;
+}
+
+/// Component of a scanned path: `src/<comp>/...` -> comp, else empty.
+std::string srcComponentOf(const std::string& rel_path) {
+  if (rel_path.rfind("src/", 0) != 0) return {};
+  const std::size_t slash = rel_path.find('/', 4);
+  if (slash == std::string::npos) return {};  // file directly in src/
+  return rel_path.substr(4, slash - 4);
+}
+
+void applyLayeringRule(const Options& opt, const FileData& f,
+                       std::vector<Finding>& findings) {
+  if (!ruleEnabled(opt, "layering")) return;
+  if (allowlisted(opt, f.rel_path, "layering")) return;
+  const std::string comp = srcComponentOf(f.rel_path);
+  if (comp.empty()) return;
+  const auto& table = layerAllowedDeps();
+  const auto self = table.find(comp);
+  // Includes live in string literals, which scrub() blanks — walk the RAW
+  // text line by line.
+  int line = 0;
+  std::size_t start = 0;
+  const std::string& raw = f.raw;
+  while (start <= raw.size()) {
+    std::size_t end = raw.find('\n', start);
+    if (end == std::string::npos) end = raw.size();
+    ++line;
+    const std::string text = trim(raw.substr(start, end - start));
+    start = end + 1;
+    if (text.rfind("#include", 0) != 0) continue;
+    const std::size_t q1 = text.find('"');
+    if (q1 == std::string::npos) continue;  // <system> include
+    const std::size_t q2 = text.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    const std::string target = text.substr(q1 + 1, q2 - q1 - 1);
+    const std::size_t slash = target.find('/');
+    if (slash == std::string::npos) continue;  // local header
+    const std::string dep = target.substr(0, slash);
+    if (dep == comp) continue;
+    if (table.count(dep) == 0) continue;  // not a src component path
+    if (hasWaiver(f, line, "layering", false)) continue;
+    if (self == table.end()) {
+      findings.push_back(
+          {f.rel_path, line, "layering",
+           "component 'src/" + comp +
+               "' is not in the layer table but includes \"" + target +
+               "\" — add the component and its allowed dependencies to "
+               "tools/lint layerAllowedDeps() and the "
+               "docs/ARCHITECTURE.md layer DAG"});
+      continue;
+    }
+    if (self->second.count(dep) != 0) continue;
+    findings.push_back(
+        {f.rel_path, line, "layering",
+         "#include \"" + target + "\" points up the layer stack: src/" +
+             comp + " may depend on {" +
+             [&] {
+               std::string s;
+               for (const std::string& d : self->second)
+                 s += (s.empty() ? "" : ", ") + d;
+               return s;
+             }() +
+             "} only (docs/ARCHITECTURE.md layer DAG) — invert the "
+             "dependency or move the shared piece down the stack"});
+  }
+}
+
 }  // namespace
 
 // --- public API -------------------------------------------------------------
+
+const std::vector<std::string>& ruleFamilies() {
+  static const std::vector<std::string> kFamilies = {
+      "checkpoint-state", "ckpt-symmetry", "determinism", "eventid",
+      "hot-alloc",        "layering",      "strict-parse", "udc-order"};
+  return kFamilies;
+}
 
 std::vector<AllowEntry> parseAllowlistFile(
     const std::string& path, std::vector<std::string>& errors) {
@@ -868,31 +1427,50 @@ std::vector<AllowEntry> parseAllowlistFile(
 Report runLint(const Options& opt) {
   Report report;
 
-  // Collect files (sorted for determinism).
+  // Collect files (sorted for determinism). Restricted dirs (tools/,
+  // bench/) are scanned for the determinism/strict-parse families only;
+  // anything under a fixtures/ component is skipped — those trees seed
+  // deliberate violations.
   std::vector<std::string> rel_paths;
-  for (const std::string& dir : opt.scan_dirs) {
+  std::set<std::string> restricted;
+  auto collect = [&](const std::string& dir, bool is_restricted) {
     const fs::path base = fs::path(opt.root) / dir;
-    if (!fs::exists(base)) continue;
+    if (!fs::exists(base)) return;
     for (const auto& entry : fs::recursive_directory_iterator(base)) {
       if (!entry.is_regular_file()) continue;
       const std::string ext = entry.path().extension().string();
       if (ext != ".h" && ext != ".hpp" && ext != ".cpp" && ext != ".cc")
         continue;
-      rel_paths.push_back(
-          fs::relative(entry.path(), fs::path(opt.root)).generic_string());
+      const std::string rel =
+          fs::relative(entry.path(), fs::path(opt.root)).generic_string();
+      if (is_restricted) {
+        if (rel.find("fixtures/") != std::string::npos) continue;
+        if (std::find(rel_paths.begin(), rel_paths.end(), rel) !=
+            rel_paths.end())
+          continue;
+        restricted.insert(rel);
+      }
+      rel_paths.push_back(rel);
     }
-  }
+  };
+  for (const std::string& dir : opt.scan_dirs) collect(dir, false);
+  for (const std::string& dir : opt.restricted_scan_dirs)
+    collect(dir, true);
   std::sort(rel_paths.begin(), rel_paths.end());
+  rel_paths.erase(std::unique(rel_paths.begin(), rel_paths.end()),
+                  rel_paths.end());
 
   std::map<std::string, FileData> files;
   for (const std::string& rel : rel_paths) {
     FileData f;
     f.rel_path = rel;
+    f.restricted = restricted.count(rel) != 0;
     std::ifstream in(fs::path(opt.root) / rel, std::ios::binary);
     std::ostringstream ss;
     ss << in.rdbuf();
     f.raw = ss.str();
-    f.waivers = extractWaivers(f.raw, report.findings, rel);
+    f.waivers = extractWaivers(scrub(f.raw, /*blank_comments=*/false),
+                               report.findings, rel);
     f.scrubbed = scrub(f.raw);
     files.emplace(rel, std::move(f));
   }
@@ -906,6 +1484,7 @@ Report runLint(const Options& opt) {
 
   std::set<std::string> all_unordered;
   for (const std::string& rel : rel_paths) {
+    if (files.at(rel).restricted) continue;
     const std::set<std::string> names =
         unorderedNames(files.at(rel).scrubbed);
     all_unordered.insert(names.begin(), names.end());
@@ -913,22 +1492,31 @@ Report runLint(const Options& opt) {
 
   std::vector<ClassInfo> classes;
   for (const std::string& rel : rel_paths) {
-    const FileData& f = files.at(rel);
+    FileData& f = files.at(rel);
     const LineIndex lines(f.scrubbed);
     applyTokenRules(opt, f, lines, determinismRules(), report.findings);
     applyTokenRules(opt, f, lines, strictParseRules(), report.findings);
-    if (inPerCycleDir(rel))
+    if (f.restricted) continue;
+    if (inPerCycleDir(rel)) {
       applyTokenRules(opt, f, lines, eventIdRules(), report.findings);
+      collectOutOfLineExemptRanges(f);
+    }
     applyUnorderedOrderRule(opt, f, lines, all_unordered, report.findings);
+    applyLayeringRule(opt, f, report.findings);
     scanClasses(f, lines, classes);
+    if (inPerCycleDir(rel)) {
+      applyTokenRules(opt, f, lines, hotAllocRules(), report.findings,
+                      /*honor_exempt_ranges=*/true);
+    }
   }
 
-  std::vector<const FileData*> file_list;
+  std::vector<FileData*> file_list;
   file_list.reserve(files.size());
-  for (const auto& [rel, f] : files) file_list.push_back(&f);
+  for (auto& [rel, f] : files) file_list.push_back(&f);
   attachOutOfLineBodies(file_list, classes);
   applyCheckpointRule(opt, files, classes, report.findings,
                       report.stateful_classes);
+  applySymmetryRule(opt, files, classes, report.findings, report.schemas);
 
   std::sort(report.findings.begin(), report.findings.end(),
             [](const Finding& a, const Finding& b) {
@@ -944,6 +1532,19 @@ std::string formatFindings(const Report& report) {
     out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
         << "\n";
   }
+  return out.str();
+}
+
+std::string formatSchema(const ClassSchema& schema) {
+  std::ostringstream out;
+  out << "# .mckpt field schema — ordered StateWriter ops of the "
+         "saveState body.\n"
+         "# Machine-written by `malec_lint --emit-schema`; regenerate "
+         "(never hand-edit):\n"
+         "#   build/malec_lint --root . --emit-schema tools/lint/schemas\n"
+      << "class " << schema.class_name << "\n"
+      << "source " << schema.file << "\n";
+  for (const std::string& line : schema.lines) out << line << "\n";
   return out.str();
 }
 

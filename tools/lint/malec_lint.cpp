@@ -1,11 +1,14 @@
 // malec_lint — CLI driver. See lint.h for the rule inventory.
 //
-//   malec_lint --root <repo-root> [--allowlist <file>] [--list-stateful]
+//   malec_lint --root <repo-root> [--allowlist <file>] [--rule <family>]
+//              [--list-stateful | --emit-schema <dir>]
 //
 // Exit codes: 0 = clean, 1 = findings, 2 = usage/config error.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -13,22 +16,40 @@
 
 namespace {
 
+namespace fs = std::filesystem;
+
 void usage(const char* argv0) {
+  std::string families;
+  for (const std::string& f : malec::lint::ruleFamilies())
+    families += (families.empty() ? "" : ", ") + f;
   std::fprintf(
       stderr,
-      "usage: %s --root <repo-root> [--allowlist <file>] [--list-stateful]\n"
+      "usage: %s --root <repo-root> [--allowlist <file>]\n"
+      "          [--rule <family>]... [--list-stateful]\n"
+      "          [--emit-schema <dir>]\n"
       "\n"
-      "Scans <repo-root>/src and enforces the repo contracts:\n"
+      "Scans <repo-root>/src (plus tools/ and bench/ for the determinism\n"
+      "and strict-parse families) and enforces the repo contracts:\n"
       "  checkpoint-state  saveState/loadState must cover every member\n"
+      "  ckpt-symmetry     saveState writes must mirror loadState reads\n"
       "  eventid           no string-keyed energy APIs in per-cycle dirs\n"
       "  determinism       no rand()/random_device/time()/*_clock::now()\n"
       "  udc-order         no unordered iteration near serialized output\n"
       "  strict-parse      no raw atoi/stoi/strtol outside parseU64Strict\n"
+      "  layering          no #include pointing up the layer DAG\n"
+      "  hot-alloc         no allocation in per-cycle dirs outside\n"
+      "                    ctor/saveState/loadState bodies\n"
       "\n"
+      "--rule <family> restricts the run to one family (repeatable);\n"
+      "valid families: %s.\n"
       "--list-stateful prints the stateful-class inventory (one name per\n"
       "line) instead of linting — consumed by scripts/check_lint.sh to\n"
-      "cross-check the test_checkpoint matrix.\n",
-      argv0);
+      "cross-check the test_checkpoint matrix.\n"
+      "--emit-schema <dir> writes one <Class>.schema file per stateful\n"
+      "class (the ordered .mckpt field layout) into <dir> and exits;\n"
+      "goldens live under tools/lint/schemas/ and are diffed by\n"
+      "scripts/check_lint.sh.\n",
+      argv0, families.c_str());
 }
 
 }  // namespace
@@ -36,6 +57,7 @@ void usage(const char* argv0) {
 int main(int argc, char** argv) {
   malec::lint::Options opt;
   std::string allowlist_path;
+  std::string schema_dir;
   bool list_stateful = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -43,6 +65,18 @@ int main(int argc, char** argv) {
       opt.root = argv[++i];
     } else if (arg == "--allowlist" && i + 1 < argc) {
       allowlist_path = argv[++i];
+    } else if (arg == "--rule" && i + 1 < argc) {
+      const std::string family = argv[++i];
+      const auto& known = malec::lint::ruleFamilies();
+      if (std::find(known.begin(), known.end(), family) == known.end()) {
+        std::fprintf(stderr, "malec_lint: unknown rule family '%s'\n",
+                     family.c_str());
+        usage(argv[0]);
+        return 2;
+      }
+      opt.rule_filter.push_back(family);
+    } else if (arg == "--emit-schema" && i + 1 < argc) {
+      schema_dir = argv[++i];
     } else if (arg == "--list-stateful") {
       list_stateful = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -60,7 +94,13 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 2;
   }
-  if (!std::filesystem::exists(std::filesystem::path(opt.root) / "src")) {
+  if (list_stateful && !schema_dir.empty()) {
+    std::fprintf(stderr,
+                 "malec_lint: --list-stateful and --emit-schema are "
+                 "mutually exclusive\n");
+    return 2;
+  }
+  if (!fs::exists(fs::path(opt.root) / "src")) {
     std::fprintf(stderr, "malec_lint: '%s/src' does not exist\n",
                  opt.root.c_str());
     return 2;
@@ -80,6 +120,44 @@ int main(int argc, char** argv) {
   if (list_stateful) {
     for (const std::string& cls : report.stateful_classes)
       std::printf("%s\n", cls.c_str());
+    return 0;
+  }
+
+  if (!schema_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(schema_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "malec_lint: cannot create '%s': %s\n",
+                   schema_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+    // Regeneration replaces the directory's schema set: stale .schema
+    // files from renamed/deleted classes must not linger.
+    for (const auto& entry : fs::directory_iterator(schema_dir)) {
+      if (entry.path().extension() == ".schema")
+        fs::remove(entry.path(), ec);
+    }
+    std::string prev_name;
+    std::ofstream out;
+    for (const malec::lint::ClassSchema& s : report.schemas) {
+      if (s.class_name != prev_name) {
+        out.close();
+        out.open(fs::path(schema_dir) / (s.class_name + ".schema"),
+                 std::ios::binary | std::ios::trunc);
+        prev_name = s.class_name;
+      } else {
+        out << "\n";  // same-named class in another file: append block
+      }
+      if (!out) {
+        std::fprintf(stderr, "malec_lint: cannot write schema for '%s'\n",
+                     s.class_name.c_str());
+        return 2;
+      }
+      out << malec::lint::formatSchema(s);
+    }
+    out.close();
+    std::printf("malec_lint: wrote %zu schema(s) to %s\n",
+                report.schemas.size(), schema_dir.c_str());
     return 0;
   }
 
